@@ -1,0 +1,75 @@
+// Ablation: adaptive (master/slave) pool vs. fixed pool (paper §3.6
+// strategy 3 vs. strategy 2, and §6 "Management of parallelism").
+//
+// Expected shape: for steady batch workloads the fixed pool wins slightly
+// (no ramp-up, no master overhead); the adaptive pool's value is not peak
+// throughput but not wasting threads when idle — its peak_threads counter
+// shows it scaling to, and not past, the load.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/scan.h"
+#include "parallel/adaptive_pool.h"
+
+namespace sss::bench {
+namespace {
+
+constexpr gen::WorkloadKind kKind = gen::WorkloadKind::kCityNames;
+
+const SequentialScanSearcher& Engine() {
+  static const auto* engine =
+      new SequentialScanSearcher(SharedWorkload(kKind).dataset, ScanOptions{});
+  return *engine;
+}
+
+void BM_FixedPool(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const BenchWorkload& w = SharedWorkload(kKind);
+  RunBatchBenchmark(state, Engine(), w.Batch(500),
+                    {ExecutionStrategy::kFixedPool, threads});
+}
+BENCHMARK(BM_FixedPool)
+    ->ArgNames({"threads"})
+    ->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kSecond)->UseRealTime()->Iterations(1);
+
+void BM_AdaptivePool(benchmark::State& state) {
+  const size_t max_threads = static_cast<size_t>(state.range(0));
+  const BenchWorkload& w = SharedWorkload(kKind);
+  const QuerySet& queries = w.Batch(500);
+  size_t peak = 0, opens = 0;
+  for (auto _ : state) {
+    AdaptivePoolOptions options;
+    options.max_threads = max_threads;
+    AdaptivePool pool(options);
+    SearchResults results(queries.size());
+    pool.ParallelFor(
+        queries.size(),
+        [&](size_t i) { results[i] = Engine().Search(queries[i]); },
+        /*chunk=*/1);
+    peak = pool.peak_threads();
+    opens = pool.total_opens();
+    benchmark::DoNotOptimize(results.size());
+  }
+  state.counters["peak_threads"] = static_cast<double>(peak);
+  state.counters["opens"] = static_cast<double>(opens);
+}
+BENCHMARK(BM_AdaptivePool)
+    ->ArgNames({"max_threads"})
+    ->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kSecond)->UseRealTime()->Iterations(1);
+
+// Strategy 1 for reference: thread-per-query on the same batch.
+void BM_ThreadPerQuery(benchmark::State& state) {
+  const BenchWorkload& w = SharedWorkload(kKind);
+  RunBatchBenchmark(state, Engine(), w.Batch(500),
+                    {ExecutionStrategy::kThreadPerQuery, 0});
+}
+BENCHMARK(BM_ThreadPerQuery)
+    ->Unit(benchmark::kSecond)->UseRealTime()->Iterations(1);
+
+}  // namespace
+}  // namespace sss::bench
+
+SSS_BENCH_MAIN("Ablation: parallelism strategies (fixed vs adaptive pool)",
+               sss::gen::WorkloadKind::kCityNames)

@@ -1,0 +1,78 @@
+// Ablation: 3-bit dictionary compression for DNA (paper §6 "Dictionary
+// Compression": "An alphabet of five symbols makes it possible to represent
+// a symbol with three bits").
+//
+// Reports pack/decode throughput and the achieved memory ratio against the
+// 1-byte-per-symbol StringPool baseline.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/bitpack.h"
+
+namespace sss::bench {
+namespace {
+
+const BenchWorkload& Dna() {
+  return SharedWorkload(gen::WorkloadKind::kDnaReads);
+}
+
+void BM_Bitpack_PackDataset(benchmark::State& state) {
+  const BenchWorkload& w = Dna();
+  size_t packed_bytes = 0;
+  for (auto _ : state) {
+    PackedDnaPool pool;
+    for (size_t i = 0; i < w.dataset.size(); ++i) {
+      benchmark::DoNotOptimize(pool.Add(w.dataset.View(i)).ok());
+    }
+    packed_bytes = pool.packed_bytes();
+  }
+  state.counters["packed_mb"] = static_cast<double>(packed_bytes) / 1e6;
+  state.counters["raw_mb"] =
+      static_cast<double>(w.dataset.pool().total_bytes()) / 1e6;
+  state.counters["ratio"] =
+      static_cast<double>(w.dataset.pool().total_bytes()) /
+      static_cast<double>(packed_bytes);
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() *
+                           w.dataset.pool().total_bytes()));
+}
+BENCHMARK(BM_Bitpack_PackDataset)->Unit(benchmark::kMillisecond);
+
+void BM_Bitpack_DecodeCodes(benchmark::State& state) {
+  const BenchWorkload& w = Dna();
+  PackedDnaPool pool;
+  for (size_t i = 0; i < w.dataset.size(); ++i) {
+    pool.Add(w.dataset.View(i)).status().AbortIfNotOK();
+  }
+  std::vector<uint8_t> codes;
+  size_t i = 0;
+  for (auto _ : state) {
+    pool.DecodeCodes(i++ % pool.size(), &codes);
+    benchmark::DoNotOptimize(codes.data());
+  }
+  state.counters["symbols_per_read"] =
+      static_cast<double>(pool.total_symbols()) /
+      static_cast<double>(pool.size());
+}
+BENCHMARK(BM_Bitpack_DecodeCodes)->Unit(benchmark::kMicrosecond);
+
+void BM_Bitpack_Unpack(benchmark::State& state) {
+  const BenchWorkload& w = Dna();
+  PackedDnaPool pool;
+  for (size_t i = 0; i < w.dataset.size(); ++i) {
+    pool.Add(w.dataset.View(i)).status().AbortIfNotOK();
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.Unpack(i++ % pool.size()));
+  }
+}
+BENCHMARK(BM_Bitpack_Unpack)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace sss::bench
+
+SSS_BENCH_MAIN("Ablation: 3-bit DNA dictionary compression",
+               sss::gen::WorkloadKind::kDnaReads)

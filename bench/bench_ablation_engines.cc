@@ -1,0 +1,78 @@
+// Ablation: the full engine zoo on both paper workloads.
+//
+// Beyond the paper's two competitors, the library ships the related-work
+// baselines its §2.3 discusses (inverted q-gram index, pigeonhole
+// partitioning) and the §6 future-work packed-DNA scan. This bench races
+// all of them with identical batches, serial, so engine quality is isolated
+// from parallelism.
+//
+// Expected shape:
+//   city  — partition index strongest at k ≤ 3 (few probes), q-gram index
+//           competitive, paper-rule trie slowest (weak pruning), library
+//           scan/banded-trie in between;
+//   DNA   — q-gram/partition degrade at k = 16 (vacuous bounds / probe
+//           explosion), banded trie and packed scan lead.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/searcher.h"
+
+namespace sss::bench {
+namespace {
+
+gen::WorkloadKind KindOf(int64_t arg) {
+  return arg == 0 ? gen::WorkloadKind::kCityNames
+                  : gen::WorkloadKind::kDnaReads;
+}
+
+constexpr EngineKind kEngines[] = {
+    EngineKind::kSequentialScan,      EngineKind::kTrieIndex,
+    EngineKind::kCompressedTrieIndex, EngineKind::kQGramIndex,
+    EngineKind::kPartitionIndex,      EngineKind::kPackedDnaScan,
+    EngineKind::kBKTree,
+};
+
+const Searcher* Engine(gen::WorkloadKind kind, int engine_idx) {
+  static std::unique_ptr<Searcher> engines[2][7];
+  const int ki = kind == gen::WorkloadKind::kCityNames ? 0 : 1;
+  if (engines[ki][engine_idx] == nullptr) {
+    auto result = MakeSearcher(kEngines[engine_idx],
+                               SharedWorkload(kind).dataset);
+    if (!result.ok()) return nullptr;  // packed scan on city data
+    engines[ki][engine_idx] = std::move(result).ValueUnsafe();
+  }
+  return engines[ki][engine_idx].get();
+}
+
+void BM_EngineZoo(benchmark::State& state) {
+  const gen::WorkloadKind kind = KindOf(state.range(0));
+  const int engine_idx = static_cast<int>(state.range(1));
+  const Searcher* engine = Engine(kind, engine_idx);
+  if (engine == nullptr) {
+    state.SkipWithError("engine not applicable to this workload");
+    return;
+  }
+  const BenchWorkload& w = SharedWorkload(kind);
+  RunBatchBenchmark(state, *engine, w.Batch(100),
+                    {ExecutionStrategy::kSerial, 0});
+  state.SetLabel(engine->name());
+  state.counters["index_mb"] =
+      static_cast<double>(engine->memory_bytes()) / 1e6;
+}
+BENCHMARK(BM_EngineZoo)
+    ->ArgNames({"workload", "engine"})
+    // city: every engine except packed (DNA-only).
+    ->ArgsProduct({{0}, {0, 1, 2, 3, 4, 6}})
+    // dna: every engine.
+    ->ArgsProduct({{1}, {0, 1, 2, 3, 4, 5, 6}})
+    ->Unit(benchmark::kSecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace sss::bench
+
+SSS_BENCH_MAIN(
+    "Ablation: engine zoo (engine 0=scan 1=trie 2=ctrie 3=qgram "
+    "4=partition 5=packed 6=bktree)",
+    sss::gen::WorkloadKind::kCityNames)

@@ -1,0 +1,60 @@
+// Ablation: candidate filters (paper §6 "Frequency vectors" + q-gram
+// filtering from the related literature).
+//
+// Runs the step-4 scan with each filter stack on both workloads and reports
+// batch time plus total matches (identical across rows — the filters are
+// sound). Expected shape: the length filter is already implicit in the
+// banded verify; frequency vectors help most on DNA where length filtering
+// is useless (all reads ≈100 long); q-grams are strongest at small k and
+// can cost more than they save at k=16.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/scan.h"
+
+namespace sss::bench {
+namespace {
+
+gen::WorkloadKind KindOf(int64_t arg) {
+  return arg == 0 ? gen::WorkloadKind::kCityNames
+                  : gen::WorkloadKind::kDnaReads;
+}
+
+// filter_stack: 0 = none, 1 = frequency vector, 2 = q-grams(3), 3 = both.
+const SequentialScanSearcher& Engine(gen::WorkloadKind kind,
+                                     int filter_stack) {
+  static const SequentialScanSearcher* engines[2][4] = {};
+  const int ki = kind == gen::WorkloadKind::kCityNames ? 0 : 1;
+  if (engines[ki][filter_stack] == nullptr) {
+    ScanOptions options;
+    options.frequency_filter = filter_stack == 1 || filter_stack == 3;
+    options.qgram_filter_q = (filter_stack == 2 || filter_stack == 3) ? 3 : 0;
+    engines[ki][filter_stack] =
+        new SequentialScanSearcher(SharedWorkload(kind).dataset, options);
+  }
+  return *engines[ki][filter_stack];
+}
+
+void BM_FilterStack(benchmark::State& state) {
+  const gen::WorkloadKind kind = KindOf(state.range(0));
+  const int stack = static_cast<int>(state.range(1));
+  const BenchWorkload& w = SharedWorkload(kind);
+  RunBatchBenchmark(state, Engine(kind, stack), w.Batch(100),
+                    {ExecutionStrategy::kSerial, 0});
+  state.counters["filter_mem_mb"] =
+      static_cast<double>(Engine(kind, stack).memory_bytes()) / 1e6;
+}
+BENCHMARK(BM_FilterStack)
+    ->ArgNames({"workload", "stack"})  // stack: 0 none, 1 freq, 2 qgram, 3 both
+    ->ArgsProduct({{0, 1}, {0, 1, 2, 3}})
+    ->Unit(benchmark::kSecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace sss::bench
+
+SSS_BENCH_MAIN(
+    "Ablation: candidate filters (workload 0=city 1=dna; "
+    "stack 0=none 1=freq 2=qgram3 3=both)",
+    sss::gen::WorkloadKind::kCityNames)

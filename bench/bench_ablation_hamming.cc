@@ -1,0 +1,58 @@
+// Ablation: Hamming vs edit distance on the DNA workload.
+//
+// PETER (the paper's §2.3 related work) supports both measures; many read
+// pipelines use Hamming because substitution-dominated data doesn't need
+// indels. This bench quantifies what that buys: Hamming verification is
+// O(n/8) words vs the edit kernels' O(k·n) / O(n²/64), and the Hamming trie
+// prunes on exact length.
+//
+// Caveat shown by the matches counter: Hamming finds FEWER matches (a
+// single indel shifts every later position), so this is a semantics trade,
+// not a free speedup.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/hamming.h"
+#include "core/scan.h"
+
+namespace sss::bench {
+namespace {
+
+constexpr gen::WorkloadKind kKind = gen::WorkloadKind::kDnaReads;
+
+void BM_EditScan(benchmark::State& state) {
+  static const auto* engine =
+      new SequentialScanSearcher(SharedWorkload(kKind).dataset, ScanOptions{});
+  const BenchWorkload& w = SharedWorkload(kKind);
+  RunBatchBenchmark(state, *engine, w.Batch(100),
+                    {ExecutionStrategy::kSerial, 0});
+}
+BENCHMARK(BM_EditScan)->Unit(benchmark::kSecond)->UseRealTime()->Iterations(1);
+
+void BM_HammingScan(benchmark::State& state) {
+  static const auto* engine =
+      new HammingScanSearcher(SharedWorkload(kKind).dataset);
+  const BenchWorkload& w = SharedWorkload(kKind);
+  RunBatchBenchmark(state, *engine, w.Batch(100),
+                    {ExecutionStrategy::kSerial, 0});
+}
+BENCHMARK(BM_HammingScan)
+    ->Unit(benchmark::kSecond)->UseRealTime()->Iterations(1);
+
+void BM_HammingTrie(benchmark::State& state) {
+  static const auto* engine =
+      new HammingTrieSearcher(SharedWorkload(kKind).dataset);
+  const BenchWorkload& w = SharedWorkload(kKind);
+  RunBatchBenchmark(state, *engine, w.Batch(100),
+                    {ExecutionStrategy::kSerial, 0});
+  state.counters["index_mb"] =
+      static_cast<double>(engine->memory_bytes()) / 1e6;
+}
+BENCHMARK(BM_HammingTrie)
+    ->Unit(benchmark::kSecond)->UseRealTime()->Iterations(1);
+
+}  // namespace
+}  // namespace sss::bench
+
+SSS_BENCH_MAIN("Ablation: Hamming vs edit distance, DNA reads",
+               sss::gen::WorkloadKind::kDnaReads)

@@ -1,0 +1,162 @@
+// Ablation: edit-distance kernels.
+//
+// Per-pair cost of every kernel on pairs drawn from both workloads, across
+// the paper's thresholds. Answers the design questions DESIGN.md calls out:
+//   * how much does each of §3.2's tricks buy (full matrix → diagonal abort
+//     → banded)?
+//   * when does the bit-parallel Myers kernel overtake the banded DP
+//     (the library's beyond-paper extension)?
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/edit_distance.h"
+#include "core/kernels.h"
+
+namespace sss::bench {
+namespace {
+
+// A pool of pairs drawn from a workload: half near-duplicates (query is a
+// perturbed dataset string), half random pairs — matching the mix a real
+// scan verifies.
+struct PairSet {
+  std::vector<std::pair<std::string, std::string>> pairs;
+};
+
+const PairSet& Pairs(gen::WorkloadKind kind) {
+  static PairSet city, dna;
+  PairSet& set = kind == gen::WorkloadKind::kCityNames ? city : dna;
+  if (set.pairs.empty()) {
+    const BenchWorkload& w = SharedWorkload(kind);
+    Xoshiro256 rng(w.config.seed ^ 0xAB1);
+    for (int i = 0; i < 256; ++i) {
+      const std::string a(w.dataset.View(rng.Uniform(w.dataset.size())));
+      std::string b;
+      if (i % 2 == 0) {
+        b = a;
+        for (int e = 0; e < 4 && !b.empty(); ++e) {
+          b[rng.Uniform(b.size())] = 'x';
+        }
+      } else {
+        b = std::string(w.dataset.View(rng.Uniform(w.dataset.size())));
+      }
+      set.pairs.emplace_back(a, b);
+    }
+  }
+  return set;
+}
+
+gen::WorkloadKind KindOf(int64_t arg) {
+  return arg == 0 ? gen::WorkloadKind::kCityNames
+                  : gen::WorkloadKind::kDnaReads;
+}
+
+void BM_Kernel_FullMatrix(benchmark::State& state) {
+  const PairSet& set = Pairs(KindOf(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = set.pairs[i++ % set.pairs.size()];
+    benchmark::DoNotOptimize(EditDistanceFullMatrix(a, b));
+  }
+}
+BENCHMARK(BM_Kernel_FullMatrix)
+    ->ArgNames({"workload"})->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Kernel_TwoRow(benchmark::State& state) {
+  const PairSet& set = Pairs(KindOf(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = set.pairs[i++ % set.pairs.size()];
+    benchmark::DoNotOptimize(EditDistanceTwoRow(a, b));
+  }
+}
+BENCHMARK(BM_Kernel_TwoRow)
+    ->ArgNames({"workload"})->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Kernel_DiagonalAbort(benchmark::State& state) {
+  const PairSet& set = Pairs(KindOf(state.range(0)));
+  const int k = static_cast<int>(state.range(1));
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = set.pairs[i++ % set.pairs.size()];
+    benchmark::DoNotOptimize(internal::EditDistanceDiagonalAbort(a, b, k));
+  }
+}
+BENCHMARK(BM_Kernel_DiagonalAbort)
+    ->ArgNames({"workload", "k"})
+    ->ArgsProduct({{0}, {1, 3}})
+    ->ArgsProduct({{1}, {4, 16}})
+    ->Unit(benchmark::kMicrosecond);
+
+// The paper's own best kernel (§3.4) — the baseline the library's banded
+// and bit-parallel kernels are measured against.
+void BM_Kernel_PaperStep4(benchmark::State& state) {
+  const PairSet& set = Pairs(KindOf(state.range(0)));
+  const int k = static_cast<int>(state.range(1));
+  EditDistanceWorkspace ws;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = set.pairs[i++ % set.pairs.size()];
+    benchmark::DoNotOptimize(internal::EditDistanceSimpleTypes(a, b, k, &ws));
+  }
+}
+BENCHMARK(BM_Kernel_PaperStep4)
+    ->ArgNames({"workload", "k"})
+    ->ArgsProduct({{0}, {1, 3}})
+    ->ArgsProduct({{1}, {4, 16}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Kernel_Banded(benchmark::State& state) {
+  const PairSet& set = Pairs(KindOf(state.range(0)));
+  const int k = static_cast<int>(state.range(1));
+  EditDistanceWorkspace ws;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = set.pairs[i++ % set.pairs.size()];
+    benchmark::DoNotOptimize(BoundedEditDistance(a, b, k, &ws));
+  }
+}
+BENCHMARK(BM_Kernel_Banded)
+    ->ArgNames({"workload", "k"})
+    ->ArgsProduct({{0}, {1, 3}})
+    ->ArgsProduct({{1}, {4, 16}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Kernel_BoundedMyers(benchmark::State& state) {
+  const PairSet& set = Pairs(KindOf(state.range(0)));
+  const int k = static_cast<int>(state.range(1));
+  EditDistanceWorkspace ws;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = set.pairs[i++ % set.pairs.size()];
+    benchmark::DoNotOptimize(BoundedMyers(a, b, k, &ws));
+  }
+}
+BENCHMARK(BM_Kernel_BoundedMyers)
+    ->ArgNames({"workload", "k"})
+    ->ArgsProduct({{0}, {1, 3}})
+    ->ArgsProduct({{1}, {4, 16}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Kernel_WithinDispatch(benchmark::State& state) {
+  const PairSet& set = Pairs(KindOf(state.range(0)));
+  const int k = static_cast<int>(state.range(1));
+  EditDistanceWorkspace ws;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = set.pairs[i++ % set.pairs.size()];
+    benchmark::DoNotOptimize(WithinDistance(a, b, k, &ws));
+  }
+}
+BENCHMARK(BM_Kernel_WithinDispatch)
+    ->ArgNames({"workload", "k"})
+    ->ArgsProduct({{0}, {1, 3}})
+    ->ArgsProduct({{1}, {4, 16}})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace sss::bench
+
+SSS_BENCH_MAIN("Ablation: edit-distance kernels (workload 0=city, 1=dna)",
+               sss::gen::WorkloadKind::kCityNames)

@@ -1,0 +1,52 @@
+// Ablation: pre-sorting by length (paper §6 "Sorting": "Can a pre-sorting
+// by length or alphabet reduce the execution time?").
+//
+// The sorted engine visits only ids whose length lies in [l_q−k, l_q+k].
+// Expected shape: large wins on city names (wide length distribution, tiny
+// k) and little effect on DNA (every read is ≈100 long, so the window
+// covers nearly everything).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/scan.h"
+
+namespace sss::bench {
+namespace {
+
+gen::WorkloadKind KindOf(int64_t arg) {
+  return arg == 0 ? gen::WorkloadKind::kCityNames
+                  : gen::WorkloadKind::kDnaReads;
+}
+
+const SequentialScanSearcher& Engine(gen::WorkloadKind kind, bool sorted) {
+  static const SequentialScanSearcher* engines[2][2] = {};
+  const int ki = kind == gen::WorkloadKind::kCityNames ? 0 : 1;
+  if (engines[ki][sorted] == nullptr) {
+    ScanOptions options;
+    options.sort_by_length = sorted;
+    engines[ki][sorted] =
+        new SequentialScanSearcher(SharedWorkload(kind).dataset, options);
+  }
+  return *engines[ki][sorted];
+}
+
+void BM_Sorting(benchmark::State& state) {
+  const gen::WorkloadKind kind = KindOf(state.range(0));
+  const bool sorted = state.range(1) != 0;
+  const int paper_queries = static_cast<int>(state.range(2));
+  const BenchWorkload& w = SharedWorkload(kind);
+  RunBatchBenchmark(state, Engine(kind, sorted), w.Batch(paper_queries),
+                    {ExecutionStrategy::kSerial, 0});
+}
+BENCHMARK(BM_Sorting)
+    ->ArgNames({"workload", "sorted", "queries"})
+    ->ArgsProduct({{0, 1}, {0, 1}, {100, 500}})
+    ->Unit(benchmark::kSecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace sss::bench
+
+SSS_BENCH_MAIN("Ablation: pre-sorting by length (workload 0=city, 1=dna)",
+               sss::gen::WorkloadKind::kCityNames)

@@ -1,0 +1,164 @@
+// Ablation: trie compression (paper §4.2, Fig. 4 — "after the compression
+// the sample prefix tree only includes half of the nodes").
+//
+// Reports, for both workloads: node counts, index memory, build time, and
+// serial query time of the basic vs. the path-compressed trie.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/compressed_trie.h"
+#include "core/trie.h"
+
+namespace sss::bench {
+namespace {
+
+gen::WorkloadKind KindOf(int64_t arg) {
+  return arg == 0 ? gen::WorkloadKind::kCityNames
+                  : gen::WorkloadKind::kDnaReads;
+}
+
+const TrieSearcher& Basic(gen::WorkloadKind kind) {
+  static const TrieSearcher* engines[2] = {};
+  const int ki = kind == gen::WorkloadKind::kCityNames ? 0 : 1;
+  if (engines[ki] == nullptr) {
+    engines[ki] = new TrieSearcher(SharedWorkload(kind).dataset);
+  }
+  return *engines[ki];
+}
+
+const CompressedTrieSearcher& Radix(gen::WorkloadKind kind) {
+  static const CompressedTrieSearcher* engines[2] = {};
+  const int ki = kind == gen::WorkloadKind::kCityNames ? 0 : 1;
+  if (engines[ki] == nullptr) {
+    engines[ki] = new CompressedTrieSearcher(SharedWorkload(kind).dataset);
+  }
+  return *engines[ki];
+}
+
+void BM_TrieBuild(benchmark::State& state) {
+  const gen::WorkloadKind kind = KindOf(state.range(0));
+  const bool compressed = state.range(1) != 0;
+  const BenchWorkload& w = SharedWorkload(kind);
+  TrieStats stats;
+  for (auto _ : state) {
+    if (compressed) {
+      CompressedTrieSearcher trie(w.dataset);
+      stats = trie.Stats();
+    } else {
+      TrieSearcher trie(w.dataset);
+      stats = trie.Stats();
+    }
+    benchmark::DoNotOptimize(stats.num_nodes);
+  }
+  state.counters["nodes"] = static_cast<double>(stats.num_nodes);
+  state.counters["mem_mb"] = static_cast<double>(stats.memory_bytes) / 1e6;
+  state.counters["nodes_per_string"] =
+      static_cast<double>(stats.num_nodes) /
+      static_cast<double>(w.dataset.size());
+}
+BENCHMARK(BM_TrieBuild)
+    ->ArgNames({"workload", "compressed"})
+    ->ArgsProduct({{0, 1}, {0, 1}})
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+// The pruning-rule ablation: the paper's weak k + d_m test vs this
+// library's banded rows, on the compressed trie. Expected shape: dramatic
+// on city names (wide length spread makes d_m huge near the root, so the
+// paper rule barely prunes — the root cause of the paper's "scan beats
+// index" result there), mild on DNA (tight lengths keep d_m small).
+void BM_TriePruningRule(benchmark::State& state) {
+  const gen::WorkloadKind kind = KindOf(state.range(0));
+  const bool paper_rule = state.range(1) != 0;
+  static const CompressedTrieSearcher* engines[2][2] = {};
+  const int ki = kind == gen::WorkloadKind::kCityNames ? 0 : 1;
+  if (engines[ki][paper_rule] == nullptr) {
+    engines[ki][paper_rule] = new CompressedTrieSearcher(
+        SharedWorkload(kind).dataset,
+        paper_rule ? TriePruning::kPaperRule : TriePruning::kBandedRows);
+  }
+  const BenchWorkload& w = SharedWorkload(kind);
+  RunBatchBenchmark(state, *engines[ki][paper_rule], w.Batch(100),
+                    {ExecutionStrategy::kSerial, 0});
+}
+BENCHMARK(BM_TriePruningRule)
+    ->ArgNames({"workload", "paper_rule"})
+    ->ArgsProduct({{0, 1}, {0, 1}})
+    ->Unit(benchmark::kSecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+// PETER-style frequency bounds (paper §2.3 / §6 "Frequency vectors"): the
+// per-subtree count ranges prune branches the length range alone cannot.
+// Expected shape: helps most on DNA at moderate k (all reads the same
+// length, so d_m/length pruning is blind there).
+void BM_TrieFrequencyBounds(benchmark::State& state) {
+  const gen::WorkloadKind kind = KindOf(state.range(0));
+  const bool bounds = state.range(1) != 0;
+  static const CompressedTrieSearcher* engines[2][2] = {};
+  const int ki = kind == gen::WorkloadKind::kCityNames ? 0 : 1;
+  if (engines[ki][bounds] == nullptr) {
+    engines[ki][bounds] = new CompressedTrieSearcher(
+        SharedWorkload(kind).dataset, TriePruning::kBandedRows, bounds);
+  }
+  const BenchWorkload& w = SharedWorkload(kind);
+  RunBatchBenchmark(state, *engines[ki][bounds], w.Batch(100),
+                    {ExecutionStrategy::kSerial, 0});
+}
+BENCHMARK(BM_TrieFrequencyBounds)
+    ->ArgNames({"workload", "freq_bounds"})
+    ->ArgsProduct({{0, 1}, {0, 1}})
+    ->Unit(benchmark::kSecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+void BM_TrieQuery(benchmark::State& state) {
+  const gen::WorkloadKind kind = KindOf(state.range(0));
+  const bool compressed = state.range(1) != 0;
+  const BenchWorkload& w = SharedWorkload(kind);
+  const Searcher& engine =
+      compressed ? static_cast<const Searcher&>(Radix(kind))
+                 : static_cast<const Searcher&>(Basic(kind));
+  RunBatchBenchmark(state, engine, w.Batch(100),
+                    {ExecutionStrategy::kSerial, 0});
+}
+BENCHMARK(BM_TrieQuery)
+    ->ArgNames({"workload", "compressed"})
+    ->ArgsProduct({{0, 1}, {0, 1}})
+    ->Unit(benchmark::kSecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+void PrintCompressionSummary() {
+  for (auto kind :
+       {gen::WorkloadKind::kCityNames, gen::WorkloadKind::kDnaReads}) {
+    const TrieStats basic = Basic(kind).Stats();
+    const TrieStats radix = Radix(kind).Stats();
+    std::printf(
+        "# %s: %zu -> %zu nodes (%.2fx fewer; paper Fig. 4 predicts ~2x), "
+        "%.1f -> %.1f MB\n",
+        gen::ToString(kind).c_str(), basic.num_nodes, radix.num_nodes,
+        static_cast<double>(basic.num_nodes) /
+            static_cast<double>(radix.num_nodes),
+        static_cast<double>(basic.memory_bytes) / 1e6,
+        static_cast<double>(radix.memory_bytes) / 1e6);
+  }
+}
+
+}  // namespace
+}  // namespace sss::bench
+
+int main(int argc, char** argv) {
+  const auto& w =
+      sss::bench::SharedWorkload(sss::gen::WorkloadKind::kCityNames);
+  sss::bench::PrintBanner(
+      "Ablation: trie compression (workload 0=city, 1=dna)", w);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  sss::bench::PrintCompressionSummary();
+  ::benchmark::Shutdown();
+  return 0;
+}

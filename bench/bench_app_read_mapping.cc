@@ -1,0 +1,116 @@
+// Application benchmark: read mapping with the `align` substrate
+// (suffix-array seeding + infix verification) — the use case behind the
+// paper's DNA workload. Reports build time, mapping throughput, and
+// accuracy against the generator's ground truth.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "align/read_mapper.h"
+#include "bench_common.h"
+#include "gen/dna_generator.h"
+#include "gen/query_generator.h"
+#include "util/random.h"
+
+namespace sss::bench {
+namespace {
+
+struct MappingWorkload {
+  std::string genome;
+  std::vector<std::string> reads;
+  std::vector<uint32_t> true_positions;
+};
+
+const MappingWorkload& SharedMappingWorkload() {
+  static const MappingWorkload* workload = [] {
+    const BenchConfig cfg = GetBenchConfig(gen::WorkloadKind::kDnaReads);
+    auto* w = new MappingWorkload();
+    gen::DnaGeneratorOptions options;
+    options.genome_length =
+        std::max<size_t>(20000, static_cast<size_t>((4 << 20) *
+                                                    cfg.data_scale));
+    options.num_reads = 1;
+    gen::DnaReadGenerator generator(options, cfg.seed);
+    w->genome = generator.genome();
+
+    Xoshiro256 rng(cfg.seed ^ 0x3A9);
+    const size_t num_reads = 2000;
+    for (size_t i = 0; i < num_reads; ++i) {
+      const size_t pos = rng.Uniform(w->genome.size() - 120);
+      std::string read = w->genome.substr(pos, 100);
+      read = gen::Perturb(read, static_cast<int>(rng.Uniform(5)), "ACGT",
+                          &rng);
+      if (rng.Bernoulli(0.5)) read = align::ReverseComplement(read);
+      w->reads.push_back(std::move(read));
+      w->true_positions.push_back(static_cast<uint32_t>(pos));
+    }
+    return w;
+  }();
+  return *workload;
+}
+
+void BM_SuffixArrayBuild(benchmark::State& state) {
+  const MappingWorkload& w = SharedMappingWorkload();
+  for (auto _ : state) {
+    align::SuffixArray sa(w.genome);
+    benchmark::DoNotOptimize(sa.size());
+  }
+  state.counters["genome_bp"] = static_cast<double>(w.genome.size());
+}
+BENCHMARK(BM_SuffixArrayBuild)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_MapReads(benchmark::State& state) {
+  const MappingWorkload& w = SharedMappingWorkload();
+  const int max_k = static_cast<int>(state.range(0));
+  align::ReadMapperOptions options;
+  options.max_distance = max_k;
+  static const align::ReadMapper* mappers[8] = {};
+  if (mappers[max_k] == nullptr) {
+    mappers[max_k] = new align::ReadMapper(w.genome, options);
+  }
+  const align::ReadMapper& mapper = *mappers[max_k];
+
+  size_t mapped = 0, correct = 0;
+  for (auto _ : state) {
+    mapped = correct = 0;
+    for (size_t i = 0; i < w.reads.size(); ++i) {
+      const auto mappings = mapper.Map(w.reads[i]);
+      if (mappings.empty()) continue;
+      ++mapped;
+      const uint32_t got = mappings.front().position;
+      const uint32_t want = w.true_positions[i];
+      const uint32_t delta = got > want ? got - want : want - got;
+      if (delta <= static_cast<uint32_t>(2 * max_k)) ++correct;
+    }
+  }
+  state.counters["reads"] = static_cast<double>(w.reads.size());
+  state.counters["mapped_pct"] =
+      100.0 * static_cast<double>(mapped) /
+      static_cast<double>(w.reads.size());
+  state.counters["correct_pct"] =
+      100.0 * static_cast<double>(correct) /
+      static_cast<double>(w.reads.size());
+  state.counters["reads_per_s"] = benchmark::Counter(
+      static_cast<double>(w.reads.size() * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MapReads)
+    ->ArgNames({"max_k"})
+    ->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace sss::bench
+
+int main(int argc, char** argv) {
+  const auto& w = sss::bench::SharedMappingWorkload();
+  std::printf("# Application: read mapping (genome %zu bp, %zu reads)\n",
+              w.genome.size(), w.reads.size());
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

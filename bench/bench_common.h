@@ -1,0 +1,178 @@
+// Shared bench harness: workload construction at a configurable fraction of
+// the paper's scale, batch timing, and paper-style reporting.
+//
+// Every bench binary prints its seed and scales up front, so any row can be
+// reproduced exactly. Knobs (environment variables):
+//
+//   SSS_BENCH_SCALE        dataset size as a fraction of Table I
+//                          (default: 0.05 for city names, 0.01 for DNA;
+//                          1.0 = the paper's 400k / 750k strings)
+//   SSS_BENCH_QUERY_SCALE  query-batch size as a fraction of the paper's
+//                          100/500/1000 (default: 0.5 city, 0.1 DNA)
+//   SSS_BENCH_SEED         generator seed (default: the library default)
+//
+// Full paper scale: SSS_BENCH_SCALE=1 SSS_BENCH_QUERY_SCALE=1 <bench>.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/searcher.h"
+#include "gen/city_generator.h"
+#include "gen/dna_generator.h"
+#include "gen/query_generator.h"
+#include "gen/workload.h"
+#include "io/dataset.h"
+#include "util/env.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace sss::bench {
+
+/// \brief Scales and seed resolved from the environment for one workload.
+struct BenchConfig {
+  gen::WorkloadKind kind;
+  double data_scale;
+  double query_scale;
+  uint64_t seed;
+
+  size_t DatasetSize() const {
+    const size_t full =
+        kind == gen::WorkloadKind::kCityNames ? 400000 : 750000;
+    const auto n = static_cast<size_t>(static_cast<double>(full) * data_scale);
+    return n == 0 ? 1 : n;
+  }
+  size_t BatchSize(int paper_count) const {
+    const auto n = static_cast<size_t>(paper_count * query_scale);
+    return n == 0 ? 1 : n;
+  }
+};
+
+inline BenchConfig GetBenchConfig(gen::WorkloadKind kind) {
+  const bool city = kind == gen::WorkloadKind::kCityNames;
+  BenchConfig cfg;
+  cfg.kind = kind;
+  cfg.data_scale = GetEnvDouble("SSS_BENCH_SCALE", city ? 0.05 : 0.01);
+  cfg.query_scale = GetEnvDouble("SSS_BENCH_QUERY_SCALE", city ? 0.5 : 0.1);
+  cfg.seed = static_cast<uint64_t>(
+      GetEnvInt("SSS_BENCH_SEED",
+                static_cast<int64_t>(Xoshiro256::kDefaultSeed)));
+  return cfg;
+}
+
+/// \brief A dataset plus the paper's three query batches, built once per
+/// process and shared by every benchmark in the binary.
+struct BenchWorkload {
+  BenchConfig config;
+  Dataset dataset;
+  QuerySet batch_100;
+  QuerySet batch_500;
+  QuerySet batch_1000;
+
+  const QuerySet& Batch(int paper_count) const {
+    switch (paper_count) {
+      case 100:
+        return batch_100;
+      case 500:
+        return batch_500;
+      default:
+        return batch_1000;
+    }
+  }
+};
+
+inline BenchWorkload BuildBenchWorkload(gen::WorkloadKind kind) {
+  const BenchConfig cfg = GetBenchConfig(kind);
+  BenchWorkload w;
+  w.config = cfg;
+  if (kind == gen::WorkloadKind::kCityNames) {
+    gen::CityGeneratorOptions options;
+    options.num_strings = cfg.DatasetSize();
+    w.dataset = gen::CityNameGenerator(options, cfg.seed).Generate();
+  } else {
+    gen::DnaGeneratorOptions options;
+    options.num_reads = cfg.DatasetSize();
+    // Keep coverage constant so near-duplicate density matches full scale.
+    options.genome_length = std::max<size_t>(
+        options.read_length + options.read_length_jitter + 16,
+        static_cast<size_t>((1 << 20) * cfg.data_scale));
+    w.dataset = gen::DnaReadGenerator(options, cfg.seed).Generate();
+  }
+  gen::QueryGeneratorOptions q;
+  q.thresholds = gen::ThresholdsFor(kind);
+  q.num_queries = cfg.BatchSize(100);
+  w.batch_100 = gen::MakeQuerySet(w.dataset, q, cfg.seed ^ 0x64);
+  q.num_queries = cfg.BatchSize(500);
+  w.batch_500 = gen::MakeQuerySet(w.dataset, q, cfg.seed ^ 0x1F4);
+  q.num_queries = cfg.BatchSize(1000);
+  w.batch_1000 = gen::MakeQuerySet(w.dataset, q, cfg.seed ^ 0x3E8);
+  return w;
+}
+
+/// \brief Lazily built, process-wide workload (benchmarks registered at
+/// static-init time must not build datasets eagerly).
+inline const BenchWorkload& SharedWorkload(gen::WorkloadKind kind) {
+  static const BenchWorkload* city =
+      kind == gen::WorkloadKind::kCityNames
+          ? new BenchWorkload(BuildBenchWorkload(kind))
+          : nullptr;
+  static const BenchWorkload* dna =
+      kind == gen::WorkloadKind::kDnaReads
+          ? new BenchWorkload(BuildBenchWorkload(kind))
+          : nullptr;
+  return kind == gen::WorkloadKind::kCityNames ? *city : *dna;
+}
+
+/// \brief Prints the reproducibility banner every bench binary starts with.
+inline void PrintBanner(const char* table, const BenchWorkload& w) {
+  const DatasetStats stats = w.dataset.ComputeStats();
+  std::printf("# %s\n", table);
+  std::printf(
+      "# workload=%s scale=%.4g query_scale=%.4g seed=%llu\n"
+      "# dataset: %zu strings, alphabet %zu, length %zu..%zu (avg %.1f)\n"
+      "# batches: %zu / %zu / %zu queries (paper: 100 / 500 / 1000)\n",
+      gen::ToString(w.config.kind).c_str(), w.config.data_scale,
+      w.config.query_scale,
+      static_cast<unsigned long long>(w.config.seed), stats.num_strings,
+      stats.alphabet_size, stats.min_length, stats.max_length,
+      stats.avg_length, w.batch_100.size(), w.batch_500.size(),
+      w.batch_1000.size());
+}
+
+/// \brief Times one batch execution and reports matches as a counter.
+/// The measured time covers only result computation, as in the paper (§5.2:
+/// "the time frame between reading the files have finished and the end of
+/// calculating all results").
+inline void RunBatchBenchmark(benchmark::State& state,
+                              const Searcher& searcher,
+                              const QuerySet& queries,
+                              const ExecutionOptions& exec) {
+  size_t total_matches = 0;
+  for (auto _ : state) {
+    const SearchResults results = searcher.SearchBatch(queries, exec);
+    total_matches = 0;
+    for (const auto& m : results) total_matches += m.size();
+    benchmark::DoNotOptimize(total_matches);
+  }
+  state.counters["queries"] = static_cast<double>(queries.size());
+  state.counters["matches"] = static_cast<double>(total_matches);
+}
+
+/// \brief Standard main body: banner, then google-benchmark.
+#define SSS_BENCH_MAIN(table_name, workload_kind)                           \
+  int main(int argc, char** argv) {                                        \
+    const ::sss::bench::BenchWorkload& w =                                  \
+        ::sss::bench::SharedWorkload(workload_kind);                        \
+    ::sss::bench::PrintBanner(table_name, w);                               \
+    ::benchmark::Initialize(&argc, argv);                                   \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;     \
+    ::benchmark::RunSpecifiedBenchmarks();                                  \
+    ::benchmark::Shutdown();                                                \
+    return 0;                                                               \
+  }
+
+}  // namespace sss::bench

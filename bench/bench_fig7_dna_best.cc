@@ -1,0 +1,66 @@
+// Figure 7: "best sequential solution vs. best index-based solution, DNA
+// reads" — the paper's result for hypothesis 2.
+//
+//   paper: best scan   = step 4 + 16-thread pool  → 89.53 / 413.98 / 827.32 s
+//          best index  = radix trie + 16 threads  → 71.78 / 367.95 / 753.01 s
+//
+// Expected shape: THE INDEX WINS at every query count — on long strings
+// over a 5-symbol alphabet the trie's shared-prefix pruning pays for
+// itself (the paper: the index needs only 81–91% of the scan's time).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/compressed_trie.h"
+#include "core/scan.h"
+
+namespace sss::bench {
+namespace {
+
+constexpr gen::WorkloadKind kKind = gen::WorkloadKind::kDnaReads;
+
+const SequentialScanSearcher& Scan() {
+  // Faithful to the paper's best scan: the §3.4 step-4 kernel (the banded
+  // and bit-parallel kernels are this library's extensions, ablated
+  // separately).
+  static const auto* engine = [] {
+    ScanOptions options;
+    options.verify_kernel = VerifyKernel::kPaperStep4;
+    return new SequentialScanSearcher(SharedWorkload(kKind).dataset, options);
+  }();
+  return *engine;
+}
+
+const CompressedTrieSearcher& Index() {
+  static const auto* engine =
+      new CompressedTrieSearcher(SharedWorkload(kKind).dataset,
+                                 TriePruning::kPaperRule);
+  return *engine;
+}
+
+void BM_Fig7_BestSequential(benchmark::State& state) {
+  const BenchWorkload& w = SharedWorkload(kKind);
+  RunBatchBenchmark(state, Scan(), w.Batch(static_cast<int>(state.range(0))),
+                    {ExecutionStrategy::kFixedPool, 16});  // paper pick: 16
+}
+BENCHMARK(BM_Fig7_BestSequential)
+    ->ArgNames({"queries"})
+    ->Arg(100)->Arg(500)->Arg(1000)
+    ->Unit(benchmark::kSecond)->UseRealTime()->Iterations(1);
+
+void BM_Fig7_BestIndex(benchmark::State& state) {
+  const BenchWorkload& w = SharedWorkload(kKind);
+  RunBatchBenchmark(state, Index(), w.Batch(static_cast<int>(state.range(0))),
+                    {ExecutionStrategy::kFixedPool, 16});  // paper pick: 16
+}
+BENCHMARK(BM_Fig7_BestIndex)
+    ->ArgNames({"queries"})
+    ->Arg(100)->Arg(500)->Arg(1000)
+    ->Unit(benchmark::kSecond)->UseRealTime()->Iterations(1);
+
+}  // namespace
+}  // namespace sss::bench
+
+SSS_BENCH_MAIN(
+    "Figure 7: best sequential vs. best index-based solution, DNA reads "
+    "(expected: index wins)",
+    sss::gen::WorkloadKind::kDnaReads)

@@ -1,0 +1,79 @@
+// Table I: "Overview about the data sets and their properties".
+//
+// Prints the generated datasets' statistics in the paper's layout and
+// benchmarks generation + stats computation throughput.
+//
+//   paper:  city names  400,000 strings, ca. 255 symbols, max len 64
+//           DNA         750,000 reads,   5 symbols,       len ca. 100
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace sss::bench {
+namespace {
+
+void BM_GenerateCityDataset(benchmark::State& state) {
+  const BenchConfig cfg = GetBenchConfig(gen::WorkloadKind::kCityNames);
+  gen::CityGeneratorOptions options;
+  options.num_strings = cfg.DatasetSize();
+  for (auto _ : state) {
+    Dataset d = gen::CityNameGenerator(options, cfg.seed).Generate();
+    benchmark::DoNotOptimize(d.size());
+  }
+  state.counters["strings"] = static_cast<double>(options.num_strings);
+}
+BENCHMARK(BM_GenerateCityDataset)->Unit(benchmark::kMillisecond);
+
+void BM_GenerateDnaDataset(benchmark::State& state) {
+  const BenchConfig cfg = GetBenchConfig(gen::WorkloadKind::kDnaReads);
+  gen::DnaGeneratorOptions options;
+  options.num_reads = cfg.DatasetSize();
+  for (auto _ : state) {
+    Dataset d = gen::DnaReadGenerator(options, cfg.seed).Generate();
+    benchmark::DoNotOptimize(d.size());
+  }
+  state.counters["reads"] = static_cast<double>(options.num_reads);
+}
+BENCHMARK(BM_GenerateDnaDataset)->Unit(benchmark::kMillisecond);
+
+void BM_ComputeStats(benchmark::State& state) {
+  const BenchWorkload& w = SharedWorkload(gen::WorkloadKind::kCityNames);
+  for (auto _ : state) {
+    DatasetStats stats = w.dataset.ComputeStats();
+    benchmark::DoNotOptimize(stats.alphabet_size);
+  }
+}
+BENCHMARK(BM_ComputeStats)->Unit(benchmark::kMillisecond);
+
+void PrintTableOne() {
+  const BenchWorkload& city = SharedWorkload(gen::WorkloadKind::kCityNames);
+  const BenchWorkload& dna = SharedWorkload(gen::WorkloadKind::kDnaReads);
+  const DatasetStats cs = city.dataset.ComputeStats();
+  const DatasetStats ds = dna.dataset.ComputeStats();
+  std::printf("\nTable I. Overview about the data sets and their properties\n");
+  std::printf("%-12s %12s %10s %12s %-14s\n", "", "#Data sets", "#Symbols",
+              "Length", "Edit distance");
+  std::printf("%-12s %12zu %10zu %9zu max %-14s   (paper: 400,000 / ca.255 / max 64)\n",
+              "City names", cs.num_strings, cs.alphabet_size, cs.max_length,
+              "0,1,2,3");
+  std::printf("%-12s %12zu %10zu %9.0f avg %-14s   (paper: 750,000 / 5 / ca.100)\n",
+              "DNA", ds.num_strings, ds.alphabet_size, ds.avg_length,
+              "0,4,8,16");
+}
+
+}  // namespace
+}  // namespace sss::bench
+
+int main(int argc, char** argv) {
+  const auto& city =
+      sss::bench::SharedWorkload(sss::gen::WorkloadKind::kCityNames);
+  sss::bench::PrintBanner("Table I: dataset properties", city);
+  sss::bench::PrintTableOne();
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Table II: "Management of parallelism in the sequential solution on the
+// city name data set" — the best serial scan (ladder step 4) on a fixed
+// pool of 4 / 8 / 16 / 32 threads, for the 100 / 500 / 1000 query batches.
+//
+// Paper's finding: 8 threads (≈ core count) is the optimum; 32 threads
+// oversubscribe.
+//
+//   paper (sec):        100q    500q    1000q
+//     4 threads         1.29    3.98     7.21
+//     8 threads         1.46    3.57     5.93   <- winner at 500/1000
+//     16 threads        2.29    3.86     6.17
+//     32 threads        4.56    5.48     6.98
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/scan.h"
+
+namespace sss::bench {
+namespace {
+
+constexpr gen::WorkloadKind kKind = gen::WorkloadKind::kCityNames;
+
+const SequentialScanSearcher& Engine() {
+  // Paper-faithful step-4 scan (comparable with Table III rows).
+  static const auto* engine = [] {
+    ScanOptions options;
+    options.verify_kernel = VerifyKernel::kPaperStep4;
+    return new SequentialScanSearcher(SharedWorkload(kKind).dataset, options);
+  }();
+  return *engine;
+}
+
+void BM_SeqCityThreads(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const int paper_queries = static_cast<int>(state.range(1));
+  const BenchWorkload& w = SharedWorkload(kKind);
+  RunBatchBenchmark(state, Engine(), w.Batch(paper_queries),
+                    {ExecutionStrategy::kFixedPool, threads});
+}
+BENCHMARK(BM_SeqCityThreads)
+    ->ArgNames({"threads", "queries"})
+    ->ArgsProduct({{4, 8, 16, 32}, {100, 500, 1000}})
+    ->Unit(benchmark::kSecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace sss::bench
+
+SSS_BENCH_MAIN(
+    "Table II: parallelism management, sequential solution, city names",
+    sss::gen::WorkloadKind::kCityNames)

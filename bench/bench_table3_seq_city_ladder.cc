@@ -1,0 +1,90 @@
+// Table III: "Evaluation of the sequential solution on the city name data
+// set" — the paper's six-step optimization ladder.
+//
+//   paper (sec):                         100q     500q    1000q
+//     1) base implementation            16.92    84.80   166.22
+//     2) edit-distance calculation       3.71    17.81    34.20
+//     3) value or reference              2.88    15.13    29.31
+//     4) simple data types               2.20    11.54    21.64
+//     5) parallelism (thread/query)     13.13    64.95   129.35  <- regression!
+//     6) management of parallelism       1.46     3.57     5.93
+//
+// Expected shape: monotone improvement 1→4, step 5 regresses below step 4
+// (thread create/join swamps short queries), step 6 is the overall best.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/scan.h"
+
+namespace sss::bench {
+namespace {
+
+constexpr gen::WorkloadKind kKind = gen::WorkloadKind::kCityNames;
+
+const SequentialScanSearcher& EngineForStep(int step) {
+  static const SequentialScanSearcher* engines[5] = {};
+  if (engines[step - 1] == nullptr) {
+    ScanOptions options;
+    options.step = static_cast<LadderStep>(step);
+    // Paper-faithful ladder: step 4 uses the paper's own kernel. The
+    // banded and bit-parallel kernels are this library's extensions and
+    // are measured in bench_ablation_kernels instead.
+    options.verify_kernel = VerifyKernel::kPaperStep4;
+    engines[step - 1] =
+        new SequentialScanSearcher(SharedWorkload(kKind).dataset, options);
+  }
+  return *engines[step - 1];
+}
+
+// Rows 1–4: the serial kernels.
+void BM_Ladder(benchmark::State& state) {
+  const int step = static_cast<int>(state.range(0));
+  const int paper_queries = static_cast<int>(state.range(1));
+  const BenchWorkload& w = SharedWorkload(kKind);
+  RunBatchBenchmark(state, EngineForStep(step), w.Batch(paper_queries),
+                    {ExecutionStrategy::kSerial, 0});
+}
+BENCHMARK(BM_Ladder)
+    ->ArgNames({"step", "queries"})
+    ->ArgsProduct({{1, 2, 3, 4}, {100, 500, 1000}})
+    ->Unit(benchmark::kSecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+// Row 5: parallelism done naively — one thread per query.
+void BM_Ladder_Step5_ThreadPerQuery(benchmark::State& state) {
+  const int paper_queries = static_cast<int>(state.range(0));
+  const BenchWorkload& w = SharedWorkload(kKind);
+  RunBatchBenchmark(state, EngineForStep(4), w.Batch(paper_queries),
+                    {ExecutionStrategy::kThreadPerQuery, 0});
+}
+BENCHMARK(BM_Ladder_Step5_ThreadPerQuery)
+    ->ArgNames({"queries"})
+    ->Arg(100)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Unit(benchmark::kSecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+// Row 6: managed parallelism — fixed pool at the paper's city optimum (8).
+void BM_Ladder_Step6_ManagedPool(benchmark::State& state) {
+  const int paper_queries = static_cast<int>(state.range(0));
+  const BenchWorkload& w = SharedWorkload(kKind);
+  RunBatchBenchmark(state, EngineForStep(4), w.Batch(paper_queries),
+                    {ExecutionStrategy::kFixedPool, 8});
+}
+BENCHMARK(BM_Ladder_Step6_ManagedPool)
+    ->ArgNames({"queries"})
+    ->Arg(100)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Unit(benchmark::kSecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace sss::bench
+
+SSS_BENCH_MAIN("Table III: sequential-solution ladder, city names",
+               sss::gen::WorkloadKind::kCityNames)

@@ -1,0 +1,49 @@
+// Table IV: "Management of parallelism in the index-based solution on the
+// city name data set" — the compressed trie on a fixed pool of 4 / 8 / 16 /
+// 32 threads.
+//
+//   paper (sec):        100q    500q    1000q
+//     4 threads         2.39   11.79    20.99
+//     8 threads         1.70    8.17    14.78
+//     16 threads        1.50    7.93    14.31
+//     32 threads        1.53    7.58    14.19   <- paper's pick
+//
+// Paper's finding: the curve flattens past the core count; 32 threads is
+// picked as "optimal" by a whisker.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/compressed_trie.h"
+
+namespace sss::bench {
+namespace {
+
+constexpr gen::WorkloadKind kKind = gen::WorkloadKind::kCityNames;
+
+const CompressedTrieSearcher& Engine() {
+  static const auto* engine =
+      new CompressedTrieSearcher(SharedWorkload(kKind).dataset,
+                                 TriePruning::kPaperRule);
+  return *engine;
+}
+
+void BM_IdxCityThreads(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const int paper_queries = static_cast<int>(state.range(1));
+  const BenchWorkload& w = SharedWorkload(kKind);
+  RunBatchBenchmark(state, Engine(), w.Batch(paper_queries),
+                    {ExecutionStrategy::kFixedPool, threads});
+}
+BENCHMARK(BM_IdxCityThreads)
+    ->ArgNames({"threads", "queries"})
+    ->ArgsProduct({{4, 8, 16, 32}, {100, 500, 1000}})
+    ->Unit(benchmark::kSecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace sss::bench
+
+SSS_BENCH_MAIN(
+    "Table IV: parallelism management, index-based solution, city names",
+    sss::gen::WorkloadKind::kCityNames)

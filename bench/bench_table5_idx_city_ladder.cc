@@ -1,0 +1,96 @@
+// Table V: "Evaluation of the index-based solution on the city name data
+// set" — the paper's three-step index ladder.
+//
+//   paper (sec):                         100q     500q    1000q
+//     1) base implementation (trie)      8.14    42.26    77.95
+//     2) compression (radix trie)        7.26    38.79    73.43
+//     3) management of parallelism       1.53     7.58    14.19
+//
+// Expected shape: compression helps modestly; parallelism delivers the big
+// cut. (Index build time is reported separately — the paper excludes it
+// from these numbers, timing only result computation.)
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/compressed_trie.h"
+#include "core/trie.h"
+
+namespace sss::bench {
+namespace {
+
+constexpr gen::WorkloadKind kKind = gen::WorkloadKind::kCityNames;
+
+const TrieSearcher& BasicTrie() {
+  static const auto* engine = new TrieSearcher(SharedWorkload(kKind).dataset, TriePruning::kPaperRule);
+  return *engine;
+}
+
+const CompressedTrieSearcher& RadixTrie() {
+  static const auto* engine =
+      new CompressedTrieSearcher(SharedWorkload(kKind).dataset,
+                                 TriePruning::kPaperRule);
+  return *engine;
+}
+
+// Row 1: uncompressed trie, serial.
+void BM_IdxLadder_Base(benchmark::State& state) {
+  const BenchWorkload& w = SharedWorkload(kKind);
+  RunBatchBenchmark(state, BasicTrie(),
+                    w.Batch(static_cast<int>(state.range(0))),
+                    {ExecutionStrategy::kSerial, 0});
+  state.counters["nodes"] = static_cast<double>(BasicTrie().Stats().num_nodes);
+}
+BENCHMARK(BM_IdxLadder_Base)
+    ->ArgNames({"queries"})
+    ->Arg(100)->Arg(500)->Arg(1000)
+    ->Unit(benchmark::kSecond)->UseRealTime()->Iterations(1);
+
+// Row 2: path-compressed trie, serial.
+void BM_IdxLadder_Compression(benchmark::State& state) {
+  const BenchWorkload& w = SharedWorkload(kKind);
+  RunBatchBenchmark(state, RadixTrie(),
+                    w.Batch(static_cast<int>(state.range(0))),
+                    {ExecutionStrategy::kSerial, 0});
+  state.counters["nodes"] = static_cast<double>(RadixTrie().Stats().num_nodes);
+}
+BENCHMARK(BM_IdxLadder_Compression)
+    ->ArgNames({"queries"})
+    ->Arg(100)->Arg(500)->Arg(1000)
+    ->Unit(benchmark::kSecond)->UseRealTime()->Iterations(1);
+
+// Row 3: compressed trie + managed parallelism (paper's city pick: 32).
+void BM_IdxLadder_ManagedPool(benchmark::State& state) {
+  const BenchWorkload& w = SharedWorkload(kKind);
+  RunBatchBenchmark(state, RadixTrie(),
+                    w.Batch(static_cast<int>(state.range(0))),
+                    {ExecutionStrategy::kFixedPool, 32});
+}
+BENCHMARK(BM_IdxLadder_ManagedPool)
+    ->ArgNames({"queries"})
+    ->Arg(100)->Arg(500)->Arg(1000)
+    ->Unit(benchmark::kSecond)->UseRealTime()->Iterations(1);
+
+// Build times (not a paper row; reported for completeness).
+void BM_IdxBuild_Basic(benchmark::State& state) {
+  const BenchWorkload& w = SharedWorkload(kKind);
+  for (auto _ : state) {
+    TrieSearcher trie(w.dataset, TriePruning::kPaperRule);
+    benchmark::DoNotOptimize(trie.Stats().num_nodes);
+  }
+}
+BENCHMARK(BM_IdxBuild_Basic)->Unit(benchmark::kSecond)->Iterations(1);
+
+void BM_IdxBuild_Compressed(benchmark::State& state) {
+  const BenchWorkload& w = SharedWorkload(kKind);
+  for (auto _ : state) {
+    CompressedTrieSearcher trie(w.dataset, TriePruning::kPaperRule);
+    benchmark::DoNotOptimize(trie.Stats().num_nodes);
+  }
+}
+BENCHMARK(BM_IdxBuild_Compressed)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+}  // namespace sss::bench
+
+SSS_BENCH_MAIN("Table V: index-based-solution ladder, city names",
+               sss::gen::WorkloadKind::kCityNames)

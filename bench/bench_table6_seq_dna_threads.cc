@@ -1,0 +1,52 @@
+// Table VI: "Management of parallelism in the sequential solution on the
+// DNA data set" — fixed-pool thread sweep for the scan on the long-string,
+// small-alphabet workload (k up to 16).
+//
+//   paper (sec):        100q     500q     1000q
+//     4 threads       126.17   573.94   1136.40
+//     8 threads        88.94   476.01    841.55
+//     16 threads       83.73   415.25    848.47   <- paper's pick
+//     32 threads       89.53   413.98    827.32
+//
+// Expected shape: improvement up to ≈ core count, flat afterwards.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/scan.h"
+
+namespace sss::bench {
+namespace {
+
+constexpr gen::WorkloadKind kKind = gen::WorkloadKind::kDnaReads;
+
+const SequentialScanSearcher& Engine() {
+  // The paper's step-4 configuration, so rows are comparable with Table
+  // VII; the faster library kernels are ablated separately.
+  static const auto* engine = [] {
+    ScanOptions options;
+    options.verify_kernel = VerifyKernel::kPaperStep4;
+    return new SequentialScanSearcher(SharedWorkload(kKind).dataset, options);
+  }();
+  return *engine;
+}
+
+void BM_SeqDnaThreads(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const int paper_queries = static_cast<int>(state.range(1));
+  const BenchWorkload& w = SharedWorkload(kKind);
+  RunBatchBenchmark(state, Engine(), w.Batch(paper_queries),
+                    {ExecutionStrategy::kFixedPool, threads});
+}
+BENCHMARK(BM_SeqDnaThreads)
+    ->ArgNames({"threads", "queries"})
+    ->ArgsProduct({{4, 8, 16, 32}, {100, 500, 1000}})
+    ->Unit(benchmark::kSecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace sss::bench
+
+SSS_BENCH_MAIN(
+    "Table VI: parallelism management, sequential solution, DNA reads",
+    sss::gen::WorkloadKind::kDnaReads)

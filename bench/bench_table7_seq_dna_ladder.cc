@@ -1,0 +1,121 @@
+// Table VII: "Evaluation of the sequential solution on the DNA data set" —
+// the six-step ladder on long strings.
+//
+//   paper (sec):                         100q      500q      1000q
+//     1) base implementation          ≈ half day  ≈ 1 day   ≈ 2 days (!)
+//     2) edit-distance calculation      278.45   1767.40    3191.10
+//     3) value or reference             269.45   1746.70    3110.12
+//     4) simple data types              267.42   1512.36    2833.03
+//     5) parallelism (thread/query)      88.18    434.66     905.89
+//     6) management of parallelism       89.53    413.98     827.32
+//
+// Note the differences from the city table: step 1 is so slow the paper
+// only *estimated* it (we do the same: measure a small sample and
+// extrapolate), and step 5 does NOT regress here because each DNA query is
+// expensive enough to amortize a thread spawn.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/kernels.h"
+#include "core/scan.h"
+#include "util/stopwatch.h"
+
+namespace sss::bench {
+namespace {
+
+constexpr gen::WorkloadKind kKind = gen::WorkloadKind::kDnaReads;
+
+const SequentialScanSearcher& EngineForStep(int step) {
+  static const SequentialScanSearcher* engines[5] = {};
+  if (engines[step - 1] == nullptr) {
+    ScanOptions options;
+    options.step = static_cast<LadderStep>(step);
+    options.verify_kernel = VerifyKernel::kPaperStep4;
+    engines[step - 1] =
+        new SequentialScanSearcher(SharedWorkload(kKind).dataset, options);
+  }
+  return *engines[step - 1];
+}
+
+// Row 1 is extrapolated, as in the paper: run the base kernel over a small
+// sample of (query, string) pairs and scale linearly.
+void PrintExtrapolatedBaseRow() {
+  const BenchWorkload& w = SharedWorkload(kKind);
+  const size_t sample_strings = std::min<size_t>(w.dataset.size(), 300);
+  const size_t sample_queries = std::min<size_t>(w.batch_100.size(), 3);
+  Dataset sample("sample", AlphabetKind::kDna);
+  for (size_t i = 0; i < sample_strings; ++i) sample.Add(w.dataset.View(i));
+
+  EditDistanceWorkspace ws;
+  Stopwatch timer;
+  for (size_t qi = 0; qi < sample_queries; ++qi) {
+    benchmark::DoNotOptimize(
+        RunLadderKernel(sample, w.batch_100[qi], LadderStep::kBase, &ws));
+  }
+  const double sample_seconds = timer.ElapsedSeconds();
+  const double per_pair =
+      sample_seconds /
+      static_cast<double>(sample_strings * sample_queries);
+  std::printf(
+      "# Row 1 (base implementation), extrapolated as in the paper:\n");
+  for (int count : {100, 500, 1000}) {
+    const double est = per_pair * static_cast<double>(w.dataset.size()) *
+                       static_cast<double>(w.Batch(count).size());
+    std::printf("#   %4d queries: ~%.1f s (estimated from %zux%zu sample)\n",
+                count, est, sample_strings, sample_queries);
+  }
+}
+
+void BM_DnaLadder(benchmark::State& state) {
+  const int step = static_cast<int>(state.range(0));
+  const int paper_queries = static_cast<int>(state.range(1));
+  const BenchWorkload& w = SharedWorkload(kKind);
+  RunBatchBenchmark(state, EngineForStep(step), w.Batch(paper_queries),
+                    {ExecutionStrategy::kSerial, 0});
+}
+BENCHMARK(BM_DnaLadder)
+    ->ArgNames({"step", "queries"})
+    ->ArgsProduct({{2, 3, 4}, {100, 500, 1000}})
+    ->Unit(benchmark::kSecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+void BM_DnaLadder_Step5_ThreadPerQuery(benchmark::State& state) {
+  const int paper_queries = static_cast<int>(state.range(0));
+  const BenchWorkload& w = SharedWorkload(kKind);
+  RunBatchBenchmark(state, EngineForStep(4), w.Batch(paper_queries),
+                    {ExecutionStrategy::kThreadPerQuery, 0});
+}
+BENCHMARK(BM_DnaLadder_Step5_ThreadPerQuery)
+    ->ArgNames({"queries"})
+    ->Arg(100)->Arg(500)->Arg(1000)
+    ->Unit(benchmark::kSecond)->UseRealTime()->Iterations(1);
+
+// Row 6: fixed pool at the paper's DNA optimum (16).
+void BM_DnaLadder_Step6_ManagedPool(benchmark::State& state) {
+  const int paper_queries = static_cast<int>(state.range(0));
+  const BenchWorkload& w = SharedWorkload(kKind);
+  RunBatchBenchmark(state, EngineForStep(4), w.Batch(paper_queries),
+                    {ExecutionStrategy::kFixedPool, 16});
+}
+BENCHMARK(BM_DnaLadder_Step6_ManagedPool)
+    ->ArgNames({"queries"})
+    ->Arg(100)->Arg(500)->Arg(1000)
+    ->Unit(benchmark::kSecond)->UseRealTime()->Iterations(1);
+
+}  // namespace
+}  // namespace sss::bench
+
+int main(int argc, char** argv) {
+  const auto& w = sss::bench::SharedWorkload(sss::gen::WorkloadKind::kDnaReads);
+  sss::bench::PrintBanner("Table VII: sequential-solution ladder, DNA reads",
+                          w);
+  sss::bench::PrintExtrapolatedBaseRow();
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

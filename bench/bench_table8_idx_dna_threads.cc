@@ -1,0 +1,45 @@
+// Table VIII: "Management of parallelism in the index-based solution on the
+// DNA data set" — the compressed trie under the fixed-pool thread sweep.
+//
+//   paper (sec):        100q     500q    1000q
+//     4 threads        118.31   545.35  1094.73
+//     8 threads         76.60   419.59   823.76
+//     16 threads        71.78   367.95   753.01   <- paper's pick
+//     32 threads        72.62   370.21   768.96
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/compressed_trie.h"
+
+namespace sss::bench {
+namespace {
+
+constexpr gen::WorkloadKind kKind = gen::WorkloadKind::kDnaReads;
+
+const CompressedTrieSearcher& Engine() {
+  static const auto* engine =
+      new CompressedTrieSearcher(SharedWorkload(kKind).dataset,
+                                 TriePruning::kPaperRule);
+  return *engine;
+}
+
+void BM_IdxDnaThreads(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const int paper_queries = static_cast<int>(state.range(1));
+  const BenchWorkload& w = SharedWorkload(kKind);
+  RunBatchBenchmark(state, Engine(), w.Batch(paper_queries),
+                    {ExecutionStrategy::kFixedPool, threads});
+}
+BENCHMARK(BM_IdxDnaThreads)
+    ->ArgNames({"threads", "queries"})
+    ->ArgsProduct({{4, 8, 16, 32}, {100, 500, 1000}})
+    ->Unit(benchmark::kSecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace sss::bench
+
+SSS_BENCH_MAIN(
+    "Table VIII: parallelism management, index-based solution, DNA reads",
+    sss::gen::WorkloadKind::kDnaReads)

@@ -1,0 +1,75 @@
+// Table IX: "Evaluation of the index-based solution on the DNA data set" —
+// the three-step index ladder on long strings.
+//
+//   paper (sec):                         100q      500q     1000q
+//     1) base implementation (trie)     876.48   4355.42   8686.65
+//     2) compression (radix trie)       352.24   1737.44   3450.47
+//     3) management of parallelism       71.78    367.95    753.01
+//
+// Expected shape: compression matters far more here than on city names
+// (deep chains of single-child nodes in read data), then parallelism cuts
+// the rest.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/compressed_trie.h"
+#include "core/trie.h"
+
+namespace sss::bench {
+namespace {
+
+constexpr gen::WorkloadKind kKind = gen::WorkloadKind::kDnaReads;
+
+const TrieSearcher& BasicTrie() {
+  static const auto* engine = new TrieSearcher(SharedWorkload(kKind).dataset, TriePruning::kPaperRule);
+  return *engine;
+}
+
+const CompressedTrieSearcher& RadixTrie() {
+  static const auto* engine =
+      new CompressedTrieSearcher(SharedWorkload(kKind).dataset,
+                                 TriePruning::kPaperRule);
+  return *engine;
+}
+
+void BM_IdxDnaLadder_Base(benchmark::State& state) {
+  const BenchWorkload& w = SharedWorkload(kKind);
+  RunBatchBenchmark(state, BasicTrie(),
+                    w.Batch(static_cast<int>(state.range(0))),
+                    {ExecutionStrategy::kSerial, 0});
+  state.counters["nodes"] = static_cast<double>(BasicTrie().Stats().num_nodes);
+}
+BENCHMARK(BM_IdxDnaLadder_Base)
+    ->ArgNames({"queries"})
+    ->Arg(100)->Arg(500)->Arg(1000)
+    ->Unit(benchmark::kSecond)->UseRealTime()->Iterations(1);
+
+void BM_IdxDnaLadder_Compression(benchmark::State& state) {
+  const BenchWorkload& w = SharedWorkload(kKind);
+  RunBatchBenchmark(state, RadixTrie(),
+                    w.Batch(static_cast<int>(state.range(0))),
+                    {ExecutionStrategy::kSerial, 0});
+  state.counters["nodes"] = static_cast<double>(RadixTrie().Stats().num_nodes);
+}
+BENCHMARK(BM_IdxDnaLadder_Compression)
+    ->ArgNames({"queries"})
+    ->Arg(100)->Arg(500)->Arg(1000)
+    ->Unit(benchmark::kSecond)->UseRealTime()->Iterations(1);
+
+// Row 3: compressed trie + the paper's DNA optimum (16 threads).
+void BM_IdxDnaLadder_ManagedPool(benchmark::State& state) {
+  const BenchWorkload& w = SharedWorkload(kKind);
+  RunBatchBenchmark(state, RadixTrie(),
+                    w.Batch(static_cast<int>(state.range(0))),
+                    {ExecutionStrategy::kFixedPool, 16});
+}
+BENCHMARK(BM_IdxDnaLadder_ManagedPool)
+    ->ArgNames({"queries"})
+    ->Arg(100)->Arg(500)->Arg(1000)
+    ->Unit(benchmark::kSecond)->UseRealTime()->Iterations(1);
+
+}  // namespace
+}  // namespace sss::bench
+
+SSS_BENCH_MAIN("Table IX: index-based-solution ladder, DNA reads",
+               sss::gen::WorkloadKind::kDnaReads)

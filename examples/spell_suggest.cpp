@@ -1,0 +1,67 @@
+// Spelling suggestions — the paper's §1 motivation ("the application has to
+// be tolerant against input errors") as a ranked-search application.
+//
+// Builds a city-name dictionary, then for each misspelled input prints the
+// closest suggestions via NearestNeighbors (iterative-deepening on the
+// compressed trie), exactly how a "did you mean ...?" box works.
+//
+// Usage: spell_suggest [dictionary_size] [word ...]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/compressed_trie.h"
+#include "core/ranked.h"
+#include "gen/city_generator.h"
+#include "util/stopwatch.h"
+
+int main(int argc, char** argv) {
+  const size_t dict_size =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
+
+  sss::gen::CityGeneratorOptions options;
+  options.num_strings = dict_size;
+  options.accent_prob = 0;          // ASCII dictionary for readable output
+  options.exotic_string_prob = 0;
+  sss::Dataset dictionary =
+      sss::gen::CityNameGenerator(options, /*seed=*/20).Generate();
+
+  sss::Stopwatch build_timer;
+  sss::CompressedTrieSearcher index(dictionary);
+  std::printf("dictionary: %zu entries, index built in %.0f ms\n",
+              dictionary.size(), build_timer.ElapsedMillis());
+
+  // Misspell a few dictionary words (or take words from the command line).
+  std::vector<std::string> inputs;
+  for (int i = 2; i < argc; ++i) inputs.emplace_back(argv[i]);
+  if (inputs.empty()) {
+    for (size_t id = 0; id < 6; ++id) {
+      std::string word(dictionary.View(id * 97 % dictionary.size()));
+      if (word.size() > 2) {
+        word[word.size() / 2] = 'x';       // one typo
+        word.erase(word.begin());          // and one dropped letter
+      }
+      inputs.push_back(word);
+    }
+  }
+
+  for (const std::string& input : inputs) {
+    sss::Stopwatch timer;
+    const auto suggestions = sss::NearestNeighbors(
+        index, dictionary, input, /*n=*/3,
+        /*max_radius=*/static_cast<int>(input.size()) + 2);
+    std::printf("\"%s\" -> ", input.c_str());
+    if (suggestions.empty()) {
+      std::printf("(no suggestion)");
+    }
+    for (size_t i = 0; i < suggestions.size(); ++i) {
+      const auto view = dictionary.View(suggestions[i].id);
+      std::printf("%s%.*s (d=%d)", i == 0 ? "" : ", ",
+                  static_cast<int>(view.size()), view.data(),
+                  suggestions[i].distance);
+    }
+    std::printf("   [%.2f ms]\n", timer.ElapsedMillis());
+  }
+  return 0;
+}

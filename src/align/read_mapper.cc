@@ -1,0 +1,158 @@
+#include "align/read_mapper.h"
+
+#include <algorithm>
+
+#include "core/partition_index.h"
+#include "util/macros.h"
+
+namespace sss::align {
+
+int InfixEditDistance(std::string_view read, std::string_view window,
+                      int k) {
+  SSS_DCHECK(k >= 0);
+  if (read.empty()) return 0;  // the empty infix matches anywhere
+  // Semi-global DP: rows over the read, columns over the window. The top
+  // row is all zeros (the alignment may start at any window position) and
+  // the answer is the minimum of the bottom row (it may end anywhere).
+  const size_t lr = read.size();
+  const size_t lw = window.size();
+  const int inf = k + 1;
+  thread_local std::vector<int> prev_storage, cur_storage;
+  prev_storage.assign(lw + 1, 0);  // free start
+  cur_storage.assign(lw + 1, 0);
+  int* prev = prev_storage.data();
+  int* cur = cur_storage.data();
+
+  for (size_t i = 1; i <= lr; ++i) {
+    cur[0] = static_cast<int>(i);  // starting before the window costs
+    int row_min = cur[0];
+    const char ri = read[i - 1];
+    for (size_t j = 1; j <= lw; ++j) {
+      int v;
+      if (ri == window[j - 1]) {
+        v = prev[j - 1];
+      } else {
+        int m = prev[j] < cur[j - 1] ? prev[j] : cur[j - 1];
+        if (prev[j - 1] < m) m = prev[j - 1];
+        v = m + 1;
+        if (v > inf) v = inf;
+      }
+      cur[j] = v;
+      if (v < row_min) row_min = v;
+    }
+    if (row_min > k) return inf;  // no placement can recover
+    std::swap(prev, cur);
+  }
+  int best = inf;
+  for (size_t j = 0; j <= lw; ++j) best = std::min(best, prev[j]);
+  return best;
+}
+
+std::string ReverseComplement(std::string_view dna) {
+  std::string out;
+  out.reserve(dna.size());
+  for (size_t i = dna.size(); i-- > 0;) {
+    switch (dna[i]) {
+      case 'A': out.push_back('T'); break;
+      case 'T': out.push_back('A'); break;
+      case 'C': out.push_back('G'); break;
+      case 'G': out.push_back('C'); break;
+      default:  out.push_back('N'); break;
+    }
+  }
+  return out;
+}
+
+ReadMapper::ReadMapper(std::string genome, ReadMapperOptions options)
+    : sa_(std::move(genome)), options_(options) {
+  SSS_CHECK(options_.max_distance >= 0);
+}
+
+void ReadMapper::CollectCandidates(std::string_view read,
+                                   std::vector<uint32_t>* starts) const {
+  const int pieces = options_.max_distance + 1;
+  const std::vector<size_t> bounds =
+      PartitionIndexSearcher::PieceBounds(read.size(), pieces);
+  const size_t genome_len = sa_.text().size();
+  for (int j = 0; j < pieces; ++j) {
+    const size_t seed_begin = bounds[j];
+    const size_t seed_len = bounds[j + 1] - bounds[j];
+    if (seed_len == 0) continue;
+    const std::string_view seed = read.substr(seed_begin, seed_len);
+    const auto [lo, hi] = sa_.EqualRange(seed);
+    if (options_.max_seed_hits > 0 &&
+        hi - lo > options_.max_seed_hits) {
+      continue;  // repeat-masked seed
+    }
+    for (size_t slot = lo; slot < hi; ++slot) {
+      const size_t occurrence = sa_.At(slot);
+      // The read would start k before/after (occurrence − seed offset);
+      // one window start per occurrence, clamped into the genome.
+      const size_t ideal =
+          occurrence >= seed_begin ? occurrence - seed_begin : 0;
+      const size_t start =
+          ideal >= static_cast<size_t>(options_.max_distance)
+              ? ideal - static_cast<size_t>(options_.max_distance)
+              : 0;
+      if (start < genome_len) {
+        starts->push_back(static_cast<uint32_t>(start));
+      }
+    }
+  }
+  std::sort(starts->begin(), starts->end());
+  starts->erase(std::unique(starts->begin(), starts->end()), starts->end());
+}
+
+void ReadMapper::VerifyStrand(std::string_view read, bool reverse,
+                              std::vector<Mapping>* out) const {
+  thread_local std::vector<uint32_t> starts;
+  starts.clear();
+  CollectCandidates(read, &starts);
+  const int k = options_.max_distance;
+  const std::string_view genome = sa_.text();
+  const size_t window_len = read.size() + 2 * static_cast<size_t>(k);
+
+  // Candidate windows overlap; dedupe verified hits by rounding to the
+  // window grid later — here every candidate is verified independently.
+  for (uint32_t start : starts) {
+    const std::string_view window =
+        genome.substr(start, std::min(window_len, genome.size() - start));
+    const int d = InfixEditDistance(read, window, k);
+    if (d <= k) {
+      out->push_back(Mapping{start, d, reverse});
+    }
+  }
+}
+
+std::vector<Mapping> ReadMapper::Map(std::string_view read) const {
+  std::vector<Mapping> out;
+  VerifyStrand(read, /*reverse=*/false, &out);
+  if (options_.map_reverse_strand) {
+    const std::string rc = ReverseComplement(read);
+    VerifyStrand(rc, /*reverse=*/true, &out);
+  }
+  std::sort(out.begin(), out.end());
+  // Collapse near-identical placements (windows shifted by ≤ 2k around the
+  // same locus report the same alignment).
+  std::vector<Mapping> dedup;
+  const uint32_t merge_radius = 2 * static_cast<uint32_t>(
+                                        options_.max_distance) + 1;
+  for (const Mapping& m : out) {
+    bool duplicate = false;
+    for (const Mapping& kept : dedup) {
+      const uint32_t delta = m.position > kept.position
+                                 ? m.position - kept.position
+                                 : kept.position - m.position;
+      if (m.reverse_strand == kept.reverse_strand &&
+          delta <= merge_radius) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) dedup.push_back(m);
+    if (dedup.size() >= options_.max_mappings) break;
+  }
+  return dedup;
+}
+
+}  // namespace sss::align

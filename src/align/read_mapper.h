@@ -1,0 +1,91 @@
+// ReadMapper — approximate substring search of reads against a reference
+// genome, the application behind the paper's DNA workload ([1] in its
+// bibliography is a read-mapping paper). Combines the repository's two
+// related-work ideas: Navarro-style *query splitting over a suffix array*
+// for candidate generation, and banded DP verification.
+//
+// Pipeline per read:
+//   1. split the read into k+1 seeds (pigeonhole: ≤ k errors leave at
+//      least one seed exact);
+//   2. find each seed's exact occurrences via the suffix array;
+//   3. each occurrence implies a candidate genome window; verify the read
+//      against the window with a semi-global (infix) banded DP that allows
+//      the read to start/end anywhere inside the window;
+//   4. optionally repeat on the reverse complement; report the best hits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "align/suffix_array.h"
+
+namespace sss::align {
+
+/// \brief One mapping of a read onto the reference.
+struct Mapping {
+  /// Genome position the read's best alignment starts at (approximate to
+  /// within the window placement; exact for error-free reads).
+  uint32_t position = 0;
+  /// Edit distance of the best alignment (substitutions + indels).
+  int distance = 0;
+  /// True if the read aligned as its reverse complement.
+  bool reverse_strand = false;
+
+  bool operator==(const Mapping&) const = default;
+  bool operator<(const Mapping& other) const {
+    return distance < other.distance ||
+           (distance == other.distance && position < other.position);
+  }
+};
+
+/// \brief Mapper configuration.
+struct ReadMapperOptions {
+  /// Maximum edit distance of a reported mapping.
+  int max_distance = 4;
+  /// Also try the reverse complement of each read.
+  bool map_reverse_strand = true;
+  /// Report at most this many mappings per read (best first).
+  size_t max_mappings = 4;
+  /// Seeds whose occurrence count exceeds this are skipped as repeats
+  /// (classic mapper heuristic; 0 = no limit). Skipping can only lose
+  /// candidates that other seeds usually re-find — accuracy is measured in
+  /// the example/bench, not assumed.
+  size_t max_seed_hits = 256;
+};
+
+/// \brief Semi-global ("infix") bounded edit distance: the minimum edit
+/// distance between `read` and any substring of `window`. Returns a value
+/// > k when every placement exceeds k. Exposed for tests.
+int InfixEditDistance(std::string_view read, std::string_view window, int k);
+
+/// \brief Reverse complement of a DNA string (N maps to N).
+std::string ReverseComplement(std::string_view dna);
+
+/// \brief Maps reads against one reference sequence.
+class ReadMapper {
+ public:
+  /// Builds the suffix array over `genome` (copied).
+  ReadMapper(std::string genome, ReadMapperOptions options = {});
+
+  /// \brief Best mappings for `read`, ordered by (distance, position).
+  std::vector<Mapping> Map(std::string_view read) const;
+
+  const SuffixArray& index() const noexcept { return sa_; }
+  const ReadMapperOptions& options() const noexcept { return options_; }
+
+ private:
+  /// Collects candidate window start positions for one strand.
+  void CollectCandidates(std::string_view read,
+                         std::vector<uint32_t>* starts) const;
+
+  /// Verifies candidates of one strand and appends mappings.
+  void VerifyStrand(std::string_view read, bool reverse,
+                    std::vector<Mapping>* out) const;
+
+  SuffixArray sa_;
+  ReadMapperOptions options_;
+};
+
+}  // namespace sss::align

@@ -1,0 +1,87 @@
+#include "align/suffix_array.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sss::align {
+
+SuffixArray::SuffixArray(std::string text) : text_(std::move(text)) {
+  const size_t n = text_.size();
+  sa_.resize(n);
+  std::iota(sa_.begin(), sa_.end(), 0u);
+  if (n == 0) return;
+
+  // Prefix doubling: rank[i] orders suffixes by their first `len` chars;
+  // each round doubles `len` by sorting on (rank[i], rank[i + len]).
+  std::vector<uint32_t> rank(n), next_rank(n);
+  for (size_t i = 0; i < n; ++i) {
+    rank[i] = static_cast<unsigned char>(text_[i]);
+  }
+
+  std::vector<uint32_t> key2(n);
+  for (size_t len = 1;; len <<= 1) {
+    const auto sort_key2 = [&](uint32_t i) -> uint32_t {
+      return i + len < n ? rank[i + len] + 1 : 0;  // 0 = past the end
+    };
+    for (size_t i = 0; i < n; ++i) key2[i] = sort_key2(static_cast<uint32_t>(i));
+
+    std::sort(sa_.begin(), sa_.end(), [&](uint32_t a, uint32_t b) {
+      return rank[a] != rank[b] ? rank[a] < rank[b] : key2[a] < key2[b];
+    });
+
+    next_rank[sa_[0]] = 0;
+    for (size_t i = 1; i < n; ++i) {
+      const uint32_t prev = sa_[i - 1];
+      const uint32_t cur = sa_[i];
+      const bool same = rank[prev] == rank[cur] && key2[prev] == key2[cur];
+      next_rank[cur] = next_rank[prev] + (same ? 0 : 1);
+    }
+    rank.swap(next_rank);
+    if (rank[sa_[n - 1]] == n - 1) break;  // all ranks distinct: done
+  }
+}
+
+std::pair<size_t, size_t> SuffixArray::EqualRange(
+    std::string_view pattern) const {
+  // Binary search on the sorted suffixes; a suffix "matches" when its first
+  // |pattern| characters equal the pattern.
+  const auto suffix = [&](size_t slot) -> std::string_view {
+    return std::string_view(text_).substr(sa_[slot]);
+  };
+  const auto less_than_pattern = [&](size_t slot) {
+    return suffix(slot).substr(0, pattern.size()) < pattern;
+  };
+
+  size_t lo = 0, hi = sa_.size();
+  // Lower bound: first suffix whose prefix is >= pattern.
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (less_than_pattern(mid)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  const size_t begin = lo;
+  // Upper bound: first suffix whose prefix is > pattern.
+  hi = sa_.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (suffix(mid).substr(0, pattern.size()) <= pattern) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return {begin, lo};
+}
+
+std::vector<uint32_t> SuffixArray::Occurrences(
+    std::string_view pattern) const {
+  const auto [lo, hi] = EqualRange(pattern);
+  std::vector<uint32_t> positions(sa_.begin() + lo, sa_.begin() + hi);
+  std::sort(positions.begin(), positions.end());
+  return positions;
+}
+
+}  // namespace sss::align

@@ -1,0 +1,63 @@
+// Suffix array over a text, the index structure the paper's related work
+// (Navarro et al., §2.3) builds its approximate-substring solution on: "the
+// index can only reach a maximum size of four times of the number of
+// strings" and is faster than suffix trees for all but very short strings.
+//
+// Construction is the prefix-doubling algorithm (O(n log² n) with plain
+// sorts): deliberately simple, allocation-light, and fast enough for the
+// multi-megabyte genomes the read-mapping substrate works on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace sss::align {
+
+/// \brief An immutable suffix array with exact-pattern search.
+class SuffixArray {
+ public:
+  /// Builds the array over `text`. The text is copied (the array must stay
+  /// valid independently of the caller's buffer).
+  explicit SuffixArray(std::string text);
+
+  /// \brief The indexed text.
+  const std::string& text() const noexcept { return text_; }
+
+  size_t size() const noexcept { return sa_.size(); }
+
+  /// \brief The i-th smallest suffix's starting position.
+  uint32_t At(size_t i) const noexcept {
+    SSS_DCHECK(i < sa_.size());
+    return sa_[i];
+  }
+
+  /// \brief Half-open range [lo, hi) of suffix-array slots whose suffixes
+  /// start with `pattern` (lo == hi when absent).
+  std::pair<size_t, size_t> EqualRange(std::string_view pattern) const;
+
+  /// \brief All starting positions of `pattern` in the text, ascending.
+  std::vector<uint32_t> Occurrences(std::string_view pattern) const;
+
+  /// \brief Number of occurrences of `pattern`.
+  size_t Count(std::string_view pattern) const {
+    const auto [lo, hi] = EqualRange(pattern);
+    return hi - lo;
+  }
+
+  /// \brief Bytes of index storage (the related work's 4n claim: one
+  /// 4-byte rank per text byte).
+  size_t memory_bytes() const noexcept {
+    return sa_.size() * sizeof(uint32_t);
+  }
+
+ private:
+  std::string text_;
+  std::vector<uint32_t> sa_;
+};
+
+}  // namespace sss::align

@@ -1,0 +1,59 @@
+#include "core/auto_searcher.h"
+
+namespace sss {
+
+AutoSearcher::AutoSearcher(const Dataset& dataset,
+                           AutoSearcherOptions options)
+    : dataset_(dataset), options_(options) {
+  const DatasetStats stats = dataset.ComputeStats();
+  avg_length_ = stats.avg_length;
+  // Hypotheses of §2.4: long strings + small alphabet → index wins;
+  // short strings + large alphabet → scan wins. Both conditions must hold
+  // for the index, mirroring the paper's DNA profile.
+  prefers_index_ =
+      stats.avg_length >= options_.long_string_threshold &&
+      stats.alphabet_size <= options_.narrow_alphabet_threshold;
+}
+
+const SequentialScanSearcher& AutoSearcher::Scan() const {
+  std::lock_guard<std::mutex> lock(build_mu_);
+  if (scan_ == nullptr) {
+    scan_ = std::make_unique<SequentialScanSearcher>(dataset_, ScanOptions{});
+  }
+  return *scan_;
+}
+
+const CompressedTrieSearcher& AutoSearcher::Trie() const {
+  std::lock_guard<std::mutex> lock(build_mu_);
+  if (trie_ == nullptr) {
+    trie_ = std::make_unique<CompressedTrieSearcher>(dataset_);
+  }
+  return *trie_;
+}
+
+std::string_view AutoSearcher::RouteFor(int k) const noexcept {
+  if (!prefers_index_) return "scan";
+  // Even on index-friendly data, a huge band makes the trie explore nearly
+  // everything while paying traversal overhead; route those to the scan.
+  if (avg_length_ > 0 &&
+      static_cast<double>(k) / avg_length_ > options_.high_k_ratio) {
+    return "scan";
+  }
+  return "trie";
+}
+
+MatchList AutoSearcher::Search(const Query& query) const {
+  return RouteFor(query.max_distance) == std::string_view("trie")
+             ? Trie().Search(query)
+             : Scan().Search(query);
+}
+
+size_t AutoSearcher::memory_bytes() const {
+  std::lock_guard<std::mutex> lock(build_mu_);
+  size_t bytes = 0;
+  if (scan_) bytes += scan_->memory_bytes();
+  if (trie_) bytes += trie_->memory_bytes();
+  return bytes;
+}
+
+}  // namespace sss

@@ -1,0 +1,69 @@
+// AutoSearcher — the paper's conclusion, executable: "the index-based
+// solution takes less time on the DNA data set, but more time on the city
+// name data set". This engine inspects the dataset's shape once at build
+// time (average length, alphabet size — the exact properties §2.4's
+// hypotheses are stated over) and routes every query to the predicted
+// winner: the optimized sequential scan for short/wide-alphabet data, the
+// compressed trie for long/narrow-alphabet data.
+//
+// Both engines are built lazily on first use, so the loser costs nothing
+// unless the heuristic ever flips (it can, per query: very large k favors
+// the scan even on long strings).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/compressed_trie.h"
+#include "core/scan.h"
+#include "core/searcher.h"
+#include "io/dataset.h"
+
+namespace sss {
+
+/// \brief Routing thresholds, defaulted from the paper's two workloads.
+struct AutoSearcherOptions {
+  /// Average string length above which the trie is predicted to win
+  /// (city names avg ≈ 8, DNA ≈ 100; the crossover sits well between).
+  double long_string_threshold = 48.0;
+  /// Alphabet size below which prefix sharing is dense enough for the trie.
+  size_t narrow_alphabet_threshold = 16;
+  /// Relative threshold k / avg_len above which the trie's band is so wide
+  /// the scan wins regardless (the banded trie degrades toward a scan with
+  /// overhead).
+  double high_k_ratio = 0.5;
+};
+
+/// \brief Engine that picks scan or trie per the paper's findings.
+class AutoSearcher final : public Searcher {
+ public:
+  explicit AutoSearcher(const Dataset& dataset,
+                        AutoSearcherOptions options = {});
+
+  MatchList Search(const Query& query) const override;
+  std::string name() const override { return "auto"; }
+  size_t memory_bytes() const override;
+
+  /// \brief True iff the trie is the dataset-level prediction (what a
+  /// k-independent router would always use). Exposed for tests.
+  bool PrefersIndex() const noexcept { return prefers_index_; }
+
+  /// \brief The engine a query with threshold k routes to ("scan"/"trie").
+  std::string_view RouteFor(int k) const noexcept;
+
+ private:
+  const SequentialScanSearcher& Scan() const;
+  const CompressedTrieSearcher& Trie() const;
+
+  const Dataset& dataset_;
+  AutoSearcherOptions options_;
+  double avg_length_ = 0;
+  bool prefers_index_ = false;
+
+  mutable std::mutex build_mu_;
+  mutable std::unique_ptr<SequentialScanSearcher> scan_;
+  mutable std::unique_ptr<CompressedTrieSearcher> trie_;
+};
+
+}  // namespace sss

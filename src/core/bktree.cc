@@ -1,0 +1,129 @@
+#include "core/bktree.h"
+
+#include <algorithm>
+
+#include "core/edit_distance.h"
+#include "util/macros.h"
+
+namespace sss {
+
+namespace {
+
+// Exact distance for tree construction and descent. The tree needs true
+// distances (not bounded verdicts), so this uses the unbounded bit-parallel
+// kernel.
+int ExactDistance(std::string_view a, std::string_view b,
+                  EditDistanceWorkspace* ws) {
+  if (a.empty()) return static_cast<int>(b.size());
+  return MyersEditDistanceBlocked(a, b, ws);
+}
+
+}  // namespace
+
+BKTreeSearcher::BKTreeSearcher(const Dataset& dataset) : dataset_(dataset) {
+  for (size_t id = 0; id < dataset_.size(); ++id) {
+    Insert(static_cast<uint32_t>(id));
+  }
+}
+
+size_t BKTreeSearcher::EdgeSlot(const Node& node, uint16_t d) const {
+  const auto it = std::lower_bound(
+      node.children.begin(), node.children.end(), d,
+      [](const auto& edge, uint16_t key) { return edge.first < key; });
+  if (it == node.children.end() || it->first != d) {
+    return static_cast<size_t>(-1);
+  }
+  return static_cast<size_t>(it - node.children.begin());
+}
+
+void BKTreeSearcher::Insert(uint32_t id) {
+  thread_local EditDistanceWorkspace ws;
+  if (nodes_.empty()) {
+    nodes_.push_back(Node{id, {}, {}});
+    return;
+  }
+  const std::string_view s = dataset_.View(id);
+  uint32_t cur = 0;
+  for (;;) {
+    const int d = ExactDistance(dataset_.View(nodes_[cur].pivot_id), s, &ws);
+    if (d == 0) {
+      nodes_[cur].dup_ids.push_back(id);  // identical text
+      return;
+    }
+    const size_t slot = EdgeSlot(nodes_[cur], static_cast<uint16_t>(d));
+    if (slot == static_cast<size_t>(-1)) {
+      const uint32_t fresh = static_cast<uint32_t>(nodes_.size());
+      nodes_.push_back(Node{id, {}, {}});
+      Node& parent = nodes_[cur];
+      const auto it = std::lower_bound(
+          parent.children.begin(), parent.children.end(),
+          static_cast<uint16_t>(d),
+          [](const auto& edge, uint16_t key) { return edge.first < key; });
+      parent.children.insert(it, {static_cast<uint16_t>(d), fresh});
+      return;
+    }
+    cur = nodes_[cur].children[slot].second;
+  }
+}
+
+MatchList BKTreeSearcher::Search(const Query& query) const {
+  MatchList out;
+  if (nodes_.empty()) return out;
+  const int k = query.max_distance;
+  thread_local EditDistanceWorkspace ws;
+
+  std::vector<uint32_t> stack;
+  stack.push_back(0);
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    const int d =
+        ExactDistance(query.text, dataset_.View(node.pivot_id), &ws);
+    if (d <= k) {
+      out.push_back(node.pivot_id);
+      out.insert(out.end(), node.dup_ids.begin(), node.dup_ids.end());
+    }
+    // Triangle inequality: a match at distance ≤ k from q lies at distance
+    // within [d − k, d + k] of the pivot.
+    const int lo = d - k;
+    const int hi = d + k;
+    const auto begin = std::lower_bound(
+        node.children.begin(), node.children.end(),
+        static_cast<uint16_t>(std::max(0, lo)),
+        [](const auto& edge, uint16_t key) { return edge.first < key; });
+    for (auto it = begin;
+         it != node.children.end() && static_cast<int>(it->first) <= hi;
+         ++it) {
+      stack.push_back(it->second);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t BKTreeSearcher::memory_bytes() const {
+  size_t bytes = nodes_.size() * sizeof(Node);
+  for (const Node& n : nodes_) {
+    bytes += n.children.capacity() * sizeof(n.children[0]) +
+             n.dup_ids.capacity() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+size_t BKTreeSearcher::MaxDepth() const {
+  if (nodes_.empty()) return 0;
+  // Iterative depth computation over (node, depth).
+  size_t max_depth = 1;
+  std::vector<std::pair<uint32_t, size_t>> stack = {{0, 1}};
+  while (!stack.empty()) {
+    const auto [idx, depth] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, depth);
+    for (const auto& [dist, child] : nodes_[idx].children) {
+      stack.push_back({child, depth + 1});
+    }
+  }
+  return max_depth;
+}
+
+}  // namespace sss

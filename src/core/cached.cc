@@ -1,0 +1,67 @@
+#include "core/cached.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace sss {
+
+CachedSearcher::CachedSearcher(const Searcher* inner, size_t capacity)
+    : inner_(inner), capacity_(std::max<size_t>(1, capacity)) {
+  SSS_CHECK(inner != nullptr);
+}
+
+MatchList CachedSearcher::Search(const Query& query) const {
+  Key key{query.text, query.max_distance};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++hits_;
+      // Refresh recency.
+      lru_.splice(lru_.begin(), lru_, it->second.lru_slot);
+      return it->second.results;
+    }
+    ++misses_;
+  }
+
+  // Miss: compute outside the lock so concurrent distinct queries overlap.
+  MatchList results = inner_->Search(query);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cache_.find(key) == cache_.end()) {
+      lru_.push_front(key);
+      cache_[std::move(key)] = Entry{results, lru_.begin()};
+      if (cache_.size() > capacity_) {
+        const Key& victim = lru_.back();
+        cache_.erase(victim);
+        lru_.pop_back();
+      }
+    }
+  }
+  return results;
+}
+
+size_t CachedSearcher::entries() const noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+size_t CachedSearcher::memory_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t bytes = inner_->memory_bytes();
+  for (const auto& [key, entry] : cache_) {
+    bytes += key.text.size() + entry.results.size() * sizeof(uint32_t) +
+             sizeof(Entry) + sizeof(Key);
+  }
+  return bytes;
+}
+
+void CachedSearcher::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+  lru_.clear();
+}
+
+}  // namespace sss

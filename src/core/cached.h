@@ -1,0 +1,66 @@
+// CachedSearcher — an LRU result cache in front of any engine. Interactive
+// workloads (the paper's §1 applications: search boxes tolerating typos)
+// repeat queries heavily; a small exact-match cache removes those entirely
+// without touching engine internals.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/searcher.h"
+#include "io/dataset.h"
+
+namespace sss {
+
+/// \brief Decorator caching Search() results keyed by (text, k).
+///
+/// Thread-safe; hit bookkeeping is under one mutex, so the cache suits
+/// engines whose Search cost dwarfs a map lookup (all of them).
+class CachedSearcher final : public Searcher {
+ public:
+  /// \param inner engine to delegate to (not owned; must outlive this).
+  /// \param capacity maximum cached queries (≥ 1).
+  CachedSearcher(const Searcher* inner, size_t capacity);
+
+  MatchList Search(const Query& query) const override;
+  std::string name() const override {
+    return inner_->name() + "+cache";
+  }
+  size_t memory_bytes() const override;
+
+  /// \brief Cache statistics (racy snapshots, for tests and reporting).
+  uint64_t hits() const noexcept { return hits_; }
+  uint64_t misses() const noexcept { return misses_; }
+  size_t entries() const noexcept;
+
+  /// \brief Empties the cache (e.g. after the dataset changes).
+  void Clear();
+
+ private:
+  struct Key {
+    std::string text;
+    int k;
+    bool operator<(const Key& other) const {
+      return k != other.k ? k < other.k : text < other.text;
+    }
+  };
+  struct Entry {
+    MatchList results;
+    std::list<Key>::iterator lru_slot;
+  };
+
+  const Searcher* inner_;
+  size_t capacity_;
+
+  mutable std::mutex mu_;
+  mutable std::map<Key, Entry> cache_;
+  mutable std::list<Key> lru_;  // front = most recent
+  mutable uint64_t hits_ = 0;
+  mutable uint64_t misses_ = 0;
+};
+
+}  // namespace sss

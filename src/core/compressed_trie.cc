@@ -1,0 +1,288 @@
+#include "core/compressed_trie.h"
+
+#include <algorithm>
+
+#include "core/internal/banded_row.h"
+#include "util/macros.h"
+
+namespace sss {
+
+CompressedTrieSearcher::CompressedTrieSearcher(const Dataset& dataset,
+                                               TriePruning pruning,
+                                               bool frequency_bounds)
+    : dataset_(dataset),
+      pruning_(pruning),
+      frequency_bounds_(frequency_bounds),
+      buckets_(dataset.alphabet()) {
+  nodes_.emplace_back();  // root (empty label)
+  nodes_[0].freq_min.fill(UINT16_MAX);
+  for (size_t id = 0; id < dataset.size(); ++id) {
+    Insert(dataset.View(id), static_cast<uint32_t>(id));
+  }
+}
+
+bool CompressedTrieSearcher::FrequencyCompatible(const Node& node,
+                                                 const FrequencyVector& qv,
+                                                 int k) const noexcept {
+  // Per-bucket deviation between the query's counts and the subtree's
+  // attainable count interval; one edit moves the bucketed L1 by ≤ 2, so
+  // ed ≥ ⌈Σ dev / 2⌉ for every string below this node.
+  unsigned total_dev = 0;
+  for (int b = 0; b < 6; ++b) {
+    if (qv[b] > node.freq_max[b]) {
+      total_dev += qv[b] - node.freq_max[b];
+    } else if (qv[b] < node.freq_min[b]) {
+      total_dev += node.freq_min[b] - qv[b];
+    }
+  }
+  return (total_dev + 1) / 2 <= static_cast<unsigned>(k);
+}
+
+size_t CompressedTrieSearcher::EdgeSlot(const Node& node, unsigned char c) {
+  const auto it = std::lower_bound(
+      node.children.begin(), node.children.end(), c,
+      [](const auto& edge, unsigned char key) { return edge.first < key; });
+  if (it == node.children.end() || it->first != c) {
+    return static_cast<size_t>(-1);
+  }
+  return static_cast<size_t>(it - node.children.begin());
+}
+
+void CompressedTrieSearcher::Insert(std::string_view s, uint32_t id) {
+  const auto len = static_cast<uint16_t>(s.size());
+  const FrequencyVector sv = buckets_.Compute(s);
+  uint32_t cur = 0;
+  size_t pos = 0;  // consumed characters of s
+  for (;;) {
+    {
+      Node& node = nodes_[cur];
+      node.min_len = std::min(node.min_len, len);
+      node.max_len = std::max(node.max_len, len);
+      for (int b = 0; b < 6; ++b) {
+        node.freq_min[b] = std::min(node.freq_min[b], sv[b]);
+        node.freq_max[b] = std::max(node.freq_max[b], sv[b]);
+      }
+    }
+    if (pos == s.size()) {
+      nodes_[cur].terminal_ids.push_back(id);
+      return;
+    }
+    const unsigned char next_byte = static_cast<unsigned char>(s[pos]);
+    const size_t slot = EdgeSlot(nodes_[cur], next_byte);
+
+    if (slot == static_cast<size_t>(-1)) {
+      // No edge: attach a fresh leaf holding the whole remaining suffix.
+      const uint32_t leaf = static_cast<uint32_t>(nodes_.size());
+      nodes_.emplace_back();  // may reallocate; re-index below
+      Node& leaf_node = nodes_[leaf];
+      leaf_node.label = s.data() + pos;
+      leaf_node.label_len = static_cast<uint32_t>(s.size() - pos);
+      leaf_node.min_len = leaf_node.max_len = len;
+      leaf_node.freq_min = leaf_node.freq_max = sv;
+      leaf_node.terminal_ids.push_back(id);
+      Node& parent = nodes_[cur];
+      const auto it = std::lower_bound(
+          parent.children.begin(), parent.children.end(), next_byte,
+          [](const auto& edge, unsigned char key) {
+            return edge.first < key;
+          });
+      parent.children.insert(it, {next_byte, leaf});
+      return;
+    }
+
+    const uint32_t child = nodes_[cur].children[slot].second;
+    const std::string_view label = nodes_[child].label_view();
+    // Longest common prefix of the child's label and the remaining suffix.
+    size_t m = 0;
+    const size_t limit = std::min(label.size(), s.size() - pos);
+    while (m < limit && label[m] == s[pos + m]) ++m;
+
+    if (m == label.size()) {
+      // Full label consumed: walk into the child.
+      cur = child;
+      pos += m;
+      continue;
+    }
+
+    // Partial match: split the child's edge at m. A new intermediate node
+    // takes the first m label bytes; the child keeps the remainder.
+    const uint32_t mid = static_cast<uint32_t>(nodes_.size());
+    nodes_.emplace_back();  // may reallocate; take references after this
+    Node& mid_node = nodes_[mid];
+    Node& child_node = nodes_[child];
+    mid_node.label = child_node.label;
+    mid_node.label_len = static_cast<uint32_t>(m);
+    mid_node.min_len = child_node.min_len;
+    mid_node.max_len = child_node.max_len;
+    mid_node.freq_min = child_node.freq_min;
+    mid_node.freq_max = child_node.freq_max;
+    child_node.label += m;
+    child_node.label_len -= static_cast<uint32_t>(m);
+    mid_node.children.push_back(
+        {static_cast<unsigned char>(child_node.label[0]), child});
+    nodes_[cur].children[slot].second = mid;
+    cur = mid;
+    pos += m;
+  }
+}
+
+TrieStats CompressedTrieSearcher::Stats() const {
+  TrieStats stats;
+  stats.num_nodes = nodes_.size();
+  for (const Node& n : nodes_) {
+    if (!n.terminal_ids.empty()) ++stats.num_terminal_nodes;
+    stats.memory_bytes += sizeof(Node) +
+                          n.children.capacity() * sizeof(n.children[0]) +
+                          n.terminal_ids.capacity() * sizeof(uint32_t);
+  }
+  stats.max_depth = nodes_.empty() ? 0 : nodes_[0].max_len;
+  return stats;
+}
+
+MatchList CompressedTrieSearcher::Search(const Query& query) const {
+  return pruning_ == TriePruning::kBandedRows ? SearchBanded(query)
+                                              : SearchPaperRule(query);
+}
+
+MatchList CompressedTrieSearcher::SearchBanded(const Query& query) const {
+  const int k = query.max_distance;
+  const int lq = static_cast<int>(query.text.size());
+
+  thread_local internal::BandedRows rows;
+  rows.Init(query.text, k);
+  const FrequencyVector qv =
+      frequency_bounds_ ? buckets_.Compute(query.text) : FrequencyVector{};
+
+  MatchList out;
+
+  // DFS frames: `consumed` label bytes of this node's edge already applied
+  // to the rows, `depth` the total prefix length at that point.
+  struct Frame {
+    uint32_t node;
+    int depth;
+    uint32_t consumed;
+    size_t next_child;
+    bool label_dead;  // band died somewhere inside this node's label
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{0, 0, 0, 0, false});
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const Node& node = nodes_[frame.node];
+
+    if (frame.next_child == 0 && !frame.label_dead) {
+      // First visit: consume the node's remaining label bytes.
+      bool dead = false;
+      while (frame.consumed < node.label_len) {
+        const unsigned char c =
+            static_cast<unsigned char>(node.label[frame.consumed]);
+        ++frame.consumed;
+        ++frame.depth;
+        if (rows.Advance(frame.depth, c) > k) {
+          dead = true;
+          break;
+        }
+      }
+      if (dead) {
+        stack.pop_back();
+        continue;
+      }
+      if (!node.terminal_ids.empty() && rows.TerminalWithin(frame.depth)) {
+        out.insert(out.end(), node.terminal_ids.begin(),
+                   node.terminal_ids.end());
+      }
+    }
+
+    bool descended = false;
+    while (frame.next_child < node.children.size()) {
+      const uint32_t child_idx = node.children[frame.next_child++].second;
+      const Node& child = nodes_[child_idx];
+      if (static_cast<int>(child.min_len) > lq + k ||
+          static_cast<int>(child.max_len) < lq - k) {
+        continue;
+      }
+      if (frequency_bounds_ && !FrequencyCompatible(child, qv, k)) {
+        continue;  // PETER-style early filtering
+      }
+      stack.push_back(Frame{child_idx, frame.depth, 0, 0, false});
+      descended = true;
+      break;
+    }
+    if (!descended) stack.pop_back();
+  }
+
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+MatchList CompressedTrieSearcher::SearchPaperRule(const Query& query) const {
+  const int k = query.max_distance;
+  const int lq = static_cast<int>(query.text.size());
+
+  thread_local internal::FullRows rows;
+  rows.Init(query.text, k, nodes_[0].max_len);
+  const FrequencyVector qv =
+      frequency_bounds_ ? buckets_.Compute(query.text) : FrequencyVector{};
+
+  MatchList out;
+  struct Frame {
+    uint32_t node;
+    int depth;
+    uint32_t consumed;
+    size_t next_child;
+    bool label_dead;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{0, 0, 0, 0, false});
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const Node& node = nodes_[frame.node];
+
+    if (frame.next_child == 0 && !frame.label_dead) {
+      // Consume the edge label under the paper's rule: re-check condition
+      // (9) after every character, with this node's own length range.
+      const int d_m =
+          internal::PaperLengthSlack(lq, node.min_len, node.max_len);
+      bool dead = false;
+      while (frame.consumed < node.label_len) {
+        const unsigned char c =
+            static_cast<unsigned char>(node.label[frame.consumed]);
+        ++frame.consumed;
+        ++frame.depth;
+        const int row_min = rows.Advance(frame.depth, c);
+        if (rows.PrefixDistance(frame.depth) > k + d_m && row_min > k) {
+          dead = true;
+          break;
+        }
+      }
+      if (dead) {
+        stack.pop_back();
+        continue;
+      }
+      if (!node.terminal_ids.empty() && rows.TerminalWithin(frame.depth)) {
+        out.insert(out.end(), node.terminal_ids.begin(),
+                   node.terminal_ids.end());
+      }
+    }
+
+    bool descended = false;
+    while (frame.next_child < node.children.size()) {
+      const uint32_t child_idx = node.children[frame.next_child++].second;
+      if (frequency_bounds_ &&
+          !FrequencyCompatible(nodes_[child_idx], qv, k)) {
+        continue;
+      }
+      stack.push_back(Frame{child_idx, frame.depth, 0, 0, false});
+      descended = true;
+      break;
+    }
+    if (!descended) stack.pop_back();
+  }
+
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace sss

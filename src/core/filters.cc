@@ -1,0 +1,106 @@
+#include "core/filters.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace sss {
+
+SymbolBuckets::SymbolBuckets(AlphabetKind kind) {
+  bucket_of_.fill(5);  // "other"
+  const bool dna = kind == AlphabetKind::kDna;
+  const char* tracked = dna ? "ACGNT" : "AEIOU";
+  for (int i = 0; i < 5; ++i) {
+    const char c = tracked[i];
+    bucket_of_[static_cast<unsigned char>(c)] = static_cast<int8_t>(i);
+    if (!dna) {
+      // Vowel tracking is case-insensitive for natural-language data.
+      bucket_of_[static_cast<unsigned char>(std::tolower(c))] =
+          static_cast<int8_t>(i);
+    }
+  }
+}
+
+FrequencyVectorFilter::FrequencyVectorFilter(const Dataset& dataset)
+    : buckets_(dataset.alphabet()) {
+  vectors_.resize(dataset.size() * 6);
+  for (size_t id = 0; id < dataset.size(); ++id) {
+    const FrequencyVector v = Compute(dataset.View(id));
+    std::copy(v.begin(), v.end(), vectors_.begin() + id * 6);
+  }
+}
+
+namespace {
+
+// FNV-1a over the q bytes starting at p. Collisions only make the filter
+// *more* permissive (two distinct grams may count as common), which keeps it
+// sound.
+uint32_t HashGram(const char* p, int q) {
+  uint32_t h = 2166136261u;
+  for (int i = 0; i < q; ++i) {
+    h ^= static_cast<unsigned char>(p[i]);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+}  // namespace
+
+QGramFilter::QGramFilter(const Dataset& dataset, int q) : q_(q) {
+  offsets_.reserve(dataset.size() + 1);
+  offsets_.push_back(0);
+  std::vector<uint32_t> profile;
+  for (size_t id = 0; id < dataset.size(); ++id) {
+    const std::string_view s = dataset.View(id);
+    profile.clear();
+    if (s.size() >= static_cast<size_t>(q_)) {
+      for (size_t i = 0; i + q_ <= s.size(); ++i) {
+        profile.push_back(HashGram(s.data() + i, q_));
+      }
+      std::sort(profile.begin(), profile.end());
+    }
+    grams_.insert(grams_.end(), profile.begin(), profile.end());
+    offsets_.push_back(grams_.size());
+  }
+}
+
+std::vector<uint32_t> QGramFilter::Profile(std::string_view s) const {
+  std::vector<uint32_t> profile;
+  if (s.size() >= static_cast<size_t>(q_)) {
+    profile.reserve(s.size() - q_ + 1);
+    for (size_t i = 0; i + q_ <= s.size(); ++i) {
+      profile.push_back(HashGram(s.data() + i, q_));
+    }
+    std::sort(profile.begin(), profile.end());
+  }
+  return profile;
+}
+
+bool QGramFilter::MayMatch(const std::vector<uint32_t>& query_profile,
+                           size_t query_len, size_t id, int k) const noexcept {
+  if (query_len < static_cast<size_t>(q_)) return true;  // bound is vacuous
+  const int64_t required = static_cast<int64_t>(query_len) - q_ + 1 -
+                           static_cast<int64_t>(k) * q_;
+  if (required <= 0) return true;
+
+  // Bag intersection size of two sorted multisets.
+  const uint32_t* a = grams_.data() + offsets_[id];
+  const uint32_t* a_end = grams_.data() + offsets_[id + 1];
+  const uint32_t* b = query_profile.data();
+  const uint32_t* b_end = b + query_profile.size();
+  int64_t common = 0;
+  while (a < a_end && b < b_end) {
+    if (*a < *b) {
+      ++a;
+    } else if (*b < *a) {
+      ++b;
+    } else {
+      ++common;
+      ++a;
+      ++b;
+    }
+    if (common >= required) return true;
+  }
+  return common >= required;
+}
+
+}  // namespace sss

@@ -1,0 +1,117 @@
+// Candidate filters: cheap necessary conditions checked before the (costly)
+// edit-distance verification.
+//
+//   * length filter — eq. (5) of the paper: |l_x − l_y| ≤ k;
+//   * frequency-vector filter — the paper's "Frequency vectors" future-work
+//     item (§6): per-string occurrence counts of five key symbols (DNA:
+//     A,C,G,N,T; names: the vowels A,E,I,O,U) give the lower bound
+//     ed(x,y) ≥ ⌈L1(freq(x), freq(y)) / 2⌉, since one edit operation moves
+//     the bucketed count vector by at most 2 in L1;
+//   * q-gram count filter — the classic bound from the related literature:
+//     strings within edit distance k share at least (l_q − q + 1) − k·q of
+//     the query's positional-free q-grams.
+//
+// All filters are sound (they never drop a true match — property-tested) and
+// the filter ablation bench measures their selectivity and cost.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "io/dataset.h"
+
+namespace sss {
+
+/// \brief True iff the length filter passes: |l_x − l_y| ≤ k (eq. 5).
+inline bool LengthFilterPasses(size_t lx, size_t ly, int k) noexcept {
+  const size_t d = lx > ly ? lx - ly : ly - lx;
+  return d <= static_cast<size_t>(k);
+}
+
+/// \brief Bucketed symbol-occurrence counts: five tracked symbols plus an
+/// "everything else" bucket.
+using FrequencyVector = std::array<uint16_t, 6>;
+
+/// \brief The symbol→bucket mapping behind frequency vectors. The tracked
+/// symbols follow the paper (§6): A,C,G,N,T for DNA; the vowels A,E,I,O,U
+/// (case-insensitive) otherwise.
+class SymbolBuckets {
+ public:
+  explicit SymbolBuckets(AlphabetKind kind);
+
+  /// \brief The bucket index (0..5) a symbol maps to.
+  int BucketOf(unsigned char c) const noexcept { return bucket_of_[c]; }
+
+  /// \brief Occurrence counts of `s` per bucket.
+  FrequencyVector Compute(std::string_view s) const {
+    FrequencyVector v{};
+    for (char c : s) {
+      ++v[static_cast<size_t>(bucket_of_[static_cast<unsigned char>(c)])];
+    }
+    return v;
+  }
+
+ private:
+  std::array<int8_t, 256> bucket_of_{};
+};
+
+/// \brief Precomputed frequency vectors for every string of a dataset.
+class FrequencyVectorFilter {
+ public:
+  /// Builds vectors for all of `dataset`.
+  explicit FrequencyVectorFilter(const Dataset& dataset);
+
+  /// \brief Computes the vector for an ad-hoc string (the query side).
+  FrequencyVector Compute(std::string_view s) const {
+    return buckets_.Compute(s);
+  }
+
+  /// \brief True iff `id` may be within distance k of a query with vector
+  /// `query_vec` — i.e. the L1 lower bound does not exceed k.
+  bool MayMatch(const FrequencyVector& query_vec, size_t id,
+                int k) const noexcept {
+    const uint16_t* v = vectors_.data() + id * 6;
+    unsigned l1 = 0;
+    for (int b = 0; b < 6; ++b) {
+      const int d = static_cast<int>(query_vec[b]) - static_cast<int>(v[b]);
+      l1 += static_cast<unsigned>(d < 0 ? -d : d);
+    }
+    // ed ≥ ceil(l1 / 2)
+    return (l1 + 1) / 2 <= static_cast<unsigned>(k);
+  }
+
+  /// \brief The bucket index (0..5) a symbol maps to.
+  int BucketOf(unsigned char c) const noexcept { return buckets_.BucketOf(c); }
+
+ private:
+  SymbolBuckets buckets_;
+  std::vector<uint16_t> vectors_;  // 6 entries per string
+};
+
+/// \brief Count-bound filter over hashed q-grams.
+class QGramFilter {
+ public:
+  /// Builds sorted q-gram profiles for all of `dataset`.
+  /// \param q gram size; strings shorter than q have an empty profile and
+  ///        always pass (the bound is vacuous for them).
+  QGramFilter(const Dataset& dataset, int q);
+
+  /// \brief Hashed, sorted q-gram profile of an ad-hoc string.
+  std::vector<uint32_t> Profile(std::string_view s) const;
+
+  /// \brief True iff `id` may be within distance k of a query whose profile
+  /// is `query_profile` (and whose length is `query_len`).
+  bool MayMatch(const std::vector<uint32_t>& query_profile, size_t query_len,
+                size_t id, int k) const noexcept;
+
+  int q() const noexcept { return q_; }
+
+ private:
+  int q_;
+  std::vector<uint32_t> grams_;    // concatenated sorted profiles
+  std::vector<uint64_t> offsets_;  // size()+1 entries into grams_
+};
+
+}  // namespace sss

@@ -1,0 +1,173 @@
+#include "core/hamming.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "util/macros.h"
+
+namespace sss {
+
+int HammingDistance(std::string_view x, std::string_view y) {
+  SSS_DCHECK(x.size() == y.size());
+  // Word-parallel: XOR eight bytes at a time; a differing byte leaves at
+  // least one set bit in its lane. Collapse each lane to its LSB via the
+  // standard (v | v>>4 | v>>2 | v>>1) & 0x01 trick, then popcount.
+  size_t i = 0;
+  int mismatches = 0;
+  for (; i + 8 <= x.size(); i += 8) {
+    uint64_t a, b;
+    std::memcpy(&a, x.data() + i, 8);
+    std::memcpy(&b, y.data() + i, 8);
+    uint64_t v = a ^ b;
+    if (v == 0) continue;
+    v |= v >> 4;
+    v |= v >> 2;
+    v |= v >> 1;
+    v &= 0x0101010101010101ULL;
+    mismatches += std::popcount(v);
+  }
+  for (; i < x.size(); ++i) {
+    mismatches += x[i] != y[i] ? 1 : 0;
+  }
+  return mismatches;
+}
+
+int BoundedHamming(std::string_view x, std::string_view y, int k) {
+  SSS_DCHECK(k >= 0);
+  if (x.size() != y.size()) return k + 1;
+  size_t i = 0;
+  int mismatches = 0;
+  for (; i + 8 <= x.size(); i += 8) {
+    uint64_t a, b;
+    std::memcpy(&a, x.data() + i, 8);
+    std::memcpy(&b, y.data() + i, 8);
+    uint64_t v = a ^ b;
+    if (v == 0) continue;
+    v |= v >> 4;
+    v |= v >> 2;
+    v |= v >> 1;
+    v &= 0x0101010101010101ULL;
+    mismatches += std::popcount(v);
+    if (mismatches > k) return k + 1;
+  }
+  for (; i < x.size(); ++i) {
+    mismatches += x[i] != y[i] ? 1 : 0;
+    if (mismatches > k) return k + 1;
+  }
+  return mismatches;
+}
+
+HammingScanSearcher::HammingScanSearcher(const Dataset& dataset)
+    : dataset_(dataset) {}
+
+MatchList HammingScanSearcher::Search(const Query& query) const {
+  MatchList out;
+  const int k = query.max_distance;
+  const std::string_view q = query.text;
+  for (uint32_t id = 0; id < dataset_.size(); ++id) {
+    if (dataset_.Length(id) != q.size()) continue;
+    if (BoundedHamming(q, dataset_.View(id), k) <= k) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+HammingTrieSearcher::HammingTrieSearcher(const Dataset& dataset)
+    : dataset_(dataset) {
+  nodes_.emplace_back();
+  for (size_t id = 0; id < dataset.size(); ++id) {
+    Insert(dataset.View(id), static_cast<uint32_t>(id));
+  }
+}
+
+void HammingTrieSearcher::Insert(std::string_view s, uint32_t id) {
+  const auto len = static_cast<uint16_t>(s.size());
+  uint32_t cur = 0;
+  nodes_[0].min_len = std::min(nodes_[0].min_len, len);
+  nodes_[0].max_len = std::max(nodes_[0].max_len, len);
+  for (unsigned char c : s) {
+    Node& node = nodes_[cur];
+    const auto it = std::lower_bound(
+        node.children.begin(), node.children.end(), c,
+        [](const auto& edge, unsigned char key) { return edge.first < key; });
+    uint32_t next;
+    if (it == node.children.end() || it->first != c) {
+      next = static_cast<uint32_t>(nodes_.size());
+      const auto slot = it - node.children.begin();
+      nodes_.emplace_back();  // may invalidate node/it
+      nodes_[cur].children.insert(nodes_[cur].children.begin() + slot,
+                                  {c, next});
+    } else {
+      next = it->second;
+    }
+    cur = next;
+    nodes_[cur].min_len = std::min(nodes_[cur].min_len, len);
+    nodes_[cur].max_len = std::max(nodes_[cur].max_len, len);
+  }
+  nodes_[cur].terminal_ids.push_back(id);
+}
+
+MatchList HammingTrieSearcher::Search(const Query& query) const {
+  MatchList out;
+  const int k = query.max_distance;
+  const std::string_view q = query.text;
+  const auto lq = static_cast<uint16_t>(q.size());
+
+  // DFS frames carry the mismatch count so far; at depth d the next label
+  // is compared against q[d].
+  struct Frame {
+    uint32_t node;
+    uint16_t depth;
+    uint16_t mismatches;
+    size_t next_child;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{0, 0, 0, 0});
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const Node& node = nodes_[frame.node];
+
+    if (frame.next_child == 0 && frame.depth == lq &&
+        !node.terminal_ids.empty()) {
+      // Hamming matches end exactly at the query's length.
+      out.insert(out.end(), node.terminal_ids.begin(),
+                 node.terminal_ids.end());
+    }
+
+    bool descended = false;
+    while (frame.depth < lq && frame.next_child < node.children.size()) {
+      const auto [label, child_idx] = node.children[frame.next_child++];
+      const Node& child = nodes_[child_idx];
+      // Only subtrees containing strings of exactly the query's length can
+      // match under Hamming distance.
+      if (child.min_len > lq || child.max_len < lq) continue;
+      const uint16_t mismatches =
+          frame.mismatches +
+          (label == static_cast<unsigned char>(q[frame.depth]) ? 0 : 1);
+      if (mismatches > k) continue;
+      stack.push_back(Frame{child_idx,
+                            static_cast<uint16_t>(frame.depth + 1),
+                            mismatches, 0});
+      descended = true;
+      break;
+    }
+    if (!descended) stack.pop_back();
+  }
+
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t HammingTrieSearcher::memory_bytes() const {
+  size_t bytes = nodes_.size() * sizeof(Node);
+  for (const Node& n : nodes_) {
+    bytes += n.children.capacity() * sizeof(n.children[0]) +
+             n.terminal_ids.capacity() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+}  // namespace sss

@@ -1,0 +1,78 @@
+// Hamming-distance support. PETER — the related work the paper builds its
+// trie on (§2.3) — "supports Hamming and edit distance"; read-matching
+// pipelines often use Hamming first (same-length substitution-only
+// comparisons are common and far cheaper). This module adds:
+//
+//   * plain and word-parallel bounded Hamming kernels;
+//   * HammingScanSearcher, a Searcher answering Hamming queries with the
+//     same batch/parallelism machinery as the edit-distance engines;
+//   * trie descent for Hamming (exact-depth mismatch counting) lives in
+//     HammingTrieSearcher — pruning is trivial compared to edit distance
+//     (mismatches only grow), which makes it a clean index showcase.
+//
+// Semantics: strings of different lengths are at infinite Hamming distance
+// (never match), the standard convention.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/searcher.h"
+#include "io/dataset.h"
+
+namespace sss {
+
+/// \brief Exact Hamming distance of two equal-length strings.
+/// Precondition: x.size() == y.size().
+int HammingDistance(std::string_view x, std::string_view y);
+
+/// \brief Bounded Hamming distance: the exact distance if ≤ k, else any
+/// value > k (may stop counting early). Different lengths return k+1.
+int BoundedHamming(std::string_view x, std::string_view y, int k);
+
+/// \brief True iff x and y have equal length and Hamming distance ≤ k.
+inline bool WithinHamming(std::string_view x, std::string_view y, int k) {
+  return BoundedHamming(x, y, k) <= k;
+}
+
+/// \brief Sequential scan under Hamming distance.
+class HammingScanSearcher final : public Searcher {
+ public:
+  explicit HammingScanSearcher(const Dataset& dataset);
+
+  MatchList Search(const Query& query) const override;
+  std::string name() const override { return "hamming_scan"; }
+
+ private:
+  const Dataset& dataset_;
+};
+
+/// \brief Prefix trie under Hamming distance: descend counting mismatches;
+/// prune when the count exceeds k or the subtree's lengths differ from the
+/// query's (Hamming only matches equal lengths, so the per-node length
+/// range is decisively selective).
+class HammingTrieSearcher final : public Searcher {
+ public:
+  explicit HammingTrieSearcher(const Dataset& dataset);
+
+  MatchList Search(const Query& query) const override;
+  std::string name() const override { return "hamming_trie"; }
+  size_t memory_bytes() const override;
+
+ private:
+  struct Node {
+    std::vector<std::pair<unsigned char, uint32_t>> children;
+    std::vector<uint32_t> terminal_ids;
+    uint16_t min_len = UINT16_MAX;
+    uint16_t max_len = 0;
+  };
+
+  void Insert(std::string_view s, uint32_t id);
+
+  const Dataset& dataset_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace sss

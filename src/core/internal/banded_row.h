@@ -1,0 +1,144 @@
+// Internal: the banded DP-row machinery both trie engines descend with.
+// Row i holds ed(<prefix of length i>, q_0..j) for j in the Ukkonen band
+// [i − k, i + k]; values outside the band are saturated to inf = k+1, which
+// is sound because a cell (i, j) with |i − j| > k is at least |i − j| > k.
+#pragma once
+
+#include <algorithm>
+#include <string_view>
+#include <vector>
+
+namespace sss::internal {
+
+/// \brief Per-query descent scratch. `rows` has `stride` ints per depth.
+struct BandedRows {
+  std::string_view q;
+  int k = 0;
+  int lq = 0;
+  int inf = 1;
+  int stride = 1;
+  std::vector<int> rows;
+
+  /// \brief Sizes the buffers and fills the depth-0 row (ed(ε, q_0..j) = j).
+  void Init(std::string_view query, int threshold) {
+    q = query;
+    k = threshold;
+    lq = static_cast<int>(query.size());
+    inf = k + 1;
+    stride = lq + 1;
+    const size_t depths = static_cast<size_t>(lq + k) + 2;
+    rows.assign(depths * static_cast<size_t>(stride), 0);
+    int* row0 = rows.data();
+    for (int j = 0; j <= std::min(lq, k); ++j) row0[j] = j;
+    if (k < lq) row0[k + 1] = inf;
+  }
+
+  const int* Row(int depth) const { return rows.data() + depth * stride; }
+
+  /// \brief Computes the row for depth i (prefix extended by `c`) from the
+  /// row at depth i−1. Returns the band minimum (inf when the band is
+  /// empty) — the subtree is dead once this exceeds k.
+  int Advance(int i, unsigned char c) {
+    const int* parent = rows.data() + (i - 1) * stride;
+    int* cur = rows.data() + i * stride;
+    const int jlo = std::max(0, i - k);
+    const int jhi = std::min(lq, i + k);
+    if (jlo > jhi) return inf;
+    if (jlo > 0) cur[jlo - 1] = inf;  // left sentinel for cur[j−1] reads
+
+    int band_min = inf;
+    for (int j = jlo; j <= jhi; ++j) {
+      int v;
+      if (j == 0) {
+        v = i <= k ? i : inf;
+      } else if (c == static_cast<unsigned char>(q[j - 1])) {
+        v = parent[j - 1];  // condition (3) of the paper
+      } else {
+        const int a = parent[j];
+        const int b = cur[j - 1];
+        const int d = parent[j - 1];
+        int m = a < b ? a : b;
+        if (d < m) m = d;
+        v = m + 1;
+        if (v > inf) v = inf;
+      }
+      cur[j] = v;
+      if (v < band_min) band_min = v;
+    }
+    if (jhi < lq) cur[jhi + 1] = inf;  // right sentinel for the next depth
+    return band_min;
+  }
+
+  /// \brief ed(<prefix of length depth>, q) if inside the band, else "no".
+  bool TerminalWithin(int depth) const {
+    if (lq > depth + k || lq < depth - k) return false;
+    return Row(depth)[lq] <= k;
+  }
+};
+
+/// \brief Full-width DP rows for the paper-faithful descent (§4.1): no band,
+/// every cell exact. Row i holds ed(<prefix of length i>, q_0..j) for all j.
+struct FullRows {
+  std::string_view q;
+  int k = 0;
+  int lq = 0;
+  int stride = 1;
+  std::vector<int> rows;
+
+  /// \param max_depth deepest prefix length that may be advanced to
+  ///        (the trie's maximum string length).
+  void Init(std::string_view query, int threshold, size_t max_depth) {
+    q = query;
+    k = threshold;
+    lq = static_cast<int>(query.size());
+    stride = lq + 1;
+    rows.assign((max_depth + 2) * static_cast<size_t>(stride), 0);
+    int* row0 = rows.data();
+    for (int j = 0; j <= lq; ++j) row0[j] = j;
+  }
+
+  const int* Row(int depth) const { return rows.data() + depth * stride; }
+
+  /// \brief Computes the full row for depth i; returns its minimum.
+  int Advance(int i, unsigned char c) {
+    const int* parent = rows.data() + (i - 1) * stride;
+    int* cur = rows.data() + i * stride;
+    cur[0] = i;
+    int row_min = i;
+    for (int j = 1; j <= lq; ++j) {
+      int v;
+      if (c == static_cast<unsigned char>(q[j - 1])) {
+        v = parent[j - 1];
+      } else {
+        const int a = parent[j];
+        const int b = cur[j - 1];
+        const int d = parent[j - 1];
+        int m = a < b ? a : b;
+        if (d < m) m = d;
+        v = m + 1;
+      }
+      cur[j] = v;
+      if (v < row_min) row_min = v;
+    }
+    return row_min;
+  }
+
+  /// \brief ed(x_0..i, y_0..i) of the paper's condition (9): the prefix
+  /// distance at equal lengths (the whole query once the prefix is longer).
+  int PrefixDistance(int depth) const {
+    return Row(depth)[depth < lq ? depth : lq];
+  }
+
+  bool TerminalWithin(int depth) const { return Row(depth)[lq] <= k; }
+};
+
+/// \brief The paper's d_m length slack (eq. 10) for a subtree with string
+/// lengths in [min_len, max_len] and a query of length lq.
+inline int PaperLengthSlack(int lq, int min_len, int max_len) {
+  const int a = lq - min_len;
+  const int b = max_len - lq;
+  int d = a > b ? a : b;
+  return d > 0 ? d : 0;
+}
+
+}  // namespace sss::internal

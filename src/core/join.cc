@@ -1,0 +1,117 @@
+#include "core/join.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "core/compressed_trie.h"
+#include "core/edit_distance.h"
+#include "core/filters.h"
+#include "parallel/thread_pool.h"
+
+namespace sss {
+
+namespace {
+
+// Index-flavoured join: one trie build, then each string queries it; every
+// reported id j > i yields the pair (i, j) exactly once.
+std::vector<JoinPair> TrieProbeJoin(const Dataset& dataset,
+                                    const JoinOptions& options) {
+  const CompressedTrieSearcher trie(dataset);
+  std::mutex out_mu;
+  std::vector<JoinPair> out;
+  const auto probe = [&](size_t i) {
+    const Query q{std::string(dataset.View(i)), options.max_distance};
+    const MatchList matches = trie.Search(q);
+    std::vector<JoinPair> local;
+    for (uint32_t j : matches) {
+      if (j <= i) continue;  // each unordered pair reported once
+      if (!options.include_exact_duplicates &&
+          dataset.View(i) == dataset.View(j)) {
+        continue;
+      }
+      local.emplace_back(static_cast<uint32_t>(i), j);
+    }
+    if (!local.empty()) {
+      std::lock_guard<std::mutex> lock(out_mu);
+      out.insert(out.end(), local.begin(), local.end());
+    }
+  };
+  switch (options.exec.strategy) {
+    case ExecutionStrategy::kSerial:
+    case ExecutionStrategy::kThreadPerQuery:
+      for (size_t i = 0; i < dataset.size(); ++i) probe(i);
+      break;
+    case ExecutionStrategy::kFixedPool:
+    case ExecutionStrategy::kAdaptive: {
+      ThreadPool pool(options.exec.num_threads);
+      pool.DynamicParallelFor(dataset.size(), probe, /*chunk=*/16);
+      break;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<JoinPair> SimilaritySelfJoin(const Dataset& dataset,
+                                         const JoinOptions& options) {
+  if (options.algorithm == JoinAlgorithm::kTrieProbe) {
+    return TrieProbeJoin(dataset, options);
+  }
+  const int k = options.max_distance;
+  const size_t n = dataset.size();
+
+  // Length-ordered ids: string i is only compared against later-ordered
+  // strings whose length is within k — a sliding window in this order.
+  std::vector<uint32_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     return dataset.Length(a) < dataset.Length(b);
+                   });
+
+  std::mutex out_mu;
+  std::vector<JoinPair> out;
+
+  const auto process = [&](size_t oi) {
+    thread_local EditDistanceWorkspace ws;
+    const uint32_t a = order[oi];
+    const std::string_view sa = dataset.View(a);
+    std::vector<JoinPair> local;
+    for (size_t oj = oi + 1; oj < n; ++oj) {
+      const uint32_t b = order[oj];
+      const size_t lb = dataset.Length(b);
+      if (lb > sa.size() + static_cast<size_t>(k)) break;  // window end
+      if (!WithinDistance(sa, dataset.View(b), k, &ws)) continue;
+      if (!options.include_exact_duplicates && sa == dataset.View(b)) {
+        continue;
+      }
+      local.emplace_back(std::min(a, b), std::max(a, b));
+    }
+    if (!local.empty()) {
+      std::lock_guard<std::mutex> lock(out_mu);
+      out.insert(out.end(), local.begin(), local.end());
+    }
+  };
+
+  switch (options.exec.strategy) {
+    case ExecutionStrategy::kSerial:
+    case ExecutionStrategy::kThreadPerQuery:  // one thread per row is absurd
+                                              // for a join; treat as serial
+      for (size_t i = 0; i < n; ++i) process(i);
+      break;
+    case ExecutionStrategy::kFixedPool:
+    case ExecutionStrategy::kAdaptive: {
+      ThreadPool pool(options.exec.num_threads);
+      pool.DynamicParallelFor(n, process, /*chunk=*/16);
+      break;
+    }
+  }
+
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace sss

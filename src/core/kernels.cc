@@ -1,0 +1,198 @@
+#include "core/kernels.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace sss {
+
+std::string_view ToString(LadderStep step) {
+  switch (step) {
+    case LadderStep::kBase:
+      return "1) Base implementation";
+    case LadderStep::kFastEditDistance:
+      return "2) Calculation of the edit distance";
+    case LadderStep::kReferences:
+      return "3) Value or reference";
+    case LadderStep::kSimpleTypes:
+      return "4) Simple data types and program methods";
+  }
+  return "?";
+}
+
+namespace internal {
+
+int EditDistanceDiagonalAbort(const std::string& x, const std::string& y,
+                              int k) {
+  const size_t lx = x.size();
+  const size_t ly = y.size();
+  // The paper's step 2 still fills the full matrix; it just stops as soon as
+  // the diagonal that ends in M[l_x][l_y] exceeds k — values along a
+  // diagonal never decrease, so the final cell cannot recover (conditions
+  // (6) and (7)).
+  std::vector<std::vector<int>> m(lx + 1, std::vector<int>(ly + 1, 0));
+  for (size_t i = 0; i <= lx; ++i) m[i][0] = static_cast<int>(i);
+  for (size_t j = 0; j <= ly; ++j) m[0][j] = static_cast<int>(j);
+  const size_t d = lx >= ly ? lx - ly : ly - lx;
+  for (size_t i = 1; i <= lx; ++i) {
+    for (size_t j = 1; j <= ly; ++j) {
+      if (x[i - 1] == y[j - 1]) {
+        m[i][j] = m[i - 1][j - 1];
+      } else {
+        m[i][j] =
+            1 + std::min({m[i - 1][j], m[i][j - 1], m[i - 1][j - 1]});
+      }
+      const bool on_final_diagonal =
+          lx >= ly ? (i >= d && i - d == j) : (j >= d && i == j - d);
+      if (on_final_diagonal && m[i][j] > k) {
+        return k + 1;  // conditions (6)/(7)
+      }
+    }
+  }
+  return m[lx][ly];
+}
+
+namespace {
+
+// Step 3: reference semantics. Same recurrence and aborts as step 2, but
+// operands are views and the two DP rows live in the caller's workspace, so
+// a whole scan allocates nothing per comparison.
+int EditDistanceReferences(std::string_view x, std::string_view y, int k,
+                           EditDistanceWorkspace* ws) {
+  const size_t lx = x.size();
+  const size_t ly = y.size();
+  const size_t d = lx >= ly ? lx - ly : ly - lx;
+  if (d > static_cast<size_t>(k)) return k + 1;  // length filter (eq. 5)
+
+  ws->row0.resize(ly + 1);
+  ws->row1.resize(ly + 1);
+  std::vector<int>& prev_storage = ws->row0;
+  std::vector<int>& cur_storage = ws->row1;
+  int* prev = prev_storage.data();
+  int* cur = cur_storage.data();
+  for (size_t j = 0; j <= ly; ++j) prev[j] = static_cast<int>(j);
+
+  for (size_t i = 1; i <= lx; ++i) {
+    cur[0] = static_cast<int>(i);
+    const char xi = x[i - 1];
+    for (size_t j = 1; j <= ly; ++j) {
+      cur[j] = xi == y[j - 1]
+                   ? prev[j - 1]
+                   : 1 + std::min({prev[j], cur[j - 1], prev[j - 1]});
+    }
+    const bool check_lower = lx >= ly;
+    const size_t diag_j = check_lower ? (i >= d ? i - d : 0) : i + d;
+    if (diag_j >= 1 && diag_j <= ly && (check_lower ? i >= d : true) &&
+        cur[diag_j] > k) {
+      return k + 1;
+    }
+    std::swap(prev, cur);
+  }
+  return prev[ly];
+}
+
+}  // namespace
+
+int EditDistanceSimpleTypes(std::string_view x, std::string_view y, int k,
+                            EditDistanceWorkspace* ws) {
+  const size_t lx = x.size();
+  const size_t ly = y.size();
+  const size_t d = lx >= ly ? lx - ly : ly - lx;
+  if (d > static_cast<size_t>(k)) return k + 1;  // eq. (5)
+
+  ws->row0.resize(ly + 1);
+  ws->row1.resize(ly + 1);
+  int* prev = ws->row0.data();
+  int* cur = ws->row1.data();
+  for (size_t j = 0; j <= ly; ++j) prev[j] = static_cast<int>(j);
+
+  const char* xp = x.data();
+  const char* yp = y.data();
+  const bool x_longer = lx >= ly;
+  for (size_t i = 1; i <= lx; ++i) {
+    cur[0] = static_cast<int>(i);
+    const char xi = xp[i - 1];
+    for (size_t j = 1; j <= ly; ++j) {
+      if (xi == yp[j - 1]) {
+        cur[j] = prev[j - 1];
+      } else {
+        // Hand-inlined three-way min (§3.4 "simple program methods").
+        int m = prev[j] < cur[j - 1] ? prev[j] : cur[j - 1];
+        if (prev[j - 1] < m) m = prev[j - 1];
+        cur[j] = m + 1;
+      }
+    }
+    // Conditions (6)/(7) on the diagonal that ends in M[l_x][l_y].
+    if (x_longer) {
+      if (i >= d + 1 && cur[i - d] > k) return k + 1;
+    } else {
+      if (i + d <= ly && cur[i + d] > k) return k + 1;
+    }
+    int* tmp = prev;
+    prev = cur;
+    cur = tmp;
+  }
+  return prev[ly];
+}
+
+}  // namespace internal
+
+MatchList RunLadderKernel(const Dataset& dataset, const Query& query,
+                          LadderStep step, EditDistanceWorkspace* ws) {
+  MatchList matches;
+  const int k = query.max_distance;
+
+  switch (step) {
+    case LadderStep::kBase: {
+      // Deliberately naive: copies both operands for every comparison and
+      // computes the full matrix unconditionally (§3.1).
+      const std::string q = query.text;
+      for (size_t id = 0; id < dataset.size(); ++id) {
+        const std::string candidate(dataset.View(id));  // value semantics
+        if (EditDistanceFullMatrix(q, candidate) <= k) {
+          matches.push_back(static_cast<uint32_t>(id));
+        }
+      }
+      break;
+    }
+    case LadderStep::kFastEditDistance: {
+      const std::string q = query.text;
+      for (size_t id = 0; id < dataset.size(); ++id) {
+        const std::string candidate(dataset.View(id));  // still copying
+        const size_t d = q.size() >= candidate.size()
+                             ? q.size() - candidate.size()
+                             : candidate.size() - q.size();
+        if (d > static_cast<size_t>(k)) continue;  // eq. (5)
+        if (internal::EditDistanceDiagonalAbort(q, candidate, k) <= k) {
+          matches.push_back(static_cast<uint32_t>(id));
+        }
+      }
+      break;
+    }
+    case LadderStep::kReferences: {
+      const std::string_view q = query.text;
+      for (size_t id = 0; id < dataset.size(); ++id) {
+        if (internal::EditDistanceReferences(q, dataset.View(id), k, ws) <=
+            k) {
+          matches.push_back(static_cast<uint32_t>(id));
+        }
+      }
+      break;
+    }
+    case LadderStep::kSimpleTypes: {
+      const std::string_view q = query.text;
+      for (size_t id = 0; id < dataset.size(); ++id) {
+        if (internal::EditDistanceSimpleTypes(q, dataset.View(id), k, ws) <=
+            k) {
+          matches.push_back(static_cast<uint32_t>(id));
+        }
+      }
+      break;
+    }
+  }
+  return matches;
+}
+
+}  // namespace sss

@@ -1,0 +1,68 @@
+// The paper's sequential-solution optimization ladder (§3, Table III), as
+// four genuinely distinct verify kernels. The ladder benches measure these
+// implementations against each other exactly the way the paper iterated;
+// SequentialScanSearcher uses the best one (step 4) by default.
+//
+//   step 1  base implementation   value semantics everywhere: every dataset
+//                                 string is copied, the full DP matrix is a
+//                                 fresh vector<vector<int>>, std::min via
+//                                 the standard library (§3.1)
+//   step 2  faster edit distance  + length filter (eq. 5) and the
+//                                 main-diagonal early abort of conditions
+//                                 (6)/(7); matrix still allocated per pair
+//                                 (§3.2)
+//   step 3  values and references + reference semantics: string_view
+//                                 operands, DP rows reused across the whole
+//                                 scan, zero copies on the hot path (§3.3)
+//   step 4  simple data types     + flat int buffers, hand-inlined min,
+//                                 banded row walk over the contiguous
+//                                 StringPool (§3.4)
+//
+// All four return identical match lists; integration tests enforce it, which
+// is the paper's own correctness gate (step 1 is the reference).
+#pragma once
+
+#include <string_view>
+
+#include "core/edit_distance.h"
+#include "io/dataset.h"
+
+namespace sss {
+
+/// \brief One rung of the paper's sequential ladder.
+enum class LadderStep : int {
+  kBase = 1,
+  kFastEditDistance = 2,
+  kReferences = 3,
+  kSimpleTypes = 4,
+};
+
+/// \brief Human-readable label matching the paper's table rows.
+std::string_view ToString(LadderStep step);
+
+/// \brief Runs one query against the whole dataset with the given ladder
+/// step's implementation. Matches are returned in ascending id order.
+/// `ws` is only used by steps 3 and 4 (earlier steps allocate per pair, by
+/// design).
+MatchList RunLadderKernel(const Dataset& dataset, const Query& query,
+                          LadderStep step, EditDistanceWorkspace* ws);
+
+namespace internal {
+
+/// \brief Step-2 edit distance: full matrix with the paper's abort
+/// conditions (6)/(7) checked on the main diagonal. Returns a value > k when
+/// the distance exceeds k. Exposed for unit tests.
+int EditDistanceDiagonalAbort(const std::string& x, const std::string& y,
+                              int k);
+
+/// \brief Step-4 edit distance, faithful to §3.4: flat int rows out of the
+/// workspace, raw pointers, hand-inlined min/compare — but still full-width
+/// rows with only the paper's filters (length + diagonal abort). The
+/// Ukkonen band and the bit-parallel kernels are this library's extensions
+/// and are NOT part of the paper's ladder. Returns a value > k when the
+/// distance exceeds k.
+int EditDistanceSimpleTypes(std::string_view x, std::string_view y, int k,
+                            EditDistanceWorkspace* ws);
+
+}  // namespace internal
+}  // namespace sss

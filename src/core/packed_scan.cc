@@ -1,0 +1,56 @@
+#include "core/packed_scan.h"
+
+#include "core/edit_distance.h"
+#include "core/filters.h"
+
+namespace sss {
+
+Result<std::unique_ptr<PackedDnaScanSearcher>> PackedDnaScanSearcher::Make(
+    const Dataset& dataset) {
+  std::unique_ptr<PackedDnaScanSearcher> searcher(
+      new PackedDnaScanSearcher(dataset));
+  for (size_t id = 0; id < dataset.size(); ++id) {
+    Result<uint32_t> added = searcher->pool_.Add(dataset.View(id));
+    if (!added.ok()) {
+      return Status::Invalid("PackedDnaScanSearcher: string " +
+                             std::to_string(id) + ": " +
+                             added.status().message());
+    }
+  }
+  return searcher;
+}
+
+MatchList PackedDnaScanSearcher::Search(const Query& query) const {
+  MatchList out;
+  const int k = query.max_distance;
+
+  // Encode the query once. Symbols outside the alphabet get a sentinel that
+  // matches no data code, which preserves exact semantics (such positions
+  // always cost an edit).
+  thread_local std::vector<uint8_t> query_codes;
+  query_codes.resize(query.text.size());
+  for (size_t i = 0; i < query.text.size(); ++i) {
+    const uint8_t code = DnaCodec::Encode(query.text[i]);
+    query_codes[i] = code == DnaCodec::kInvalidCode ? 0x7F : code;
+  }
+  const std::string_view q_view(
+      reinterpret_cast<const char*>(query_codes.data()), query_codes.size());
+
+  thread_local std::vector<uint8_t> candidate_codes;
+  thread_local EditDistanceWorkspace ws;
+  for (uint32_t id = 0; id < pool_.size(); ++id) {
+    if (!LengthFilterPasses(query.text.size(), pool_.Length(id), k)) {
+      continue;
+    }
+    pool_.DecodeCodes(id, &candidate_codes);
+    const std::string_view c_view(
+        reinterpret_cast<const char*>(candidate_codes.data()),
+        candidate_codes.size());
+    if (WithinDistance(q_view, c_view, k, &ws)) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace sss

@@ -1,0 +1,48 @@
+// PackedDnaScanSearcher — the paper's "Dictionary Compression" future-work
+// item (§6) taken all the way to an engine: the read collection is stored
+// at 3 bits/symbol (3/8 of the byte-per-symbol StringPool) and queries are
+// verified against decoded code sequences, so the scan touches ~2.7x less
+// memory per pass. Symbol codes compare exactly like symbols, so every
+// edit-distance kernel applies unchanged to code strings.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/searcher.h"
+#include "io/dataset.h"
+#include "util/bitpack.h"
+#include "util/result.h"
+
+namespace sss {
+
+/// \brief Sequential scan over 3-bit-packed DNA storage.
+class PackedDnaScanSearcher final : public Searcher {
+ public:
+  /// \brief Packs `dataset` (which must outlive this searcher and contain
+  /// only {A,C,G,N,T}); fails with Invalid otherwise.
+  static Result<std::unique_ptr<PackedDnaScanSearcher>> Make(
+      const Dataset& dataset);
+
+  MatchList Search(const Query& query) const override;
+  std::string name() const override { return "packed_dna_scan"; }
+
+  /// \brief Packed bytes held — compare with dataset.pool().total_bytes().
+  size_t memory_bytes() const override { return pool_.packed_bytes(); }
+
+  /// \brief Compression ratio vs 1 byte/symbol.
+  double compression_ratio() const {
+    return static_cast<double>(pool_.total_symbols()) /
+           static_cast<double>(pool_.packed_bytes());
+  }
+
+ private:
+  explicit PackedDnaScanSearcher(const Dataset& dataset)
+      : dataset_(dataset) {}
+
+  const Dataset& dataset_;
+  PackedDnaPool pool_;
+};
+
+}  // namespace sss

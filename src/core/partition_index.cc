@@ -1,0 +1,160 @@
+#include "core/partition_index.h"
+
+#include <algorithm>
+
+#include "core/edit_distance.h"
+#include "core/filters.h"
+#include "util/macros.h"
+
+namespace sss {
+
+namespace {
+
+// 64-bit FNV-1a over the piece bytes.
+uint64_t HashBytes(std::string_view s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t MixInt(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+std::vector<size_t> PartitionIndexSearcher::PieceBounds(size_t len,
+                                                        int pieces) {
+  SSS_DCHECK(pieces >= 1);
+  std::vector<size_t> bounds;
+  bounds.reserve(static_cast<size_t>(pieces) + 1);
+  const size_t base = len / static_cast<size_t>(pieces);
+  const size_t extra = len % static_cast<size_t>(pieces);
+  size_t pos = 0;
+  bounds.push_back(0);
+  for (int j = 0; j < pieces; ++j) {
+    pos += base + (static_cast<size_t>(j) < extra ? 1 : 0);
+    bounds.push_back(pos);
+  }
+  return bounds;
+}
+
+uint64_t PartitionIndexSearcher::MakeKey(std::string_view piece, size_t len,
+                                         int piece_idx) {
+  uint64_t h = HashBytes(piece);
+  h = MixInt(h, static_cast<uint64_t>(len));
+  h = MixInt(h, static_cast<uint64_t>(piece_idx));
+  return h;
+}
+
+PartitionIndexSearcher::PartitionIndexSearcher(const Dataset& dataset,
+                                               PartitionIndexOptions options)
+    : dataset_(dataset), options_(options) {
+  SSS_CHECK(options_.max_k >= 0);
+  const int pieces = options_.max_k + 1;
+  entries_.reserve(dataset_.size() * static_cast<size_t>(pieces));
+  for (size_t id = 0; id < dataset_.size(); ++id) {
+    const std::string_view s = dataset_.View(id);
+    if (s.size() < static_cast<size_t>(pieces)) {
+      // Strings shorter than the piece count have empty pieces, and an
+      // empty piece can be the only one edits spare — unprobeable. Such
+      // strings are always verified directly instead.
+      short_ids_.push_back(static_cast<uint32_t>(id));
+      continue;
+    }
+    const std::vector<size_t> bounds = PieceBounds(s.size(), pieces);
+    for (int j = 0; j < pieces; ++j) {
+      const std::string_view piece =
+          s.substr(bounds[j], bounds[j + 1] - bounds[j]);
+      entries_.push_back(
+          Entry{MakeKey(piece, s.size(), j), static_cast<uint32_t>(id)});
+    }
+  }
+  std::sort(entries_.begin(), entries_.end());
+}
+
+size_t PartitionIndexSearcher::memory_bytes() const {
+  return entries_.size() * sizeof(Entry);
+}
+
+void PartitionIndexSearcher::ScanFallback(const Query& query,
+                                          MatchList* out) const {
+  thread_local EditDistanceWorkspace ws;
+  const int k = query.max_distance;
+  for (uint32_t id = 0; id < dataset_.size(); ++id) {
+    if (!LengthFilterPasses(query.text.size(), dataset_.Length(id), k)) {
+      continue;
+    }
+    if (WithinDistance(query.text, dataset_.View(id), k, &ws)) {
+      out->push_back(id);
+    }
+  }
+}
+
+MatchList PartitionIndexSearcher::Search(const Query& query) const {
+  MatchList out;
+  const int k = query.max_distance;
+  if (k > options_.max_k) {
+    // The pigeonhole argument needs ≥ k+1 pieces; beyond the build-time
+    // budget we degrade gracefully rather than answer wrongly.
+    ScanFallback(query, &out);
+    return out;
+  }
+
+  const std::string_view q = query.text;
+  const int pieces = options_.max_k + 1;
+  thread_local std::vector<uint32_t> candidates;
+  candidates.clear();
+
+  // Probe every compatible data length, piece, and shift.
+  const size_t min_len = q.size() > static_cast<size_t>(k)
+                             ? q.size() - static_cast<size_t>(k)
+                             : 0;
+  const size_t max_len = q.size() + static_cast<size_t>(k);
+  for (size_t len = min_len; len <= max_len; ++len) {
+    const std::vector<size_t> bounds = PieceBounds(len, pieces);
+    for (int j = 0; j < pieces; ++j) {
+      const size_t piece_begin = bounds[j];
+      const size_t piece_len = bounds[j + 1] - bounds[j];
+      if (piece_len == 0 || piece_len > q.size()) continue;
+      // A surviving piece keeps its position up to the ±k drift caused by
+      // insertions/deletions before it.
+      const size_t lo =
+          piece_begin > static_cast<size_t>(k) ? piece_begin - k : 0;
+      const size_t hi =
+          std::min(q.size() - piece_len, piece_begin + static_cast<size_t>(k));
+      for (size_t pos = lo; pos <= hi && pos + piece_len <= q.size(); ++pos) {
+        const uint64_t key =
+            MakeKey(q.substr(pos, piece_len), len, j);
+        auto range = std::equal_range(
+            entries_.begin(), entries_.end(), Entry{key, 0},
+            [](const Entry& a, const Entry& b) { return a.key < b.key; });
+        for (auto it = range.first; it != range.second; ++it) {
+          candidates.push_back(it->id);
+        }
+      }
+    }
+  }
+
+  // Short strings are unprobeable (see constructor) — always candidates.
+  candidates.insert(candidates.end(), short_ids_.begin(), short_ids_.end());
+
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  thread_local EditDistanceWorkspace ws;
+  for (uint32_t id : candidates) {
+    if (!LengthFilterPasses(q.size(), dataset_.Length(id), k)) continue;
+    if (WithinDistance(q, dataset_.View(id), k, &ws)) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace sss

@@ -1,0 +1,144 @@
+#include "core/qgram_index.h"
+
+#include <algorithm>
+
+#include "core/edit_distance.h"
+#include "core/filters.h"
+#include "util/macros.h"
+
+namespace sss {
+
+namespace {
+
+// Same FNV-1a the q-gram filter uses; collisions merge buckets, which only
+// adds candidates (never loses one), so the index stays sound.
+uint32_t HashGram(const char* p, int q) {
+  uint32_t h = 2166136261u;
+  for (int i = 0; i < q; ++i) {
+    h ^= static_cast<unsigned char>(p[i]);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+size_t RoundUpToPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+QGramIndexSearcher::QGramIndexSearcher(const Dataset& dataset,
+                                       QGramIndexOptions options)
+    : dataset_(dataset), options_(options) {
+  SSS_CHECK(options_.q >= 1);
+  // Bucket count: roughly one bucket per two grams keeps lists short
+  // without exploding memory on small datasets.
+  const size_t total_grams_estimate = dataset.pool().total_bytes();
+  const size_t buckets = std::max<size_t>(
+      64, RoundUpToPowerOfTwo(total_grams_estimate / 2 + 1));
+  bucket_mask_ = buckets - 1;
+
+  // Two passes: count, then fill (classic counting-sort layout, so each
+  // posting list is contiguous).
+  std::vector<uint64_t> counts(buckets + 1, 0);
+  const auto for_each_gram = [&](size_t id, auto&& fn) {
+    const std::string_view s = dataset_.View(id);
+    if (s.size() < static_cast<size_t>(options_.q)) return;
+    for (size_t i = 0; i + options_.q <= s.size(); ++i) {
+      fn(BucketOf(HashGram(s.data() + i, options_.q)));
+    }
+  };
+  for (size_t id = 0; id < dataset_.size(); ++id) {
+    for_each_gram(id, [&](size_t bucket) { ++counts[bucket + 1]; });
+  }
+  for (size_t b = 1; b <= buckets; ++b) counts[b] += counts[b - 1];
+  bucket_offsets_ = counts;
+
+  postings_.resize(bucket_offsets_[buckets]);
+  std::vector<uint64_t> cursor(bucket_offsets_.begin(),
+                               bucket_offsets_.end() - 1);
+  for (size_t id = 0; id < dataset_.size(); ++id) {
+    for_each_gram(id, [&](size_t bucket) {
+      postings_[cursor[bucket]++] = static_cast<uint32_t>(id);
+    });
+  }
+}
+
+size_t QGramIndexSearcher::memory_bytes() const {
+  return postings_.size() * sizeof(uint32_t) +
+         bucket_offsets_.size() * sizeof(uint64_t);
+}
+
+void QGramIndexSearcher::ScanFallback(const Query& query,
+                                      MatchList* out) const {
+  thread_local EditDistanceWorkspace ws;
+  const int k = query.max_distance;
+  for (uint32_t id = 0; id < dataset_.size(); ++id) {
+    if (!LengthFilterPasses(query.text.size(), dataset_.Length(id), k)) {
+      continue;
+    }
+    if (WithinDistance(query.text, dataset_.View(id), k, &ws)) {
+      out->push_back(id);
+    }
+  }
+}
+
+void QGramIndexSearcher::VerifyCandidates(
+    const Query& query, const std::vector<uint32_t>& candidates,
+    MatchList* out) const {
+  thread_local EditDistanceWorkspace ws;
+  const int k = query.max_distance;
+  for (uint32_t id : candidates) {
+    if (!LengthFilterPasses(query.text.size(), dataset_.Length(id), k)) {
+      continue;
+    }
+    if (WithinDistance(query.text, dataset_.View(id), k, &ws)) {
+      out->push_back(id);
+    }
+  }
+}
+
+MatchList QGramIndexSearcher::Search(const Query& query) const {
+  MatchList out;
+  const int k = query.max_distance;
+  const int q = options_.q;
+  const int64_t lq = static_cast<int64_t>(query.text.size());
+  const int64_t threshold = lq - q + 1 - static_cast<int64_t>(k) * q;
+
+  if (threshold <= 0) {
+    // The count bound is vacuous: every id is a candidate.
+    ScanFallback(query, &out);
+    return out;
+  }
+
+  // Gather posting hits per candidate. Collect all postings for the query's
+  // grams, sort, and count runs — cheaper than a hash map for the short
+  // lists typical here, and it leaves candidates in ascending id order.
+  thread_local std::vector<uint32_t> hits;
+  hits.clear();
+  for (size_t i = 0; i + q <= query.text.size(); ++i) {
+    const size_t bucket = BucketOf(HashGram(query.text.data() + i, q));
+    const uint64_t begin = bucket_offsets_[bucket];
+    const uint64_t end = bucket_offsets_[bucket + 1];
+    hits.insert(hits.end(), postings_.begin() + begin,
+                postings_.begin() + end);
+  }
+  std::sort(hits.begin(), hits.end());
+
+  thread_local std::vector<uint32_t> candidates;
+  candidates.clear();
+  for (size_t i = 0; i < hits.size();) {
+    size_t j = i;
+    while (j < hits.size() && hits[j] == hits[i]) ++j;
+    if (static_cast<int64_t>(j - i) >= threshold) {
+      candidates.push_back(hits[i]);
+    }
+    i = j;
+  }
+  VerifyCandidates(query, candidates, &out);
+  return out;
+}
+
+}  // namespace sss

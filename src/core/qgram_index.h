@@ -1,0 +1,74 @@
+// QGramIndexSearcher — an inverted q-gram index, the classic alternative
+// index family from the literature the paper builds on (its related work
+// discusses filter-based approaches; the count filter of filters.h is the
+// same bound turned into an index).
+//
+// Build: for every dataset string, hash each overlapping q-gram and append
+// the string id to that gram's posting list.
+// Query: merge the posting lists of the query's q-grams, counting hits per
+// candidate id; any string within distance k must share at least
+//   T = (l_q − q + 1) − k·q
+// grams with the query, so ids below the threshold are never verified.
+// When T ≤ 0 (short query or large k) the bound is vacuous and the engine
+// degrades to a filtered scan — the known weakness of q-gram indexes that
+// keeps them honest as a baseline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/searcher.h"
+#include "io/dataset.h"
+
+namespace sss {
+
+/// \brief Configuration of the q-gram index.
+struct QGramIndexOptions {
+  /// Gram size. 2–3 suits short natural-language strings; larger grams
+  /// sharpen the bound for long reads but empty it faster as k grows.
+  int q = 3;
+};
+
+/// \brief Inverted q-gram index engine.
+class QGramIndexSearcher final : public Searcher {
+ public:
+  /// Builds posting lists over `dataset` (which must outlive this
+  /// searcher).
+  QGramIndexSearcher(const Dataset& dataset, QGramIndexOptions options = {});
+
+  MatchList Search(const Query& query) const override;
+  std::string name() const override { return "qgram_index"; }
+  size_t memory_bytes() const override;
+
+  int q() const noexcept { return options_.q; }
+
+  /// \brief Number of distinct gram buckets (hash-sharded).
+  size_t num_buckets() const noexcept { return bucket_offsets_.size() - 1; }
+
+ private:
+  /// Bucket index for a gram hash.
+  size_t BucketOf(uint32_t hash) const noexcept {
+    return hash & bucket_mask_;
+  }
+
+  /// Verifies candidates whose shared-gram count reaches the threshold.
+  void VerifyCandidates(const Query& query,
+                        const std::vector<uint32_t>& candidates,
+                        MatchList* out) const;
+
+  /// Fallback when the count bound is vacuous: verify every id that passes
+  /// the length filter.
+  void ScanFallback(const Query& query, MatchList* out) const;
+
+  const Dataset& dataset_;
+  QGramIndexOptions options_;
+
+  // Postings, bucketed by hashed gram: ids of strings containing at least
+  // one gram hashing into the bucket (with multiplicity).
+  std::vector<uint32_t> postings_;
+  std::vector<uint64_t> bucket_offsets_;  // num_buckets()+1 entries
+  size_t bucket_mask_ = 0;
+};
+
+}  // namespace sss

@@ -1,0 +1,70 @@
+#include "core/ranked.h"
+
+#include <algorithm>
+
+#include "core/edit_distance.h"
+#include "core/filters.h"
+#include "util/macros.h"
+
+namespace sss {
+
+std::vector<RankedMatch> RankedSearch(const Dataset& dataset,
+                                      std::string_view text, int max_distance,
+                                      size_t max_results) {
+  SSS_CHECK(max_distance >= 0);
+  thread_local EditDistanceWorkspace ws;
+  std::vector<RankedMatch> out;
+  for (uint32_t id = 0; id < dataset.size(); ++id) {
+    if (!LengthFilterPasses(text.size(), dataset.Length(id), max_distance)) {
+      continue;
+    }
+    // BoundedMyers/banded both return the exact distance when ≤ k.
+    const int d = max_distance <= 3
+                      ? BoundedEditDistance(text, dataset.View(id),
+                                            max_distance, &ws)
+                      : BoundedMyers(text, dataset.View(id), max_distance,
+                                     &ws);
+    if (d <= max_distance) {
+      out.push_back(RankedMatch{id, d});
+    }
+  }
+  std::sort(out.begin(), out.end());
+  if (max_results > 0 && out.size() > max_results) {
+    out.resize(max_results);
+  }
+  return out;
+}
+
+std::vector<RankedMatch> NearestNeighbors(const CompressedTrieSearcher& index,
+                                          const Dataset& dataset,
+                                          std::string_view text, size_t n,
+                                          int max_radius) {
+  SSS_CHECK(max_radius >= 0);
+  std::vector<RankedMatch> out;
+  if (n == 0 || dataset.empty()) return out;
+
+  thread_local EditDistanceWorkspace ws;
+  // Iterative deepening: radii 0, 1, 2, 4, 8, ... Each round is a full
+  // thresholded search; once it returns ≥ n matches (or the radius cap is
+  // hit), exact distances rank them. Doubling keeps the total work within a
+  // constant factor of the final round.
+  int radius = 0;
+  for (;;) {
+    const MatchList ids =
+        index.Search(Query{std::string(text), radius});
+    if (ids.size() >= n || radius >= max_radius) {
+      out.reserve(ids.size());
+      for (uint32_t id : ids) {
+        const int d = BoundedMyers(text, dataset.View(id), radius, &ws);
+        SSS_DCHECK(d <= radius);
+        out.push_back(RankedMatch{id, d});
+      }
+      std::sort(out.begin(), out.end());
+      if (out.size() > n) out.resize(n);
+      return out;
+    }
+    radius = radius == 0 ? 1 : std::min(max_radius, radius * 2);
+  }
+}
+
+}  // namespace sss

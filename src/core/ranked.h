@@ -1,0 +1,52 @@
+// Ranked similarity search: the thresholded engines answer "everything
+// within k"; applications (spelling suggestions, entity matching — the
+// paper's §1 motivation) usually want "the closest few". This module adds
+// that on top of the same kernels:
+//
+//   * RankedSearch  — matches within k, ordered by (distance, id), with
+//     exact distances and an optional result cap;
+//   * NearestNeighbors — the closest n strings regardless of threshold,
+//     found by iterative deepening over k on a compressed trie (each round
+//     costs a banded descent, and rounds stop as soon as enough matches
+//     exist at the current radius).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/compressed_trie.h"
+#include "io/dataset.h"
+
+namespace sss {
+
+/// \brief One ranked match.
+struct RankedMatch {
+  uint32_t id = 0;
+  int distance = 0;
+
+  bool operator==(const RankedMatch&) const = default;
+  /// Orders by distance, then id (the result ordering guarantee).
+  bool operator<(const RankedMatch& other) const {
+    return distance < other.distance ||
+           (distance == other.distance && id < other.id);
+  }
+};
+
+/// \brief All dataset strings within `max_distance` of `text`, with exact
+/// distances, ordered by (distance, id). `max_results` of 0 means
+/// unlimited; otherwise the best `max_results` are returned.
+std::vector<RankedMatch> RankedSearch(const Dataset& dataset,
+                                      std::string_view text, int max_distance,
+                                      size_t max_results = 0);
+
+/// \brief The `n` closest dataset strings to `text` (ties broken by id),
+/// regardless of distance. Uses `index` for candidate generation, so
+/// repeated lookups against one dataset share the build cost.
+/// `max_radius` bounds the deepening (strings farther than it are never
+/// returned; pass e.g. the dataset's max length for "no bound").
+std::vector<RankedMatch> NearestNeighbors(const CompressedTrieSearcher& index,
+                                          const Dataset& dataset,
+                                          std::string_view text, size_t n,
+                                          int max_radius);
+
+}  // namespace sss

@@ -1,0 +1,140 @@
+#include "core/scan.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace sss {
+
+SequentialScanSearcher::SequentialScanSearcher(const Dataset& dataset,
+                                               ScanOptions options)
+    : dataset_(dataset), options_(options) {
+  if (options_.sort_by_length) {
+    const size_t max_len = dataset_.pool().max_length();
+    // Counting sort of ids by length: length_starts_[L] is the first slot of
+    // length L in ids_by_length_ (and [max+1] the end sentinel).
+    std::vector<uint32_t> counts(max_len + 2, 0);
+    for (size_t id = 0; id < dataset_.size(); ++id) {
+      ++counts[dataset_.Length(id) + 1];
+    }
+    for (size_t l = 1; l < counts.size(); ++l) counts[l] += counts[l - 1];
+    length_starts_ = counts;
+    ids_by_length_.resize(dataset_.size());
+    std::vector<uint32_t> cursor(counts.begin(), counts.end() - 1);
+    for (size_t id = 0; id < dataset_.size(); ++id) {
+      ids_by_length_[cursor[dataset_.Length(id)]++] =
+          static_cast<uint32_t>(id);
+    }
+  }
+  if (options_.frequency_filter) {
+    frequency_filter_.emplace(dataset_);
+  }
+  if (options_.qgram_filter_q > 0) {
+    qgram_filter_.emplace(dataset_, options_.qgram_filter_q);
+  }
+}
+
+size_t SequentialScanSearcher::memory_bytes() const {
+  size_t bytes = ids_by_length_.size() * sizeof(uint32_t) +
+                 length_starts_.size() * sizeof(uint32_t);
+  if (frequency_filter_) bytes += dataset_.size() * 6 * sizeof(uint16_t);
+  if (qgram_filter_) {
+    // Approximation: one hashed gram per byte of data plus offsets.
+    bytes += dataset_.pool().total_bytes() * sizeof(uint32_t) +
+             (dataset_.size() + 1) * sizeof(uint64_t);
+  }
+  return bytes;
+}
+
+bool SequentialScanSearcher::Verify(std::string_view q, uint32_t id, int k,
+                                    EditDistanceWorkspace* ws) const {
+  SSS_DCHECK(options_.step == LadderStep::kSimpleTypes);
+  switch (options_.verify_kernel) {
+    case VerifyKernel::kPaperStep4:
+      return internal::EditDistanceSimpleTypes(q, dataset_.View(id), k, ws) <=
+             k;
+    case VerifyKernel::kBanded:
+      return BoundedEditDistance(q, dataset_.View(id), k, ws) <= k;
+    case VerifyKernel::kMyersAuto:
+      return WithinDistance(q, dataset_.View(id), k, ws);
+  }
+  return false;
+}
+
+void SequentialScanSearcher::ScanAll(const Query& query,
+                                     EditDistanceWorkspace* ws,
+                                     MatchList* out) const {
+  const std::string_view q = query.text;
+  const int k = query.max_distance;
+  const FrequencyVector qvec =
+      frequency_filter_ ? frequency_filter_->Compute(q) : FrequencyVector{};
+  const std::vector<uint32_t> qprofile =
+      qgram_filter_ ? qgram_filter_->Profile(q) : std::vector<uint32_t>{};
+
+  for (uint32_t id = 0; id < dataset_.size(); ++id) {
+    if (!LengthFilterPasses(q.size(), dataset_.Length(id), k)) continue;
+    if (frequency_filter_ && !frequency_filter_->MayMatch(qvec, id, k)) {
+      continue;
+    }
+    if (qgram_filter_ &&
+        !qgram_filter_->MayMatch(qprofile, q.size(), id, k)) {
+      continue;
+    }
+    if (Verify(q, id, k, ws)) out->push_back(id);
+  }
+}
+
+void SequentialScanSearcher::ScanByLength(const Query& query,
+                                          EditDistanceWorkspace* ws,
+                                          MatchList* out) const {
+  const std::string_view q = query.text;
+  const int k = query.max_distance;
+  const size_t max_len = dataset_.pool().max_length();
+  const size_t lo =
+      q.size() > static_cast<size_t>(k) ? q.size() - k : 0;
+  const size_t hi = std::min(max_len, q.size() + static_cast<size_t>(k));
+  if (lo > max_len) return;
+
+  const FrequencyVector qvec =
+      frequency_filter_ ? frequency_filter_->Compute(q) : FrequencyVector{};
+  const std::vector<uint32_t> qprofile =
+      qgram_filter_ ? qgram_filter_->Profile(q) : std::vector<uint32_t>{};
+
+  for (uint32_t pos = length_starts_[lo]; pos < length_starts_[hi + 1];
+       ++pos) {
+    const uint32_t id = ids_by_length_[pos];
+    if (frequency_filter_ && !frequency_filter_->MayMatch(qvec, id, k)) {
+      continue;
+    }
+    if (qgram_filter_ &&
+        !qgram_filter_->MayMatch(qprofile, q.size(), id, k)) {
+      continue;
+    }
+    if (Verify(q, id, k, ws)) out->push_back(id);
+  }
+  // The by-length walk visits ids out of order; results must be ascending.
+  std::sort(out->begin(), out->end());
+}
+
+MatchList SequentialScanSearcher::Search(const Query& query) const {
+  // One workspace per thread: Search must be thread-safe under every
+  // ExecutionStrategy, and per-call allocation would undo the step-3/4
+  // optimizations this engine exists to demonstrate.
+  thread_local EditDistanceWorkspace ws;
+  MatchList out;
+
+  if (options_.step != LadderStep::kSimpleTypes) {
+    // Historical rungs run their own full-dataset loop (they are the
+    // benchmark subjects, not composable fast paths).
+    return RunLadderKernel(dataset_, query, options_.step, &ws);
+  }
+
+  if (options_.sort_by_length) {
+    ScanByLength(query, &ws, &out);
+  } else {
+    ScanAll(query, &ws, &out);
+  }
+  return out;
+}
+
+}  // namespace sss

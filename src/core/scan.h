@@ -1,0 +1,95 @@
+// SequentialScanSearcher — the paper's contribution: a sequential scan tuned
+// until it beats the index on short-string workloads (§3, §5.3).
+//
+// The default configuration is the paper's best serial implementation
+// (ladder step 4: banded, allocation-free verification over the contiguous
+// StringPool) plus the dispatch to Myers' bit-parallel kernel for large k.
+// Optional extras implement the paper's future-work items:
+//   * sort_by_length  — pre-sorting by length so only candidate lengths in
+//     [l_q − k, l_q + k] are visited at all ("Sorting", §6);
+//   * frequency_filter — the five-symbol count filter ("Frequency vectors");
+//   * qgram_filter     — a q-gram count filter from the related literature.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/edit_distance.h"
+#include "core/filters.h"
+#include "core/kernels.h"
+#include "core/searcher.h"
+#include "io/dataset.h"
+
+namespace sss {
+
+/// \brief Which kernel verifies surviving candidates at ladder step 4.
+enum class VerifyKernel {
+  /// The paper's own step 4 (§3.4): full-width rolling rows, length filter,
+  /// diagonal abort. Reproduction benches use this.
+  kPaperStep4,
+  /// This library's banded (Ukkonen) kernel — an extension over the paper.
+  kBanded,
+  /// Banded for small k, Myers bit-parallel for large k — the library's
+  /// best configuration and the default.
+  kMyersAuto,
+};
+
+/// \brief Configuration of the sequential scan.
+struct ScanOptions {
+  /// Which ladder rung verifies candidates. kSimpleTypes is the paper's
+  /// best; earlier rungs exist for the ladder benches.
+  LadderStep step = LadderStep::kSimpleTypes;
+  /// Verification kernel used at step 4 (earlier rungs always reproduce
+  /// the paper exactly and ignore this).
+  VerifyKernel verify_kernel = VerifyKernel::kMyersAuto;
+  /// "Sorting" future-work item: visit only ids whose length can match.
+  bool sort_by_length = false;
+  /// "Frequency vectors" future-work item: count-filter before verifying.
+  bool frequency_filter = false;
+  /// q-gram count filter (0 = off; otherwise the gram size, e.g. 2 or 3).
+  int qgram_filter_q = 0;
+};
+
+/// \brief The sequential scan engine.
+///
+/// Search() is const and thread-safe: per-thread DP workspaces are handled
+/// internally, so any ExecutionStrategy may drive it.
+class SequentialScanSearcher final : public Searcher {
+ public:
+  /// Builds the (cheap) scan-side auxiliary structures. The dataset must
+  /// outlive this searcher.
+  SequentialScanSearcher(const Dataset& dataset, ScanOptions options);
+
+  MatchList Search(const Query& query) const override;
+  std::string name() const override { return "sequential_scan"; }
+  size_t memory_bytes() const override;
+
+  const ScanOptions& options() const noexcept { return options_; }
+
+ private:
+  /// Verifies candidate `id` against the query at the configured rung.
+  bool Verify(std::string_view q, uint32_t id, int k,
+              EditDistanceWorkspace* ws) const;
+
+  /// Scan over every id (default layout).
+  void ScanAll(const Query& query, EditDistanceWorkspace* ws,
+               MatchList* out) const;
+
+  /// Scan restricted to matching lengths via the sorted-by-length order.
+  void ScanByLength(const Query& query, EditDistanceWorkspace* ws,
+                    MatchList* out) const;
+
+  const Dataset& dataset_;
+  ScanOptions options_;
+
+  // sort_by_length: ids grouped by string length.
+  std::vector<uint32_t> ids_by_length_;
+  std::vector<uint32_t> length_starts_;  // first position of each length
+
+  std::optional<FrequencyVectorFilter> frequency_filter_;
+  std::optional<QGramFilter> qgram_filter_;
+};
+
+}  // namespace sss

@@ -1,0 +1,114 @@
+#include "core/searcher.h"
+
+#include "core/bktree.h"
+#include "core/compressed_trie.h"
+#include "core/packed_scan.h"
+#include "core/partition_index.h"
+#include "core/qgram_index.h"
+#include "core/scan.h"
+#include "core/trie.h"
+#include "parallel/adaptive_pool.h"
+#include "parallel/thread_per_query.h"
+#include "parallel/thread_pool.h"
+
+namespace sss {
+
+SearchResults Searcher::SearchBatch(const QuerySet& queries,
+                                    const ExecutionOptions& exec) const {
+  return RunBatch(queries, exec);
+}
+
+SearchResults Searcher::RunBatch(const QuerySet& queries,
+                                 const ExecutionOptions& exec) const {
+  SearchResults results(queries.size());
+  const auto run_one = [&](size_t i) {
+    results[i] = Search(queries[i]);
+  };
+
+  switch (exec.strategy) {
+    case ExecutionStrategy::kSerial: {
+      for (size_t i = 0; i < queries.size(); ++i) run_one(i);
+      break;
+    }
+    case ExecutionStrategy::kThreadPerQuery: {
+      RunThreadPerItem(queries.size(), run_one);
+      break;
+    }
+    case ExecutionStrategy::kFixedPool: {
+      ThreadPool pool(exec.num_threads);
+      // Dynamic scheduling: query costs are highly skewed (they depend on k
+      // and result size), so static partitioning would leave cores idle.
+      pool.DynamicParallelFor(queries.size(), run_one);
+      break;
+    }
+    case ExecutionStrategy::kAdaptive: {
+      AdaptivePoolOptions options;
+      options.max_threads = exec.num_threads;
+      AdaptivePool pool(options);
+      pool.ParallelFor(queries.size(), run_one, /*chunk=*/1);
+      break;
+    }
+  }
+  return results;
+}
+
+std::string ToString(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kSequentialScan:
+      return "sequential_scan";
+    case EngineKind::kTrieIndex:
+      return "trie_index";
+    case EngineKind::kCompressedTrieIndex:
+      return "compressed_trie_index";
+    case EngineKind::kQGramIndex:
+      return "qgram_index";
+    case EngineKind::kPartitionIndex:
+      return "partition_index";
+    case EngineKind::kPackedDnaScan:
+      return "packed_dna_scan";
+    case EngineKind::kBKTree:
+      return "bk_tree";
+  }
+  return "?";
+}
+
+Result<std::unique_ptr<Searcher>> MakeSearcher(EngineKind kind,
+                                               const Dataset& dataset) {
+  switch (kind) {
+    case EngineKind::kSequentialScan:
+      return std::unique_ptr<Searcher>(
+          new SequentialScanSearcher(dataset, ScanOptions{}));
+    case EngineKind::kTrieIndex: {
+      auto trie = std::make_unique<TrieSearcher>(dataset);
+      return std::unique_ptr<Searcher>(std::move(trie));
+    }
+    case EngineKind::kCompressedTrieIndex: {
+      auto trie = std::make_unique<CompressedTrieSearcher>(dataset);
+      return std::unique_ptr<Searcher>(std::move(trie));
+    }
+    case EngineKind::kQGramIndex: {
+      QGramIndexOptions options;
+      // Longer grams pay off on long low-entropy strings.
+      options.q = dataset.alphabet() == AlphabetKind::kDna ? 6 : 3;
+      return std::unique_ptr<Searcher>(
+          new QGramIndexSearcher(dataset, options));
+    }
+    case EngineKind::kPartitionIndex: {
+      PartitionIndexOptions options;
+      // Cover the workload's Table-I threshold ladder.
+      options.max_k = dataset.alphabet() == AlphabetKind::kDna ? 16 : 3;
+      return std::unique_ptr<Searcher>(
+          new PartitionIndexSearcher(dataset, options));
+    }
+    case EngineKind::kPackedDnaScan: {
+      SSS_ASSIGN_OR_RETURN(std::unique_ptr<PackedDnaScanSearcher> packed,
+                           PackedDnaScanSearcher::Make(dataset));
+      return std::unique_ptr<Searcher>(std::move(packed));
+    }
+    case EngineKind::kBKTree:
+      return std::unique_ptr<Searcher>(new BKTreeSearcher(dataset));
+  }
+  return Status::Invalid("unknown engine kind");
+}
+
+}  // namespace sss

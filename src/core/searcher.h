@@ -1,0 +1,80 @@
+// The common engine interface: both competitors (sequential scan and
+// prefix-trie index) implement Searcher, so benches, tests and examples can
+// swap them freely. Mirrors the paper's setup where both solutions answer
+// the same query batches and only the result-computation time is compared.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "io/dataset.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace sss {
+
+/// \brief How a batch of queries is executed (§3.5/§3.6).
+enum class ExecutionStrategy {
+  kSerial,          // no parallelism
+  kThreadPerQuery,  // strategy 1: one thread per query
+  kFixedPool,       // strategy 2: fixed worker count
+  kAdaptive,        // strategy 3: master/slave adaptive management
+};
+
+/// \brief Parallel execution parameters shared by all engines.
+struct ExecutionOptions {
+  ExecutionStrategy strategy = ExecutionStrategy::kSerial;
+  /// Worker count for kFixedPool (0 = hardware concurrency); the max worker
+  /// bound for kAdaptive.
+  size_t num_threads = 0;
+};
+
+/// \brief A built engine answering string similarity queries over one
+/// dataset.
+class Searcher {
+ public:
+  virtual ~Searcher() = default;
+
+  /// \brief All dataset ids within query.max_distance of query.text,
+  /// ascending.
+  virtual MatchList Search(const Query& query) const = 0;
+
+  /// \brief Answers a whole batch, parallelized per `exec`. Results are
+  /// positionally parallel to `queries`.
+  virtual SearchResults SearchBatch(const QuerySet& queries,
+                                    const ExecutionOptions& exec) const;
+
+  /// \brief Engine name for reports ("sequential_scan", "trie_index", ...).
+  virtual std::string name() const = 0;
+
+  /// \brief Bytes of auxiliary memory the engine built (index structures,
+  /// filter tables; excludes the dataset itself).
+  virtual size_t memory_bytes() const { return 0; }
+
+ protected:
+  /// \brief Shared batch driver: runs Search(queries[i]) under the chosen
+  /// strategy. Engines whose Search is thread-safe get parallelism for free.
+  SearchResults RunBatch(const QuerySet& queries,
+                         const ExecutionOptions& exec) const;
+};
+
+/// \brief Which engine to construct.
+enum class EngineKind {
+  kSequentialScan,       // the paper's contribution (§3)
+  kTrieIndex,            // the paper's index (§4.1)
+  kCompressedTrieIndex,  // §4.2
+  kQGramIndex,           // related-work baseline: inverted q-gram index
+  kPartitionIndex,       // related-work baseline: pigeonhole partitioning
+  kPackedDnaScan,        // §6 future work: scan over 3-bit-packed reads
+  kBKTree,               // classic metric-tree baseline (Burkhard–Keller)
+};
+
+/// \brief Human-readable engine name.
+std::string ToString(EngineKind kind);
+
+/// \brief Builds an engine of `kind` over `dataset` with default engine
+/// options. The dataset must outlive the returned searcher.
+Result<std::unique_ptr<Searcher>> MakeSearcher(EngineKind kind,
+                                               const Dataset& dataset);
+
+}  // namespace sss

@@ -1,0 +1,176 @@
+#include "core/trie.h"
+
+#include <algorithm>
+
+#include "core/internal/banded_row.h"
+#include "util/macros.h"
+
+namespace sss {
+
+TrieSearcher::TrieSearcher(const Dataset& dataset, TriePruning pruning)
+    : dataset_(dataset), pruning_(pruning) {
+  nodes_.emplace_back();  // root
+  for (size_t id = 0; id < dataset.size(); ++id) {
+    Insert(dataset.View(id), static_cast<uint32_t>(id));
+  }
+}
+
+uint32_t TrieSearcher::ChildOrNull(const Node& node, unsigned char c) const {
+  const auto it = std::lower_bound(
+      node.children.begin(), node.children.end(), c,
+      [](const auto& edge, unsigned char key) { return edge.first < key; });
+  if (it == node.children.end() || it->first != c) return 0;  // 0 = none
+  return it->second;
+}
+
+void TrieSearcher::Insert(std::string_view s, uint32_t id) {
+  const auto len = static_cast<uint16_t>(s.size());
+  uint32_t cur = 0;
+  nodes_[0].min_len = std::min(nodes_[0].min_len, len);
+  nodes_[0].max_len = std::max(nodes_[0].max_len, len);
+  for (unsigned char c : s) {
+    uint32_t next = ChildOrNull(nodes_[cur], c);
+    if (next == 0) {
+      next = static_cast<uint32_t>(nodes_.size());
+      nodes_.emplace_back();
+      Node& parent = nodes_[cur];
+      const auto it = std::lower_bound(
+          parent.children.begin(), parent.children.end(), c,
+          [](const auto& edge, unsigned char key) {
+            return edge.first < key;
+          });
+      parent.children.insert(it, {c, next});
+    }
+    cur = next;
+    nodes_[cur].min_len = std::min(nodes_[cur].min_len, len);
+    nodes_[cur].max_len = std::max(nodes_[cur].max_len, len);
+  }
+  nodes_[cur].terminal_ids.push_back(id);
+}
+
+TrieStats TrieSearcher::Stats() const {
+  TrieStats stats;
+  stats.num_nodes = nodes_.size();
+  for (const Node& n : nodes_) {
+    if (!n.terminal_ids.empty()) ++stats.num_terminal_nodes;
+    stats.memory_bytes += sizeof(Node) +
+                          n.children.capacity() * sizeof(n.children[0]) +
+                          n.terminal_ids.capacity() * sizeof(uint32_t);
+  }
+  stats.max_depth = nodes_.empty() ? 0 : nodes_[0].max_len;
+  return stats;
+}
+
+MatchList TrieSearcher::Search(const Query& query) const {
+  return pruning_ == TriePruning::kBandedRows ? SearchBanded(query)
+                                              : SearchPaperRule(query);
+}
+
+MatchList TrieSearcher::SearchBanded(const Query& query) const {
+  const int k = query.max_distance;
+  const int lq = static_cast<int>(query.text.size());
+
+  thread_local internal::BandedRows rows;
+  rows.Init(query.text, k);
+
+  MatchList out;
+
+  // Iterative DFS; each frame remembers which child to try next so a node's
+  // row (indexed by depth) stays valid while its subtree is explored.
+  struct Frame {
+    uint32_t node;
+    int depth;
+    size_t next_child;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{0, 0, 0});
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const Node& node = nodes_[frame.node];
+
+    if (frame.next_child == 0 && !node.terminal_ids.empty() &&
+        rows.TerminalWithin(frame.depth)) {
+      out.insert(out.end(), node.terminal_ids.begin(),
+                 node.terminal_ids.end());
+    }
+
+    bool descended = false;
+    while (frame.next_child < node.children.size()) {
+      const auto [label, child_idx] = node.children[frame.next_child++];
+      const Node& child = nodes_[child_idx];
+      // Length bound (the paper's d_m slack, eq. 10): the subtree's length
+      // range must intersect [l_q − k, l_q + k].
+      if (static_cast<int>(child.min_len) > lq + k ||
+          static_cast<int>(child.max_len) < lq - k) {
+        continue;
+      }
+      const int child_depth = frame.depth + 1;
+      // Row bound: the band minimum never decreases with depth.
+      if (rows.Advance(child_depth, label) > k) continue;
+      stack.push_back(Frame{child_idx, child_depth, 0});
+      descended = true;
+      break;
+    }
+    if (!descended) stack.pop_back();
+  }
+
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+MatchList TrieSearcher::SearchPaperRule(const Query& query) const {
+  const int k = query.max_distance;
+  const int lq = static_cast<int>(query.text.size());
+
+  thread_local internal::FullRows rows;
+  rows.Init(query.text, k, nodes_[0].max_len);
+
+  MatchList out;
+  struct Frame {
+    uint32_t node;
+    int depth;
+    size_t next_child;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{0, 0, 0});
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const Node& node = nodes_[frame.node];
+
+    if (frame.next_child == 0 && !node.terminal_ids.empty() &&
+        rows.TerminalWithin(frame.depth)) {
+      out.insert(out.end(), node.terminal_ids.begin(),
+                 node.terminal_ids.end());
+    }
+
+    bool descended = false;
+    while (frame.next_child < node.children.size()) {
+      const auto [label, child_idx] = node.children[frame.next_child++];
+      const Node& child = nodes_[child_idx];
+      const int child_depth = frame.depth + 1;
+      const int row_min = rows.Advance(child_depth, label);
+      // The paper's condition (9): follow the branch only while
+      // ed(x_0..i, y_0..i) ≤ k + d_m. The row-minimum conjunct guarantees
+      // soundness independently of the rule (min never decreases with
+      // depth), so results stay exact even where the paper's bound would
+      // over-prune; pruning is never stronger than the paper's, which is
+      // the behaviour being reproduced.
+      const int d_m =
+          internal::PaperLengthSlack(lq, child.min_len, child.max_len);
+      if (rows.PrefixDistance(child_depth) > k + d_m && row_min > k) {
+        continue;
+      }
+      stack.push_back(Frame{child_idx, child_depth, 0});
+      descended = true;
+      break;
+    }
+    if (!descended) stack.pop_back();
+  }
+
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace sss

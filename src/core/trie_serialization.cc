@@ -1,0 +1,242 @@
+// Serialization of the compressed trie (declared in compressed_trie.h).
+//
+// Layout (little-endian), checksummed like io/binary_format.cc:
+//   magic "SSSIDX01"
+//   dataset fingerprint: uint64 count + uint64 FNV over the pool bytes
+//   pruning (uint8), frequency_bounds (uint8)
+//   node count (uint64), then per node:
+//     label_offset u64 (into the pool buffer), label_len u32,
+//     min_len u16, max_len u16, freq_min[6] u16, freq_max[6] u16,
+//     child count u32 + (label byte u8, node index u32) pairs,
+//     terminal count u32 + ids u32
+//   checksum u64 (FNV over everything above)
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "core/compressed_trie.h"
+#include "util/macros.h"
+
+namespace sss {
+
+namespace {
+
+constexpr char kIndexMagic[8] = {'S', 'S', 'S', 'I', 'D', 'X', '0', '1'};
+
+uint64_t Fnv1a(const char* data, size_t len, uint64_t h) {
+  for (size_t i = 0; i < len; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+constexpr uint64_t kFnvSeed = 1469598103934665603ULL;
+
+uint64_t DatasetFingerprint(const Dataset& dataset) {
+  return Fnv1a(dataset.pool().data(), dataset.pool().total_bytes(),
+               kFnvSeed);
+}
+
+// Append-to-string writer; the whole image is built in memory (index files
+// are a few MB at paper scale), checksummed once, and written once.
+class ImageWriter {
+ public:
+  void Write(const void* data, size_t len) {
+    image_.append(static_cast<const char*>(data), len);
+  }
+  template <typename T>
+  void WriteScalar(T value) {
+    Write(&value, sizeof(T));
+  }
+  std::string Finish() {
+    const uint64_t checksum = Fnv1a(image_.data(), image_.size(), kFnvSeed);
+    Write(&checksum, sizeof(checksum));
+    return std::move(image_);
+  }
+
+ private:
+  std::string image_;
+};
+
+class ImageReader {
+ public:
+  explicit ImageReader(std::string_view body) : body_(body) {}
+
+  Status Read(void* out, size_t len) {
+    if (pos_ + len > body_.size()) {
+      return Status::Invalid("index file truncated");
+    }
+    std::memcpy(out, body_.data() + pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+  template <typename T>
+  Result<T> ReadScalar() {
+    T value;
+    SSS_RETURN_NOT_OK(Read(&value, sizeof(T)));
+    return value;
+  }
+  size_t Remaining() const { return body_.size() - pos_; }
+
+ private:
+  std::string_view body_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status CompressedTrieSearcher::SaveIndex(const std::string& path) const {
+  ImageWriter writer;
+  writer.Write(kIndexMagic, sizeof(kIndexMagic));
+  writer.WriteScalar<uint64_t>(static_cast<uint64_t>(dataset_.size()));
+  writer.WriteScalar<uint64_t>(DatasetFingerprint(dataset_));
+  writer.WriteScalar<uint8_t>(
+      pruning_ == TriePruning::kPaperRule ? 1 : 0);
+  writer.WriteScalar<uint8_t>(frequency_bounds_ ? 1 : 0);
+  writer.WriteScalar<uint64_t>(static_cast<uint64_t>(nodes_.size()));
+
+  const char* pool_base = dataset_.pool().data();
+  for (const Node& node : nodes_) {
+    const uint64_t offset =
+        node.label == nullptr
+            ? 0
+            : static_cast<uint64_t>(node.label - pool_base);
+    writer.WriteScalar<uint64_t>(offset);
+    writer.WriteScalar<uint32_t>(node.label_len);
+    writer.WriteScalar<uint16_t>(node.min_len);
+    writer.WriteScalar<uint16_t>(node.max_len);
+    for (uint16_t v : node.freq_min) writer.WriteScalar<uint16_t>(v);
+    for (uint16_t v : node.freq_max) writer.WriteScalar<uint16_t>(v);
+    writer.WriteScalar<uint32_t>(
+        static_cast<uint32_t>(node.children.size()));
+    for (const auto& [byte, child] : node.children) {
+      writer.WriteScalar<uint8_t>(byte);
+      writer.WriteScalar<uint32_t>(child);
+    }
+    writer.WriteScalar<uint32_t>(
+        static_cast<uint32_t>(node.terminal_ids.size()));
+    for (uint32_t id : node.terminal_ids) writer.WriteScalar<uint32_t>(id);
+  }
+
+  const std::string image = writer.Finish();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  const bool ok =
+      std::fwrite(image.data(), 1, image.size(), f) == image.size();
+  std::fclose(f);
+  if (!ok) return Status::IOError("short write to '" + path + "'");
+  return Status::OK();
+}
+
+Result<std::unique_ptr<CompressedTrieSearcher>>
+CompressedTrieSearcher::LoadIndex(const std::string& path,
+                                  const Dataset& dataset) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::string contents(size > 0 ? static_cast<size_t>(size) : 0, '\0');
+  const bool read_ok =
+      contents.empty() ||
+      std::fread(contents.data(), 1, contents.size(), f) == contents.size();
+  std::fclose(f);
+  if (!read_ok) return Status::IOError("short read from '" + path + "'");
+
+  if (contents.size() < sizeof(kIndexMagic) + sizeof(uint64_t)) {
+    return Status::Invalid("index file too small");
+  }
+  const std::string_view body(contents.data(),
+                              contents.size() - sizeof(uint64_t));
+  uint64_t stored_checksum;
+  std::memcpy(&stored_checksum, contents.data() + body.size(),
+              sizeof(uint64_t));
+  if (Fnv1a(body.data(), body.size(), kFnvSeed) != stored_checksum) {
+    return Status::Invalid("index checksum mismatch (corrupt file)");
+  }
+
+  ImageReader reader(body);
+  char magic[sizeof(kIndexMagic)];
+  SSS_RETURN_NOT_OK(reader.Read(magic, sizeof(magic)));
+  if (std::memcmp(magic, kIndexMagic, sizeof(magic)) != 0) {
+    return Status::Invalid("bad magic: not an sss index file");
+  }
+  SSS_ASSIGN_OR_RETURN(uint64_t count, reader.ReadScalar<uint64_t>());
+  SSS_ASSIGN_OR_RETURN(uint64_t fingerprint, reader.ReadScalar<uint64_t>());
+  if (count != dataset.size() ||
+      fingerprint != DatasetFingerprint(dataset)) {
+    return Status::Invalid(
+        "index was built over a different dataset (fingerprint mismatch)");
+  }
+  SSS_ASSIGN_OR_RETURN(uint8_t pruning_raw, reader.ReadScalar<uint8_t>());
+  if (pruning_raw > 1) return Status::Invalid("unknown pruning tag");
+  SSS_ASSIGN_OR_RETURN(uint8_t freq_raw, reader.ReadScalar<uint8_t>());
+  if (freq_raw > 1) return Status::Invalid("unknown frequency-bounds tag");
+  SSS_ASSIGN_OR_RETURN(uint64_t node_count, reader.ReadScalar<uint64_t>());
+  // Each node needs ≥ 24 bytes; overflow-safe sanity bound.
+  if (node_count > reader.Remaining() / 24) {
+    return Status::Invalid("index file truncated (nodes)");
+  }
+
+  std::unique_ptr<CompressedTrieSearcher> searcher(
+      new CompressedTrieSearcher(
+          dataset,
+          pruning_raw == 1 ? TriePruning::kPaperRule
+                           : TriePruning::kBandedRows,
+          freq_raw == 1, SkipBuild{}));
+  searcher->nodes_.resize(node_count);
+
+  const char* pool_base = dataset.pool().data();
+  const uint64_t pool_bytes = dataset.pool().total_bytes();
+  for (Node& node : searcher->nodes_) {
+    SSS_ASSIGN_OR_RETURN(uint64_t offset, reader.ReadScalar<uint64_t>());
+    SSS_ASSIGN_OR_RETURN(node.label_len, reader.ReadScalar<uint32_t>());
+    if (offset > pool_bytes || offset + node.label_len > pool_bytes) {
+      return Status::Invalid("index label points outside the dataset pool");
+    }
+    node.label = node.label_len == 0 ? nullptr : pool_base + offset;
+    SSS_ASSIGN_OR_RETURN(node.min_len, reader.ReadScalar<uint16_t>());
+    SSS_ASSIGN_OR_RETURN(node.max_len, reader.ReadScalar<uint16_t>());
+    for (uint16_t& v : node.freq_min) {
+      SSS_ASSIGN_OR_RETURN(v, reader.ReadScalar<uint16_t>());
+    }
+    for (uint16_t& v : node.freq_max) {
+      SSS_ASSIGN_OR_RETURN(v, reader.ReadScalar<uint16_t>());
+    }
+    SSS_ASSIGN_OR_RETURN(uint32_t child_count,
+                         reader.ReadScalar<uint32_t>());
+    if (child_count > reader.Remaining() / 5) {
+      return Status::Invalid("index file truncated (children)");
+    }
+    node.children.resize(child_count);
+    for (auto& [byte, child] : node.children) {
+      SSS_ASSIGN_OR_RETURN(byte, reader.ReadScalar<uint8_t>());
+      SSS_ASSIGN_OR_RETURN(child, reader.ReadScalar<uint32_t>());
+      if (child == 0 || child >= node_count) {
+        return Status::Invalid("index child reference out of range");
+      }
+    }
+    SSS_ASSIGN_OR_RETURN(uint32_t terminal_count,
+                         reader.ReadScalar<uint32_t>());
+    if (terminal_count > reader.Remaining() / 4) {
+      return Status::Invalid("index file truncated (terminals)");
+    }
+    node.terminal_ids.resize(terminal_count);
+    for (uint32_t& id : node.terminal_ids) {
+      SSS_ASSIGN_OR_RETURN(id, reader.ReadScalar<uint32_t>());
+      if (id >= dataset.size()) {
+        return Status::Invalid("index terminal id out of range");
+      }
+    }
+  }
+  if (reader.Remaining() != 0) {
+    return Status::Invalid("index file has trailing bytes");
+  }
+  return searcher;
+}
+
+}  // namespace sss

@@ -1,0 +1,17 @@
+// Seed corpus for the city-name generator: a few hundred real city names
+// from many countries, used to train the character-level Markov model that
+// synthesizes the 400,000-string "city names" dataset (our stand-in for the
+// EDBT/ICDT 2013 competition file, which is no longer distributed).
+#pragma once
+
+#include <cstddef>
+
+namespace sss::gen {
+
+/// \brief Pointer to the seed corpus (ASCII, one name per entry).
+extern const char* const kCityCorpus[];
+
+/// \brief Number of entries in kCityCorpus.
+extern const size_t kCityCorpusSize;
+
+}  // namespace sss::gen

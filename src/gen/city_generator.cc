@@ -1,0 +1,153 @@
+#include "gen/city_generator.h"
+
+#include <algorithm>
+#include <map>
+
+#include "gen/city_corpus.h"
+#include "util/macros.h"
+
+namespace sss::gen {
+
+namespace {
+
+constexpr unsigned char kEndSymbol = 0;
+
+// Latin-1 accented variants per ASCII base letter, used for both cases.
+struct AccentEntry {
+  char base;
+  const char* variants;  // Latin-1 bytes
+};
+
+// Lowercase variants (Latin-1 0xE0..0xFF block).
+const AccentEntry kLowerAccents[] = {
+    {'a', "\xe0\xe1\xe2\xe3\xe4\xe5"}, {'c', "\xe7"},
+    {'e', "\xe8\xe9\xea\xeb"},         {'i', "\xec\xed\xee\xef"},
+    {'n', "\xf1"},                     {'o', "\xf2\xf3\xf4\xf5\xf6\xf8"},
+    {'u', "\xf9\xfa\xfb\xfc"},         {'y', "\xfd\xff"},
+    {'d', "\xf0"},                     {'s', "\xdf"},
+};
+
+// Uppercase variants (0xC0..0xDE block).
+const AccentEntry kUpperAccents[] = {
+    {'A', "\xc0\xc1\xc2\xc3\xc4\xc5"}, {'C', "\xc7"},
+    {'E', "\xc8\xc9\xca\xcb"},         {'I', "\xcc\xcd\xce\xcf"},
+    {'N', "\xd1"},                     {'O', "\xd2\xd3\xd4\xd5\xd6\xd8"},
+    {'U', "\xd9\xda\xdb\xdc"},         {'Y', "\xdd"},
+    {'D', "\xd0"},                     {'T', "\xde"},
+};
+
+const char* FindVariants(char c) {
+  for (const auto& entry : kLowerAccents) {
+    if (entry.base == c) return entry.variants;
+  }
+  for (const auto& entry : kUpperAccents) {
+    if (entry.base == c) return entry.variants;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+CityNameGenerator::CityNameGenerator(CityGeneratorOptions options,
+                                     uint64_t seed)
+    : options_(options), rng_(seed) {
+  SSS_CHECK(options_.order >= 1 && options_.order <= 3);
+  SSS_CHECK(options_.min_length >= 1 &&
+            options_.min_length <= options_.max_length);
+  TrainModel();
+}
+
+void CityNameGenerator::TrainModel() {
+  const uint32_t context_mask =
+      options_.order == 3 ? 0xFFFFFFu : (options_.order == 2 ? 0xFFFFu : 0xFFu);
+
+  // First pass: ordered counts (std::map keeps training deterministic and
+  // independent of hash iteration order).
+  std::map<uint32_t, std::map<unsigned char, uint64_t>> counts;
+  for (size_t w = 0; w < kCityCorpusSize; ++w) {
+    const char* name = kCityCorpus[w];
+    uint32_t context = 0;
+    for (const char* p = name; *p != '\0'; ++p) {
+      const auto symbol = static_cast<unsigned char>(*p);
+      counts[context][symbol]++;
+      context = ((context << 8) | symbol) & context_mask;
+    }
+    counts[context][kEndSymbol]++;
+  }
+
+  // Second pass: cumulative sampling tables.
+  for (const auto& [context, next_counts] : counts) {
+    Transition& t = model_[context];
+    double running = 0.0;
+    for (const auto& [symbol, count] : next_counts) {
+      running += static_cast<double>(count);
+      t.symbols.push_back(symbol);
+      t.cumulative.push_back(running);
+    }
+  }
+}
+
+std::string CityNameGenerator::SampleRaw() {
+  const uint32_t context_mask =
+      options_.order == 3 ? 0xFFFFFFu : (options_.order == 2 ? 0xFFFFu : 0xFFu);
+  std::string out;
+  uint32_t context = 0;
+  // Bound the walk: if the chain refuses to terminate before max_length the
+  // caller resamples.
+  while (out.size() <= options_.max_length) {
+    auto it = model_.find(context);
+    if (it == model_.end()) break;  // unseen context: treat as end
+    const Transition& t = it->second;
+    const size_t idx =
+        SampleCumulative(t.cumulative.data(), t.cumulative.size(), &rng_);
+    const unsigned char symbol = t.symbols[idx];
+    if (symbol == kEndSymbol) break;
+    out.push_back(static_cast<char>(symbol));
+    context = ((context << 8) | symbol) & context_mask;
+  }
+  return out;
+}
+
+void CityNameGenerator::ApplyAccents(std::string* s) {
+  if (options_.accent_prob <= 0.0) return;
+  for (char& c : *s) {
+    if (!rng_.Bernoulli(options_.accent_prob)) continue;
+    const char* variants = FindVariants(c);
+    if (variants == nullptr) continue;
+    const size_t n = std::char_traits<char>::length(variants);
+    c = variants[rng_.Uniform(n)];
+  }
+}
+
+void CityNameGenerator::ApplyTranscriptionNoise(std::string* s) {
+  if (!rng_.Bernoulli(options_.exotic_string_prob)) return;
+  for (char& c : *s) {
+    if (c == ' ' || !rng_.Bernoulli(options_.exotic_char_prob)) continue;
+    // Bytes 0x80..0xBF: the range the competition data populated with
+    // non-Latin transcription characters.
+    c = static_cast<char>(0x80 + rng_.Uniform(0x40));
+  }
+}
+
+std::string CityNameGenerator::Next() {
+  for (;;) {
+    std::string name = SampleRaw();
+    if (name.size() < options_.min_length || name.size() > options_.max_length) {
+      continue;
+    }
+    ApplyAccents(&name);
+    ApplyTranscriptionNoise(&name);
+    return name;
+  }
+}
+
+Dataset CityNameGenerator::Generate() {
+  Dataset dataset("city_names", AlphabetKind::kGeneric);
+  dataset.Reserve(options_.num_strings, options_.num_strings * 12);
+  for (size_t i = 0; i < options_.num_strings; ++i) {
+    dataset.Add(Next());
+  }
+  return dataset;
+}
+
+}  // namespace sss::gen

@@ -1,0 +1,80 @@
+// Synthetic "city names" dataset generator.
+//
+// Stand-in for the EDBT/ICDT 2013 competition's geographical-names file
+// (Table I: 400,000 strings, alphabet ≈255 symbols, length ≤64). A
+// character-level order-2 Markov model is trained on an embedded corpus of
+// real city names (city_corpus.h) and sampled to produce realistic
+// natural-language strings. Two post-processing passes widen the alphabet
+// toward the paper's ≈255 symbols:
+//   * accent substitution: ASCII vowels/consonants are replaced by Latin-1
+//     accented forms with a configurable probability (Sao Paulo→São Paulo);
+//   * transcription noise: rare injection of upper Latin-1/supplement bytes,
+//     simulating the competition data's multi-script entries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "io/dataset.h"
+#include "util/random.h"
+
+namespace sss::gen {
+
+/// \brief Tuning knobs for CityNameGenerator.
+struct CityGeneratorOptions {
+  /// Number of strings to generate.
+  size_t num_strings = 400000;
+  /// Hard maximum length (Table I: max 64); longer samples are resampled.
+  size_t max_length = 64;
+  /// Minimum length; shorter samples are resampled.
+  size_t min_length = 2;
+  /// Per-character probability of substituting an accented Latin-1 variant.
+  double accent_prob = 0.04;
+  /// Per-string probability of containing transcription-noise bytes.
+  double exotic_string_prob = 0.05;
+  /// Per-character probability of a noise byte inside an exotic string.
+  double exotic_char_prob = 0.15;
+  /// Markov model order (1..3). 2 reproduces name-like digram statistics.
+  int order = 2;
+};
+
+/// \brief Generates city-name-like strings from a Markov model.
+///
+/// Deterministic for a given (options, seed) pair. Not thread-safe; create
+/// one generator per thread.
+class CityNameGenerator {
+ public:
+  explicit CityNameGenerator(CityGeneratorOptions options = {},
+                             uint64_t seed = Xoshiro256::kDefaultSeed);
+
+  /// \brief Generates one name.
+  std::string Next();
+
+  /// \brief Generates options.num_strings names into a Dataset tagged
+  /// AlphabetKind::kGeneric.
+  Dataset Generate();
+
+  const CityGeneratorOptions& options() const noexcept { return options_; }
+
+ private:
+  // Sampling table for one Markov context: the possible next bytes (0 =
+  // end-of-string) and their cumulative weights.
+  struct Transition {
+    std::vector<unsigned char> symbols;
+    std::vector<double> cumulative;
+  };
+
+  void TrainModel();
+  std::string SampleRaw();
+  void ApplyAccents(std::string* s);
+  void ApplyTranscriptionNoise(std::string* s);
+
+  CityGeneratorOptions options_;
+  Xoshiro256 rng_;
+  // Context key: low `order` bytes of recent history, 0-padded at start.
+  std::unordered_map<uint32_t, Transition> model_;
+};
+
+}  // namespace sss::gen

@@ -1,0 +1,116 @@
+#include "gen/dna_generator.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace sss::gen {
+
+namespace {
+
+constexpr char kBases[4] = {'A', 'C', 'G', 'T'};
+
+char Complement(char base) {
+  switch (base) {
+    case 'A': return 'T';
+    case 'T': return 'A';
+    case 'C': return 'G';
+    case 'G': return 'C';
+    default:  return 'N';
+  }
+}
+
+}  // namespace
+
+DnaReadGenerator::DnaReadGenerator(DnaGeneratorOptions options, uint64_t seed)
+    : options_(options), rng_(seed) {
+  SSS_CHECK(options_.read_length > options_.read_length_jitter);
+  SSS_CHECK(options_.genome_length >=
+            options_.read_length + options_.read_length_jitter);
+  BuildGenome();
+}
+
+void DnaReadGenerator::BuildGenome() {
+  genome_.resize(options_.genome_length);
+  // Real genomes are not i.i.d.: GC content drifts in long-range "isochore"
+  // blocks and short repeats abound. A two-state composition model (GC-rich /
+  // AT-rich segments) plus occasional tandem repeat copies approximates both,
+  // which gives the trie realistic shared-prefix structure.
+  size_t i = 0;
+  bool gc_rich = false;
+  while (i < genome_.size()) {
+    const size_t segment = 1000 + rng_.Uniform(9000);
+    const double gc = gc_rich ? 0.62 : 0.38;
+    const size_t end = std::min(genome_.size(), i + segment);
+    for (; i < end; ++i) {
+      const bool is_gc = rng_.Bernoulli(gc);
+      const bool second = rng_.Bernoulli(0.5);
+      genome_[i] = is_gc ? (second ? 'G' : 'C') : (second ? 'A' : 'T');
+    }
+    // Occasionally copy a recent block forward (tandem-repeat-like).
+    if (i < genome_.size() && rng_.Bernoulli(0.3)) {
+      const size_t repeat_len = 50 + rng_.Uniform(450);
+      const size_t available = genome_.size() - i;
+      const size_t len = std::min(repeat_len, available);
+      const size_t src = i >= repeat_len ? i - repeat_len : 0;
+      for (size_t j = 0; j < len; ++j) genome_[i + j] = genome_[src + j];
+      i += len;
+    }
+    gc_rich = !gc_rich;
+  }
+}
+
+std::string DnaReadGenerator::Next() {
+  const size_t jitter = options_.read_length_jitter;
+  const size_t target_len =
+      options_.read_length - jitter + rng_.Uniform(2 * jitter + 1);
+  // Leave room for deletions consuming extra template bases.
+  const size_t template_len = target_len + 8;
+  const size_t max_start = genome_.size() - template_len;
+  const size_t start = rng_.Uniform(max_start + 1);
+
+  std::string read;
+  read.reserve(target_len + 4);
+  const bool reverse = rng_.Bernoulli(options_.reverse_strand_prob);
+
+  size_t pos = 0;  // offset into the template
+  while (read.size() < target_len && pos < template_len) {
+    if (rng_.Bernoulli(options_.insertion_rate)) {
+      read.push_back(kBases[rng_.Uniform(4)]);
+      continue;  // insertion does not consume a template base
+    }
+    if (rng_.Bernoulli(options_.deletion_rate)) {
+      ++pos;  // deletion consumes a template base, emits nothing
+      continue;
+    }
+    char base = reverse ? Complement(genome_[start + template_len - 1 - pos])
+                        : genome_[start + pos];
+    ++pos;
+    if (rng_.Bernoulli(options_.n_rate)) {
+      base = 'N';
+    } else if (rng_.Bernoulli(options_.substitution_rate)) {
+      // Substitute with a different base.
+      char sub;
+      do {
+        sub = kBases[rng_.Uniform(4)];
+      } while (sub == base);
+      base = sub;
+    }
+    read.push_back(base);
+  }
+  // If errors left the read short, pad from random bases (adapter noise).
+  while (read.size() < target_len) read.push_back(kBases[rng_.Uniform(4)]);
+  return read;
+}
+
+Dataset DnaReadGenerator::Generate() {
+  Dataset dataset("dna_reads", AlphabetKind::kDna);
+  dataset.Reserve(options_.num_reads,
+                  options_.num_reads * (options_.read_length + 2));
+  for (size_t i = 0; i < options_.num_reads; ++i) {
+    dataset.Add(Next());
+  }
+  return dataset;
+}
+
+}  // namespace sss::gen

@@ -1,0 +1,70 @@
+// Synthetic DNA read generator.
+//
+// Stand-in for the competition's human-genome reads file (Table I: 750,000
+// reads, alphabet {A,C,G,N,T}, length ≈100). Reads are sampled from one
+// synthetic reference genome with a sequencing-error model (substitutions,
+// insertions, deletions, ambiguous 'N' calls). Because many reads cover
+// overlapping genome positions, the dataset contains the clusters of
+// near-identical strings that make similarity search on read sets
+// non-trivial — the property the paper's DNA experiments rely on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "io/dataset.h"
+#include "util/random.h"
+
+namespace sss::gen {
+
+/// \brief Tuning knobs for DnaReadGenerator.
+struct DnaGeneratorOptions {
+  /// Number of reads to generate.
+  size_t num_reads = 750000;
+  /// Length of the synthetic reference genome the reads are drawn from.
+  size_t genome_length = 1 << 20;  // 1 Mbp
+  /// Mean read length (Table I: ≈100).
+  size_t read_length = 100;
+  /// Max deviation of an individual read's length (uniform in ±jitter).
+  size_t read_length_jitter = 4;
+  /// Per-base substitution error probability.
+  double substitution_rate = 0.01;
+  /// Per-base insertion probability.
+  double insertion_rate = 0.002;
+  /// Per-base deletion probability.
+  double deletion_rate = 0.002;
+  /// Per-base probability of an ambiguous 'N' call.
+  double n_rate = 0.003;
+  /// Fraction of reads taken from the reverse strand (complemented).
+  double reverse_strand_prob = 0.5;
+};
+
+/// \brief Generates sequencing-read-like strings over {A,C,G,N,T}.
+///
+/// Deterministic for a given (options, seed). Not thread-safe.
+class DnaReadGenerator {
+ public:
+  explicit DnaReadGenerator(DnaGeneratorOptions options = {},
+                            uint64_t seed = Xoshiro256::kDefaultSeed);
+
+  /// \brief Generates one read.
+  std::string Next();
+
+  /// \brief Generates options.num_reads reads into a Dataset tagged
+  /// AlphabetKind::kDna.
+  Dataset Generate();
+
+  /// \brief The reference genome reads are sampled from (for tests).
+  const std::string& genome() const noexcept { return genome_; }
+
+  const DnaGeneratorOptions& options() const noexcept { return options_; }
+
+ private:
+  void BuildGenome();
+
+  DnaGeneratorOptions options_;
+  Xoshiro256 rng_;
+  std::string genome_;
+};
+
+}  // namespace sss::gen

@@ -1,0 +1,62 @@
+#include "gen/query_generator.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "util/macros.h"
+
+namespace sss::gen {
+
+std::string Perturb(std::string_view base, int edits,
+                    std::string_view alphabet, Xoshiro256* rng) {
+  std::string s(base);
+  for (int e = 0; e < edits; ++e) {
+    const uint64_t op = rng->Uniform(3);
+    const auto random_symbol = [&]() -> char {
+      if (!alphabet.empty()) return alphabet[rng->Uniform(alphabet.size())];
+      if (!s.empty()) return s[rng->Uniform(s.size())];
+      return 'a';
+    };
+    switch (op) {
+      case 0: {  // insert
+        const size_t pos = rng->Uniform(s.size() + 1);
+        s.insert(s.begin() + static_cast<ptrdiff_t>(pos), random_symbol());
+        break;
+      }
+      case 1: {  // delete
+        if (s.empty()) break;
+        const size_t pos = rng->Uniform(s.size());
+        s.erase(s.begin() + static_cast<ptrdiff_t>(pos));
+        break;
+      }
+      default: {  // replace
+        if (s.empty()) break;
+        const size_t pos = rng->Uniform(s.size());
+        s[pos] = random_symbol();
+        break;
+      }
+    }
+  }
+  return s;
+}
+
+QuerySet MakeQuerySet(const Dataset& dataset,
+                      const QueryGeneratorOptions& options, uint64_t seed) {
+  SSS_CHECK(!dataset.empty());
+  SSS_CHECK(!options.thresholds.empty());
+  Xoshiro256 rng(seed);
+  QuerySet queries;
+  queries.reserve(options.num_queries);
+  for (size_t i = 0; i < options.num_queries; ++i) {
+    const int k = options.thresholds[i % options.thresholds.size()];
+    const std::string_view base = dataset.View(rng.Uniform(dataset.size()));
+    const int edits =
+        options.exact_edits
+            ? k
+            : static_cast<int>(rng.Uniform(static_cast<uint64_t>(k) + 1));
+    queries.push_back(Query{Perturb(base, edits, options.alphabet, &rng), k});
+  }
+  return queries;
+}
+
+}  // namespace sss::gen

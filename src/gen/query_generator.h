@@ -1,0 +1,43 @@
+// Query workload generator.
+//
+// The competition issued queries drawn from the same domain as the data,
+// each with a threshold from the dataset's ladder (city: k ∈ {0,1,2,3};
+// DNA: k ∈ {0,4,8,16}, Table I). We reproduce that: a query is a dataset
+// string perturbed by up to `k` random edit operations, so that every query
+// is guaranteed at least one match at its threshold and result sets are
+// non-empty the way competition runs were.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "io/dataset.h"
+#include "util/random.h"
+
+namespace sss::gen {
+
+/// \brief Tuning knobs for MakeQuerySet.
+struct QueryGeneratorOptions {
+  /// Number of queries to produce (paper runs: 100, 500, 1000).
+  size_t num_queries = 100;
+  /// Threshold ladder, cycled across queries (Table I values).
+  std::vector<int> thresholds = {0, 1, 2, 3};
+  /// When true, each query is perturbed by exactly its threshold k edits;
+  /// when false, by a uniform number in [0, k].
+  bool exact_edits = false;
+  /// Alphabet the perturbation draws replacement/insert symbols from. When
+  /// empty, symbols are drawn from the sampled string itself.
+  std::string alphabet;
+};
+
+/// \brief Applies exactly `edits` random insert/delete/replace operations.
+/// Exposed for tests (the result is within edit distance `edits` of `base`).
+std::string Perturb(std::string_view base, int edits,
+                    std::string_view alphabet, Xoshiro256* rng);
+
+/// \brief Builds a QuerySet against `dataset` per `options`.
+QuerySet MakeQuerySet(const Dataset& dataset,
+                      const QueryGeneratorOptions& options,
+                      uint64_t seed = Xoshiro256::kDefaultSeed);
+
+}  // namespace sss::gen

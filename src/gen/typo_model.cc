@@ -1,0 +1,100 @@
+#include "gen/typo_model.h"
+
+#include <cctype>
+#include <cstddef>
+#include <utility>
+
+#include "util/macros.h"
+
+namespace sss::gen {
+
+namespace {
+
+// QWERTY adjacency for lowercase letters.
+struct NeighborEntry {
+  char key;
+  const char* neighbors;
+};
+
+constexpr NeighborEntry kQwerty[] = {
+    {'q', "wa"},    {'w', "qase"},  {'e', "wsdr"},  {'r', "edft"},
+    {'t', "rfgy"},  {'y', "tghu"},  {'u', "yhji"},  {'i', "ujko"},
+    {'o', "iklp"},  {'p', "ol"},    {'a', "qwsz"},  {'s', "awedxz"},
+    {'d', "serfcx"}, {'f', "drtgvc"}, {'g', "ftyhbv"}, {'h', "gyujnb"},
+    {'j', "huikmn"}, {'k', "jiolm"}, {'l', "kop"},   {'z', "asx"},
+    {'x', "zsdc"},  {'c', "xdfv"},  {'v', "cfgb"},  {'b', "vghn"},
+    {'n', "bhjm"},  {'m', "njk"},
+};
+
+}  // namespace
+
+std::string_view TypoModel::NeighborsOf(char c) {
+  const char lower = static_cast<char>(
+      std::tolower(static_cast<unsigned char>(c)));
+  for (const NeighborEntry& entry : kQwerty) {
+    if (entry.key == lower) return entry.neighbors;
+  }
+  return {};
+}
+
+TypoModel::TypoModel(TypoModelOptions options) {
+  double running = 0.0;
+  running += options.neighbor_substitution;
+  cumulative_[0] = running;
+  running += options.omission;
+  cumulative_[1] = running;
+  running += options.insertion;
+  cumulative_[2] = running;
+  running += options.transposition;
+  cumulative_[3] = running;
+  SSS_CHECK(running > 0.0);
+}
+
+std::string TypoModel::Corrupt(std::string_view word, int typos,
+                               Xoshiro256* rng) const {
+  std::string s(word);
+  for (int t = 0; t < typos; ++t) {
+    if (s.empty()) {
+      s.push_back('a' + static_cast<char>(rng->Uniform(26)));
+      continue;
+    }
+    const double r = rng->UniformDouble() * cumulative_[3];
+    if (r < cumulative_[0]) {
+      // Neighbouring-key substitution; keep the original case.
+      const size_t pos = rng->Uniform(s.size());
+      const std::string_view neighbors = NeighborsOf(s[pos]);
+      if (!neighbors.empty()) {
+        const char replacement = neighbors[rng->Uniform(neighbors.size())];
+        s[pos] = std::isupper(static_cast<unsigned char>(s[pos]))
+                     ? static_cast<char>(
+                           std::toupper(static_cast<unsigned char>(
+                               replacement)))
+                     : replacement;
+      } else {
+        s[pos] = 'a' + static_cast<char>(rng->Uniform(26));
+      }
+    } else if (r < cumulative_[1]) {
+      // Omission.
+      s.erase(s.begin() + static_cast<ptrdiff_t>(rng->Uniform(s.size())));
+    } else if (r < cumulative_[2]) {
+      // Insertion: double a letter (most common) or a stray neighbor.
+      const size_t pos = rng->Uniform(s.size());
+      const char c = s[pos];
+      const std::string_view neighbors = NeighborsOf(c);
+      const char inserted =
+          neighbors.empty() || rng->Bernoulli(0.6)
+              ? c
+              : neighbors[rng->Uniform(neighbors.size())];
+      s.insert(s.begin() + static_cast<ptrdiff_t>(pos), inserted);
+    } else {
+      // Adjacent transposition.
+      if (s.size() >= 2) {
+        const size_t pos = rng->Uniform(s.size() - 1);
+        std::swap(s[pos], s[pos + 1]);
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace sss::gen

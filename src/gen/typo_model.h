@@ -1,0 +1,48 @@
+// Realistic typo model for natural-language query workloads. The plain
+// query generator (query_generator.h) applies uniform random edits; real
+// users make *keyboard* mistakes — neighbouring-key substitutions, doubled
+// letters, dropped letters, and adjacent-letter swaps. This model produces
+// those, for examples and workloads that should look like actual misspelled
+// input (the paper's §1 motivation: "the user could make typing errors").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/random.h"
+
+namespace sss::gen {
+
+/// \brief Relative frequency of each typo class (normalized internally;
+/// defaults follow the classic typo-distribution observation that
+/// substitutions and omissions dominate).
+struct TypoModelOptions {
+  double neighbor_substitution = 0.35;  // g → f/h/t/b/v (QWERTY neighbors)
+  double omission = 0.25;               // drop a letter
+  double insertion = 0.15;              // double a letter / stray neighbor
+  double transposition = 0.25;          // swap adjacent letters
+};
+
+/// \brief Generates keyboard-plausible misspellings.
+class TypoModel {
+ public:
+  explicit TypoModel(TypoModelOptions options = {});
+
+  /// \brief Applies exactly `typos` mistakes to `word` using `rng`.
+  /// A single typo leaves the result within OSA distance 1 (a transposition
+  /// is one OSA operation); in general the result is within plain edit
+  /// distance 2·typos (each mistake is at most two Levenshtein operations;
+  /// stacked mistakes may overlap, so the OSA bound does not compose).
+  std::string Corrupt(std::string_view word, int typos,
+                      Xoshiro256* rng) const;
+
+  /// \brief The QWERTY neighbours of `c` (letters only; empty view for
+  /// non-letters). Exposed for tests.
+  static std::string_view NeighborsOf(char c);
+
+ private:
+  double cumulative_[4];
+};
+
+}  // namespace sss::gen

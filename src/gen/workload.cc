@@ -1,0 +1,77 @@
+#include "gen/workload.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace sss::gen {
+
+namespace {
+
+size_t Scaled(size_t full, double scale) {
+  const auto scaled = static_cast<size_t>(static_cast<double>(full) * scale);
+  return std::max<size_t>(1, scaled);
+}
+
+QuerySet MakeBatch(const Dataset& dataset, WorkloadKind kind, size_t count,
+                   uint64_t seed) {
+  QueryGeneratorOptions options;
+  options.num_queries = count;
+  options.thresholds = ThresholdsFor(kind);
+  return MakeQuerySet(dataset, options, seed);
+}
+
+}  // namespace
+
+std::string ToString(WorkloadKind kind) {
+  return kind == WorkloadKind::kCityNames ? "city_names" : "dna_reads";
+}
+
+const std::vector<int>& ThresholdsFor(WorkloadKind kind) {
+  static const std::vector<int> kCity = {0, 1, 2, 3};
+  static const std::vector<int> kDna = {0, 4, 8, 16};
+  return kind == WorkloadKind::kCityNames ? kCity : kDna;
+}
+
+const QuerySet& Workload::QueriesFor(int paper_count) const {
+  switch (paper_count) {
+    case 100:
+      return queries_100;
+    case 500:
+      return queries_500;
+    case 1000:
+      return queries_1000;
+    default:
+      SSS_CHECK(false && "paper query counts are 100, 500, 1000");
+      return queries_100;
+  }
+}
+
+Workload MakeWorkload(WorkloadKind kind, double scale, uint64_t seed) {
+  SSS_CHECK(scale > 0.0 && scale <= 1.0);
+  Workload w{kind, scale, seed, Dataset{}, {}, {}, {}};
+
+  if (kind == WorkloadKind::kCityNames) {
+    CityGeneratorOptions options;
+    options.num_strings = Scaled(400000, scale);
+    w.dataset = CityNameGenerator(options, seed).Generate();
+  } else {
+    DnaGeneratorOptions options;
+    options.num_reads = Scaled(750000, scale);
+    // Shrink the genome with the read count so coverage (reads per genome
+    // base) stays at the full-scale level and near-duplicate density is
+    // preserved.
+    options.genome_length = std::max<size_t>(
+        options.read_length + options.read_length_jitter + 16,
+        Scaled(1 << 20, scale));
+    w.dataset = DnaReadGenerator(options, seed).Generate();
+  }
+
+  // Distinct derived seeds per batch so batches are independent samples.
+  w.queries_100 = MakeBatch(w.dataset, kind, Scaled(100, scale), seed ^ 0x64);
+  w.queries_500 = MakeBatch(w.dataset, kind, Scaled(500, scale), seed ^ 0x1F4);
+  w.queries_1000 = MakeBatch(w.dataset, kind, Scaled(1000, scale), seed ^ 0x3E8);
+  return w;
+}
+
+}  // namespace sss::gen

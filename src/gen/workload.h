@@ -1,0 +1,55 @@
+// Paper workload descriptors: one call builds "the city-names experiment" or
+// "the DNA experiment" at a chosen scale, with the Table-I parameters baked
+// in. Benches, integration tests, and examples all go through this so every
+// consumer agrees on what "the paper's workload" means.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/city_generator.h"
+#include "gen/dna_generator.h"
+#include "gen/query_generator.h"
+#include "io/dataset.h"
+
+namespace sss::gen {
+
+/// \brief Which of the paper's two workloads.
+enum class WorkloadKind {
+  kCityNames,  // Table I row 1: 400k strings, ≈255 symbols, len ≤ 64, k ∈ 0..3
+  kDnaReads,   // Table I row 2: 750k reads, 5 symbols, len ≈ 100, k ∈ {0,4,8,16}
+};
+
+/// \brief A fully materialized workload: the collection plus query batches of
+/// the paper's three sizes.
+struct Workload {
+  WorkloadKind kind;
+  double scale;      // fraction of the paper's dataset size
+  uint64_t seed;
+  Dataset dataset;
+  QuerySet queries_100;   // "100 queries" batch (scaled)
+  QuerySet queries_500;   // "500 queries" batch (scaled)
+  QuerySet queries_1000;  // "1000 queries" batch (scaled)
+
+  /// \brief The batch for a paper query count (100, 500 or 1000).
+  const QuerySet& QueriesFor(int paper_count) const;
+
+  /// \brief Actual number of queries in the batch for `paper_count`.
+  size_t ScaledCount(int paper_count) const {
+    return QueriesFor(paper_count).size();
+  }
+};
+
+/// \brief Human-readable name ("city_names" / "dna_reads").
+std::string ToString(WorkloadKind kind);
+
+/// \brief The Table-I threshold ladder for a workload.
+const std::vector<int>& ThresholdsFor(WorkloadKind kind);
+
+/// \brief Builds a workload at `scale` (1.0 = the paper's full size;
+/// 0.1 = 40k cities / 75k reads and 10/50/100 queries). Deterministic in
+/// (kind, scale, seed).
+Workload MakeWorkload(WorkloadKind kind, double scale, uint64_t seed);
+
+}  // namespace sss::gen

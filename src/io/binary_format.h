@@ -1,0 +1,31 @@
+// Binary dataset serialization. The text format (reader.h/writer.h) is the
+// competition's interchange layout; this one is the library's fast restart
+// path: a single read materializes the StringPool buffers directly, no
+// line scanning.
+//
+// Layout (little-endian):
+//   magic   "SSSDAT01"                     8 bytes
+//   alphabet (uint32: 0 generic, 1 dna)    4 bytes
+//   name_len (uint32) + name bytes
+//   count    (uint64)
+//   offsets  (count + 1) × uint64
+//   bytes    offsets[count] string bytes
+//   checksum (uint64 FNV-1a over everything above)
+#pragma once
+
+#include <string>
+
+#include "io/dataset.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace sss {
+
+/// \brief Writes `dataset` in the binary layout.
+Status WriteBinaryDataset(const std::string& path, const Dataset& dataset);
+
+/// \brief Reads a binary dataset; fails with Invalid on a bad magic,
+/// truncation, or checksum mismatch (corruption is detected, not ignored).
+Result<Dataset> ReadBinaryDataset(const std::string& path);
+
+}  // namespace sss

@@ -1,0 +1,27 @@
+#include "io/dataset.h"
+
+#include <array>
+
+namespace sss {
+
+DatasetStats Dataset::ComputeStats() const {
+  DatasetStats stats;
+  stats.num_strings = size();
+  stats.total_bytes = pool_.total_bytes();
+  if (empty()) return stats;
+
+  std::array<bool, 256> seen{};
+  stats.min_length = SIZE_MAX;
+  for (size_t i = 0; i < size(); ++i) {
+    const std::string_view s = View(i);
+    if (s.size() < stats.min_length) stats.min_length = s.size();
+    if (s.size() > stats.max_length) stats.max_length = s.size();
+    for (unsigned char c : s) seen[c] = true;
+  }
+  for (bool b : seen) stats.alphabet_size += b ? 1 : 0;
+  stats.avg_length =
+      static_cast<double>(stats.total_bytes) / static_cast<double>(size());
+  return stats;
+}
+
+}  // namespace sss

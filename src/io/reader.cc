@@ -1,0 +1,97 @@
+#include "io/reader.h"
+
+#include <charconv>
+#include <cstdio>
+#include <vector>
+
+namespace sss {
+
+namespace {
+
+// Reads an entire file into `out`. Uses stdio rather than ifstream to avoid
+// per-read locale machinery; dataset files are hundreds of megabytes at the
+// paper's full scale.
+Status SlurpFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IOError("cannot determine size of '" + path + "'");
+  }
+  std::fseek(f, 0, SEEK_SET);
+  out->resize(static_cast<size_t>(size));
+  const size_t read = size == 0 ? 0 : std::fread(out->data(), 1, out->size(), f);
+  std::fclose(f);
+  if (read != out->size()) {
+    return Status::IOError("short read from '" + path + "'");
+  }
+  return Status::OK();
+}
+
+// Invokes fn(line) for each '\n'-separated line, with trailing '\r' removed.
+template <typename Fn>
+void ForEachLine(std::string_view contents, Fn&& fn) {
+  size_t begin = 0;
+  while (begin <= contents.size()) {
+    size_t end = contents.find('\n', begin);
+    if (end == std::string_view::npos) end = contents.size();
+    std::string_view line = contents.substr(begin, end - begin);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    fn(line);
+    if (end == contents.size()) break;
+    begin = end + 1;
+  }
+}
+
+}  // namespace
+
+Result<Dataset> ReadDatasetFile(const std::string& path, std::string name,
+                                AlphabetKind alphabet) {
+  std::string contents;
+  SSS_RETURN_NOT_OK(SlurpFile(path, &contents));
+  Dataset dataset(std::move(name), alphabet);
+  ForEachLine(contents, [&](std::string_view line) {
+    if (!line.empty()) dataset.Add(line);
+  });
+  return dataset;
+}
+
+Result<Query> ParseQueryLine(std::string_view line, int default_k) {
+  const size_t tab = line.find('\t');
+  if (tab == std::string_view::npos) {
+    return Query{std::string(line), default_k};
+  }
+  const std::string_view k_field = line.substr(0, tab);
+  int k = 0;
+  const auto [ptr, ec] =
+      std::from_chars(k_field.data(), k_field.data() + k_field.size(), k);
+  if (ec != std::errc() || ptr != k_field.data() + k_field.size() || k < 0) {
+    return Status::Invalid("bad threshold field '" + std::string(k_field) +
+                           "' in query line");
+  }
+  return Query{std::string(line.substr(tab + 1)), k};
+}
+
+Result<QuerySet> ReadQueryFile(const std::string& path, int default_k) {
+  std::string contents;
+  SSS_RETURN_NOT_OK(SlurpFile(path, &contents));
+  QuerySet queries;
+  Status first_error;
+  ForEachLine(contents, [&](std::string_view line) {
+    if (line.empty() || !first_error.ok()) return;
+    Result<Query> q = ParseQueryLine(line, default_k);
+    if (!q.ok()) {
+      first_error = q.status();
+      return;
+    }
+    queries.push_back(std::move(q).ValueUnsafe());
+  });
+  if (!first_error.ok()) return first_error;
+  return queries;
+}
+
+}  // namespace sss

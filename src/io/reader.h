@@ -1,0 +1,28 @@
+// File readers for the competition's line-oriented formats.
+//
+//   dataset file: one string per line ('\n' separated; a trailing '\r' from
+//                 CRLF files is stripped; empty lines are skipped)
+//   query file:   either "k<TAB>string" per line, or plain strings combined
+//                 with a default threshold passed by the caller
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "io/dataset.h"
+#include "util/result.h"
+
+namespace sss {
+
+/// \brief Reads a dataset file. `name`/`alphabet` tag the returned Dataset.
+Result<Dataset> ReadDatasetFile(const std::string& path, std::string name,
+                                AlphabetKind alphabet);
+
+/// \brief Reads a query file. Lines of the form "k<TAB>string" carry their
+/// own threshold; bare lines use `default_k`.
+Result<QuerySet> ReadQueryFile(const std::string& path, int default_k);
+
+/// \brief Parses one query line (exposed for tests).
+Result<Query> ParseQueryLine(std::string_view line, int default_k);
+
+}  // namespace sss

@@ -1,0 +1,68 @@
+#include "io/writer.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "util/result.h"
+
+namespace sss {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FileHandle = std::unique_ptr<std::FILE, FileCloser>;
+
+Result<FileHandle> OpenForWrite(const std::string& path) {
+  FileHandle f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  return f;
+}
+
+Status CheckWrite(bool ok, const std::string& path) {
+  if (!ok) return Status::IOError("short write to '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteDatasetFile(const std::string& path, const Dataset& dataset) {
+  SSS_ASSIGN_OR_RETURN(FileHandle f, OpenForWrite(path));
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    const std::string_view s = dataset.View(i);
+    const bool ok = std::fwrite(s.data(), 1, s.size(), f.get()) == s.size() &&
+                    std::fputc('\n', f.get()) != EOF;
+    SSS_RETURN_NOT_OK(CheckWrite(ok, path));
+  }
+  return Status::OK();
+}
+
+Status WriteQueryFile(const std::string& path, const QuerySet& queries) {
+  SSS_ASSIGN_OR_RETURN(FileHandle f, OpenForWrite(path));
+  for (const Query& q : queries) {
+    const bool ok = std::fprintf(f.get(), "%d\t%s\n", q.max_distance,
+                                 q.text.c_str()) >= 0;
+    SSS_RETURN_NOT_OK(CheckWrite(ok, path));
+  }
+  return Status::OK();
+}
+
+Status WriteResultFile(const std::string& path, const SearchResults& results) {
+  SSS_ASSIGN_OR_RETURN(FileHandle f, OpenForWrite(path));
+  for (size_t qi = 0; qi < results.size(); ++qi) {
+    bool ok = std::fprintf(f.get(), "%zu:", qi) >= 0;
+    for (uint32_t id : results[qi]) {
+      ok = ok && std::fprintf(f.get(), " %u", id) >= 0;
+    }
+    ok = ok && std::fputc('\n', f.get()) != EOF;
+    SSS_RETURN_NOT_OK(CheckWrite(ok, path));
+  }
+  return Status::OK();
+}
+
+}  // namespace sss

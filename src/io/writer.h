@@ -1,0 +1,21 @@
+// Writers: dataset files, query files, and competition-style result files.
+#pragma once
+
+#include <string>
+
+#include "io/dataset.h"
+#include "util/status.h"
+
+namespace sss {
+
+/// \brief Writes one string per line.
+Status WriteDatasetFile(const std::string& path, const Dataset& dataset);
+
+/// \brief Writes queries as "k<TAB>string" lines (readable by ReadQueryFile).
+Status WriteQueryFile(const std::string& path, const QuerySet& queries);
+
+/// \brief Writes results in the competition layout: for each query one line
+/// "query_index:id id id ..." with ids ascending.
+Status WriteResultFile(const std::string& path, const SearchResults& results);
+
+}  // namespace sss

@@ -1,0 +1,159 @@
+#include "parallel/adaptive_pool.h"
+
+#include <algorithm>
+
+namespace sss {
+
+AdaptivePool::AdaptivePool(AdaptivePoolOptions options) : options_(options) {
+  if (options_.max_threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    options_.max_threads = hw == 0 ? 4 : hw;
+  }
+  options_.min_threads = std::max<size_t>(1, options_.min_threads);
+  options_.max_threads =
+      std::max(options_.max_threads, options_.min_threads);
+  options_.initial_threads =
+      std::clamp(options_.initial_threads, options_.min_threads,
+                 options_.max_threads);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < options_.initial_threads; ++i) OpenWorkerLocked();
+  }
+  master_ = std::thread([this] { MasterLoop(); });
+}
+
+AdaptivePool::~AdaptivePool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  master_.join();  // master joins every worker before exiting
+}
+
+void AdaptivePool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void AdaptivePool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void AdaptivePool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                               size_t chunk) {
+  if (chunk == 0) chunk = 1;
+  for (size_t begin = 0; begin < n; begin += chunk) {
+    const size_t end = std::min(n, begin + chunk);
+    Submit([&fn, begin, end] {
+      for (size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+  Wait();
+}
+
+void AdaptivePool::OpenWorkerLocked() {
+  Worker w;
+  w.state = std::make_shared<WorkerState>();
+  w.thread = std::thread([this, state = w.state] { WorkerLoop(state); });
+  workers_.push_back(std::move(w));
+  live_threads_.fetch_add(1);
+  total_opens_.fetch_add(1);
+  size_t peak = peak_threads_.load();
+  while (live_threads_.load() > peak &&
+         !peak_threads_.compare_exchange_weak(peak, live_threads_.load())) {
+  }
+}
+
+void AdaptivePool::ReapExitedLocked() {
+  for (auto it = retired_.begin(); it != retired_.end();) {
+    if (it->state->exited.load()) {
+      it->thread.join();
+      it = retired_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void AdaptivePool::MasterLoop() {
+  for (;;) {
+    std::this_thread::sleep_for(options_.master_interval);
+    std::unique_lock<std::mutex> lock(mu_);
+    ReapExitedLocked();
+    if (shutting_down_ && tasks_.empty()) break;
+
+    // The watermark rules. Only the master applies them, so two threads can
+    // never decide "open" and "close" simultaneously — the paper's
+    // master/slave answer to the locking problem.
+    const size_t live = live_threads_.load();
+    const double pressure = static_cast<double>(tasks_.size()) /
+                            static_cast<double>(std::max<size_t>(1, live));
+    if (pressure > options_.high_watermark &&
+        live < options_.max_threads) {
+      OpenWorkerLocked();
+    } else if (pressure < options_.low_watermark &&
+               live > options_.min_threads && !workers_.empty()) {
+      Worker victim = std::move(workers_.back());
+      workers_.pop_back();
+      victim.state->retire.store(true);
+      retired_.push_back(std::move(victim));
+      total_closes_.fetch_add(1);
+      lock.unlock();
+      task_available_.notify_all();  // wake it so it sees the flag
+      continue;
+    }
+  }
+
+  // Shutdown: retire everyone, then join — WITHOUT holding mu_, because a
+  // waiting worker must reacquire mu_ to wake from the condition variable.
+  std::list<Worker> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Worker& w : workers_) {
+      w.state->retire.store(true);
+      retired_.push_back(std::move(w));
+    }
+    workers_.clear();
+    to_join.swap(retired_);
+  }
+  task_available_.notify_all();
+  for (Worker& w : to_join) w.thread.join();
+}
+
+void AdaptivePool::WorkerLoop(std::shared_ptr<WorkerState> state) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_available_.wait(lock, [&] {
+        return shutting_down_ || state->retire.load() || !tasks_.empty();
+      });
+      if (state->retire.load() || tasks_.empty()) {
+        // Exiting. If work is still queued, this thread may have consumed
+        // the Submit notification meant for it — pass the baton so the task
+        // cannot be stranded.
+        const bool pending = !tasks_.empty();
+        lock.unlock();
+        if (pending) task_available_.notify_one();
+        break;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+  live_threads_.fetch_sub(1);
+  state->exited.store(true);
+}
+
+}  // namespace sss

@@ -1,0 +1,42 @@
+// Static work partitioning — the paper's "simple partitioning" (§3.6,
+// strategy 2): split a range of work items evenly across a fixed number of
+// workers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace sss {
+
+/// \brief A half-open index range [begin, end).
+struct Range {
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t size() const noexcept { return end - begin; }
+  bool empty() const noexcept { return begin == end; }
+  bool operator==(const Range&) const = default;
+};
+
+/// \brief Splits [0, n) into `parts` contiguous ranges whose sizes differ by
+/// at most one (the first n % parts ranges get the extra element). Always
+/// returns exactly `parts` ranges; trailing ranges may be empty when
+/// n < parts.
+inline std::vector<Range> PartitionEvenly(size_t n, size_t parts) {
+  SSS_CHECK(parts > 0);
+  std::vector<Range> ranges;
+  ranges.reserve(parts);
+  const size_t base = n / parts;
+  const size_t extra = n % parts;
+  size_t begin = 0;
+  for (size_t p = 0; p < parts; ++p) {
+    const size_t len = base + (p < extra ? 1 : 0);
+    ranges.push_back(Range{begin, begin + len});
+    begin += len;
+  }
+  return ranges;
+}
+
+}  // namespace sss

@@ -1,0 +1,25 @@
+#include "parallel/thread_per_query.h"
+
+#include <thread>
+#include <vector>
+
+namespace sss {
+
+void RunThreadPerItem(size_t n, const std::function<void(size_t)>& fn,
+                      size_t max_live) {
+  if (max_live == 0) max_live = n;
+  std::vector<std::thread> live;
+  live.reserve(max_live);
+  size_t next = 0;
+  while (next < n) {
+    while (live.size() < max_live && next < n) {
+      const size_t i = next++;
+      live.emplace_back([&fn, i] { fn(i); });
+    }
+    // Strategy 1 joins in spawn order — deliberately naive, as in the paper.
+    for (std::thread& t : live) t.join();
+    live.clear();
+  }
+}
+
+}  // namespace sss

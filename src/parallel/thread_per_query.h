@@ -1,0 +1,22 @@
+// Thread-per-query execution — the paper's parallelism strategy 1 (§3.5/3.6):
+// "open and close as many threads as possible", i.e. spawn one OS thread per
+// query and join it. The paper keeps this implementation *because it loses*
+// (Table III row 5 regresses vs. row 4): thread create/join costs dominate
+// short queries. We reproduce it for the same reason.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace sss {
+
+/// \brief Runs fn(i) for i in [0, n), one dedicated std::thread per item.
+///
+/// `max_live` bounds how many threads exist at once (0 = unbounded, the
+/// paper's literal strategy). The bound exists so full-scale runs cannot
+/// exhaust thread limits in constrained containers; the default of 0 keeps
+/// the paper's behaviour.
+void RunThreadPerItem(size_t n, const std::function<void(size_t)>& fn,
+                      size_t max_live = 0);
+
+}  // namespace sss

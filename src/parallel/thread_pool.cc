@@ -1,0 +1,94 @@
+#include "parallel/thread_pool.h"
+
+#include <atomic>
+
+#include "parallel/partitioner.h"
+
+namespace sss {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = DefaultThreadCount();
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+size_t ThreadPool::DefaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : hw;
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_available_.wait(
+          lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutting down and drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::StaticParallelFor(size_t n,
+                                   const std::function<void(size_t)>& fn) {
+  const std::vector<Range> ranges = PartitionEvenly(n, num_threads());
+  for (const Range& r : ranges) {
+    if (r.empty()) continue;
+    Submit([&fn, r] {
+      for (size_t i = r.begin; i < r.end; ++i) fn(i);
+    });
+  }
+  Wait();
+}
+
+void ThreadPool::DynamicParallelFor(size_t n,
+                                    const std::function<void(size_t)>& fn,
+                                    size_t chunk) {
+  if (chunk == 0) chunk = 1;
+  auto cursor = std::make_shared<std::atomic<size_t>>(0);
+  for (size_t w = 0; w < num_threads(); ++w) {
+    Submit([cursor, n, chunk, &fn] {
+      for (;;) {
+        const size_t begin = cursor->fetch_add(chunk);
+        if (begin >= n) return;
+        const size_t end = begin + chunk < n ? begin + chunk : n;
+        for (size_t i = begin; i < end; ++i) fn(i);
+      }
+    });
+  }
+  Wait();
+}
+
+}  // namespace sss

@@ -1,0 +1,61 @@
+// Fixed-size thread pool — the paper's parallelism strategy 2 (§3.6):
+// "open exactly one thread per CPU core" (the thread count is a parameter so
+// the 4/8/16/32 sweeps of Tables II/IV/VI/VIII can reuse it).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace sss {
+
+/// \brief A fixed set of worker threads consuming a shared task queue.
+class ThreadPool {
+ public:
+  /// \param num_threads worker count; 0 means hardware_concurrency().
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  SSS_DISALLOW_COPY_AND_ASSIGN(ThreadPool);
+
+  /// \brief Enqueues a task. Thread-safe.
+  void Submit(std::function<void()> task);
+
+  /// \brief Blocks until every submitted task has finished.
+  void Wait();
+
+  /// \brief Runs fn(i) for all i in [0, n), statically partitioned into one
+  /// contiguous chunk per worker (the paper's "simple partitioning"), and
+  /// blocks until done. fn must be safe to call concurrently.
+  void StaticParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// \brief Like StaticParallelFor but with dynamic (work-stealing-ish)
+  /// chunked scheduling via a shared atomic cursor — better when per-item
+  /// cost is skewed, as it is across similarity queries.
+  void DynamicParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                          size_t chunk = 1);
+
+  size_t num_threads() const noexcept { return workers_.size(); }
+
+  /// \brief A sensible default worker count for this machine.
+  static size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> tasks_;
+  size_t in_flight_ = 0;  // queued + currently executing
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sss

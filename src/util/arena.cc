@@ -1,0 +1,53 @@
+#include "util/arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sss {
+
+Arena::Arena(size_t initial_block_bytes)
+    : next_block_bytes_(std::max<size_t>(initial_block_bytes, 64)),
+      initial_block_bytes_(next_block_bytes_) {}
+
+void* Arena::Allocate(size_t bytes, size_t alignment) {
+  SSS_DCHECK((alignment & (alignment - 1)) == 0);
+  uintptr_t p = reinterpret_cast<uintptr_t>(cursor_);
+  uintptr_t aligned = (p + alignment - 1) & ~(alignment - 1);
+  size_t padding = aligned - p;
+  if (cursor_ == nullptr ||
+      bytes + padding > static_cast<size_t>(limit_ - cursor_)) {
+    // A fresh block from operator new is max_align_t-aligned, so no padding
+    // is needed after AddBlock.
+    AddBlock(bytes);
+    aligned = reinterpret_cast<uintptr_t>(cursor_);
+    padding = 0;
+  }
+  cursor_ = reinterpret_cast<char*>(aligned + bytes);
+  bytes_allocated_ += bytes + padding;
+  return reinterpret_cast<void*>(aligned);
+}
+
+const char* Arena::CopyString(const char* data, size_t len) {
+  char* out = static_cast<char*>(Allocate(len == 0 ? 1 : len, 1));
+  if (len > 0) std::memcpy(out, data, len);
+  return out;
+}
+
+void Arena::AddBlock(size_t min_bytes) {
+  size_t block_bytes = std::max(next_block_bytes_, min_bytes);
+  blocks_.push_back(std::make_unique<char[]>(block_bytes));
+  cursor_ = blocks_.back().get();
+  limit_ = cursor_ + block_bytes;
+  bytes_reserved_ += block_bytes;
+  next_block_bytes_ = std::min(next_block_bytes_ * 2, kMaxBlockBytes);
+}
+
+void Arena::Reset() {
+  blocks_.clear();
+  cursor_ = limit_ = nullptr;
+  next_block_bytes_ = initial_block_bytes_;
+  bytes_allocated_ = 0;
+  bytes_reserved_ = 0;
+}
+
+}  // namespace sss

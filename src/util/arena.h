@@ -1,0 +1,88 @@
+// Bump-pointer arena allocator. Trie nodes (src/core/trie.h) and other
+// build-once/free-at-once structures allocate from an Arena: allocation is a
+// pointer bump, deallocation is dropping the arena, and nodes end up
+// contiguous in memory, which matters for traversal locality.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace sss {
+
+/// \brief A monotonic (bump-pointer) allocator.
+///
+/// Memory is carved from geometrically growing blocks and released only when
+/// the arena is destroyed or Reset(). Not thread-safe; use one arena per
+/// builder thread.
+class Arena {
+ public:
+  /// \param initial_block_bytes size of the first block; subsequent blocks
+  ///        double up to kMaxBlockBytes.
+  explicit Arena(size_t initial_block_bytes = 4096);
+  ~Arena() = default;
+
+  SSS_DISALLOW_COPY_AND_ASSIGN(Arena);
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+
+  /// \brief Allocates `bytes` with the given alignment (a power of two).
+  /// Never returns nullptr; aborts on allocation failure (an arena caller has
+  /// no recovery path).
+  void* Allocate(size_t bytes, size_t alignment = alignof(std::max_align_t));
+
+  /// \brief Allocates and default-constructs a T. The destructor is NOT run
+  /// at arena destruction; only use for trivially destructible T.
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena::New requires trivially destructible types");
+    void* mem = Allocate(sizeof(T), alignof(T));
+    return new (mem) T(std::forward<Args>(args)...);
+  }
+
+  /// \brief Allocates an uninitialized array of `count` T.
+  template <typename T>
+  T* NewArray(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena::NewArray requires trivially destructible types");
+    return static_cast<T*>(Allocate(sizeof(T) * count, alignof(T)));
+  }
+
+  /// \brief Copies `data[0..len)` into the arena and returns the copy.
+  const char* CopyString(const char* data, size_t len);
+
+  /// \brief Total bytes handed out by Allocate().
+  size_t bytes_allocated() const noexcept { return bytes_allocated_; }
+
+  /// \brief Total bytes reserved from the system (>= bytes_allocated).
+  size_t bytes_reserved() const noexcept { return bytes_reserved_; }
+
+  /// \brief Number of blocks currently held.
+  size_t num_blocks() const noexcept { return blocks_.size(); }
+
+  /// \brief Frees every block and returns the arena to its initial state.
+  /// Invalidates all previously returned pointers.
+  void Reset();
+
+ private:
+  static constexpr size_t kMaxBlockBytes = size_t{4} << 20;  // 4 MiB
+
+  void AddBlock(size_t min_bytes);
+
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  char* cursor_ = nullptr;
+  char* limit_ = nullptr;
+  size_t next_block_bytes_;
+  size_t initial_block_bytes_;
+  size_t bytes_allocated_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+}  // namespace sss

@@ -1,0 +1,51 @@
+#include "util/env.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace sss {
+
+std::optional<std::string> GetEnv(std::string_view name) {
+  std::string key(name);
+  const char* value = std::getenv(key.c_str());
+  if (value == nullptr) return std::nullopt;
+  return std::string(value);
+}
+
+int64_t GetEnvInt(std::string_view name, int64_t fallback) {
+  auto value = GetEnv(name);
+  if (!value) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value->c_str(), &end, 10);
+  if (end == value->c_str() || *end != '\0') return fallback;
+  return static_cast<int64_t>(parsed);
+}
+
+double GetEnvDouble(std::string_view name, double fallback) {
+  auto value = GetEnv(name);
+  if (!value) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value->c_str(), &end);
+  if (end == value->c_str() || *end != '\0') return fallback;
+  return parsed;
+}
+
+bool GetEnvBool(std::string_view name, bool fallback) {
+  auto value = GetEnv(name);
+  if (!value) return fallback;
+  std::string lowered = *value;
+  std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lowered == "1" || lowered == "true" || lowered == "on" ||
+      lowered == "yes") {
+    return true;
+  }
+  if (lowered == "0" || lowered == "false" || lowered == "off" ||
+      lowered == "no") {
+    return false;
+  }
+  return fallback;
+}
+
+}  // namespace sss

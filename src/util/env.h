@@ -1,0 +1,25 @@
+// Environment-variable helpers used by the bench harness to pick dataset
+// scale and seeds without recompiling (e.g. SSS_BENCH_SCALE=full).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sss {
+
+/// \brief Raw environment lookup; nullopt when unset.
+std::optional<std::string> GetEnv(std::string_view name);
+
+/// \brief Environment integer, or `fallback` when unset/unparseable.
+int64_t GetEnvInt(std::string_view name, int64_t fallback);
+
+/// \brief Environment double, or `fallback` when unset/unparseable.
+double GetEnvDouble(std::string_view name, double fallback);
+
+/// \brief Environment boolean ("1", "true", "on", "yes" case-insensitive),
+/// or `fallback` when unset.
+bool GetEnvBool(std::string_view name, bool fallback);
+
+}  // namespace sss

@@ -1,0 +1,102 @@
+#include "util/histogram.h"
+
+#include <bit>
+#include <cstdio>
+
+namespace sss {
+
+LatencyHistogram::LatencyHistogram()
+    : buckets_(static_cast<size_t>(kOctaves) * kSubBuckets) {}
+
+size_t LatencyHistogram::BucketOf(uint64_t value) noexcept {
+  if (value == 0) value = 1;
+  const int octave = 63 - std::countl_zero(value);
+  if (octave < kSubBucketBits) {
+    // Small values map linearly into the first octaves' range.
+    return static_cast<size_t>(value);
+  }
+  const int capped = octave >= kOctaves ? kOctaves - 1 : octave;
+  const uint64_t sub =
+      (value >> (capped - kSubBucketBits)) & (kSubBuckets - 1);
+  return static_cast<size_t>(capped) * kSubBuckets +
+         static_cast<size_t>(sub);
+}
+
+uint64_t LatencyHistogram::BucketUpperBound(size_t bucket) noexcept {
+  const size_t octave = bucket / kSubBuckets;
+  const uint64_t sub = bucket % kSubBuckets;
+  if (octave < static_cast<size_t>(kSubBucketBits)) {
+    return bucket;  // linear region
+  }
+  return ((sub + 1) << (octave - kSubBucketBits)) +
+         (uint64_t{1} << octave) - 1;
+}
+
+void LatencyHistogram::Record(uint64_t value) noexcept {
+  if (value == 0) value = 1;
+  buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t observed = min_.load(std::memory_order_relaxed);
+  while (value < observed &&
+         !min_.compare_exchange_weak(observed, value,
+                                     std::memory_order_relaxed)) {
+  }
+  observed = max_.load(std::memory_order_relaxed);
+  while (value > observed &&
+         !max_.compare_exchange_weak(observed, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t LatencyHistogram::count() const noexcept {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::Mean() const noexcept {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  return static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+         static_cast<double>(n);
+}
+
+uint64_t LatencyHistogram::Percentile(double q) const noexcept {
+  const uint64_t n = count();
+  if (n == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const uint64_t target =
+      static_cast<uint64_t>(q * static_cast<double>(n - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= target) {
+      const uint64_t bound = BucketUpperBound(b);
+      const uint64_t hi = max_.load(std::memory_order_relaxed);
+      return bound < hi ? bound : hi;
+    }
+  }
+  return max_.load(std::memory_order_relaxed);
+}
+
+std::string LatencyHistogram::Summary(const char* unit) const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "p50=%llu%s p90=%llu%s p99=%llu%s max=%llu%s (n=%llu)",
+                static_cast<unsigned long long>(Percentile(0.50)), unit,
+                static_cast<unsigned long long>(Percentile(0.90)), unit,
+                static_cast<unsigned long long>(Percentile(0.99)), unit,
+                static_cast<unsigned long long>(max()), unit,
+                static_cast<unsigned long long>(count()));
+  return std::string(buf);
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0);
+  sum_.store(0);
+  min_.store(UINT64_MAX);
+  max_.store(0);
+}
+
+}  // namespace sss

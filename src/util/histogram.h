@@ -1,0 +1,62 @@
+// Log-bucketed latency histogram (HdrHistogram-flavoured, much smaller):
+// fixed memory, lock-free-ish recording via plain counters, percentile
+// queries. Used by the CLI and benches to report per-query latency
+// distributions instead of just totals — batch means hide the tail that
+// similarity queries (whose cost varies with k and result size) produce.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sss {
+
+/// \brief Histogram over positive values (e.g. nanoseconds) with
+/// logarithmic buckets: each power of two is split into `kSubBuckets`
+/// linear sub-buckets, giving ≤ ~3% relative error on percentiles.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  /// \brief Records one value (clamped to ≥ 1). Thread-safe.
+  void Record(uint64_t value) noexcept;
+
+  /// \brief Number of recorded values.
+  uint64_t count() const noexcept;
+
+  /// \brief Smallest / largest recorded value (0 when empty).
+  uint64_t min() const noexcept { return count() == 0 ? 0 : min_.load(); }
+  uint64_t max() const noexcept { return max_.load(); }
+
+  /// \brief Arithmetic mean of recorded values (0 when empty).
+  double Mean() const noexcept;
+
+  /// \brief Upper bound of the bucket containing the q-quantile
+  /// (q in [0, 1]); 0 when empty.
+  uint64_t Percentile(double q) const noexcept;
+
+  /// \brief "p50=… p90=… p99=… max=…" with a unit suffix.
+  std::string Summary(const char* unit) const;
+
+  /// \brief Forgets every recorded value.
+  void Reset();
+
+ private:
+  static constexpr int kSubBucketBits = 4;  // 16 sub-buckets per octave
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kOctaves = 48;       // values up to ~2^48
+
+  /// Bucket index of a value.
+  static size_t BucketOf(uint64_t value) noexcept;
+  /// Representative (upper bound) value of a bucket.
+  static uint64_t BucketUpperBound(size_t bucket) noexcept;
+
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+}  // namespace sss

@@ -1,0 +1,77 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "util/env.h"
+
+namespace sss {
+
+namespace {
+
+LogLevel InitialLevel() {
+  auto value = GetEnv("SSS_LOG_LEVEL");
+  if (!value) return LogLevel::kInfo;
+  if (*value == "debug") return LogLevel::kDebug;
+  if (*value == "warning") return LogLevel::kWarning;
+  if (*value == "error") return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+std::atomic<int>& LevelStorage() {
+  static std::atomic<int> level{static_cast<int>(InitialLevel())};
+  return level;
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+// Serializes whole lines so concurrent threads do not interleave mid-line.
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(LevelStorage().load()); }
+
+void SetLogLevel(LogLevel level) {
+  LevelStorage().store(static_cast<int>(level));
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(level >= GetLogLevel()), level_(level) {
+  if (enabled_) {
+    const char* basename = file;
+    for (const char* p = file; *p != '\0'; ++p) {
+      if (*p == '/') basename = p + 1;
+    }
+    stream_ << "[" << LevelTag(level_) << " " << basename << ":" << line
+            << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+}
+
+}  // namespace internal
+}  // namespace sss

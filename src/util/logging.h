@@ -1,0 +1,47 @@
+// Minimal leveled logging to stderr. Benches and examples use it for
+// progress reporting; library code logs only at WARNING and above.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sss {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+/// \brief Global minimum level; messages below it are dropped.
+/// Initialized from SSS_LOG_LEVEL (debug|info|warning|error), default info.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// \brief Accumulates one log line and emits it (with level tag and
+/// timestamp) on destruction. Use via the SSS_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace sss
+
+#define SSS_LOG(level) \
+  ::sss::internal::LogMessage(::sss::LogLevel::k##level, __FILE__, __LINE__)

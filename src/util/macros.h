@@ -1,0 +1,71 @@
+// Small project-wide macros, in the spirit of arrow/util/macros.h.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \brief Marks a branch as unlikely for the optimizer.
+#if defined(__GNUC__) || defined(__clang__)
+#define SSS_PREDICT_FALSE(x) (__builtin_expect(!!(x), 0))
+#define SSS_PREDICT_TRUE(x) (__builtin_expect(!!(x), 1))
+#define SSS_FORCE_INLINE inline __attribute__((always_inline))
+#define SSS_NO_INLINE __attribute__((noinline))
+#else
+#define SSS_PREDICT_FALSE(x) (x)
+#define SSS_PREDICT_TRUE(x) (x)
+#define SSS_FORCE_INLINE inline
+#define SSS_NO_INLINE
+#endif
+
+#define SSS_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;          \
+  TypeName& operator=(const TypeName&) = delete
+
+#define SSS_DEFAULT_MOVE_AND_ASSIGN(TypeName) \
+  TypeName(TypeName&&) = default;             \
+  TypeName& operator=(TypeName&&) = default
+
+/// \brief Aborts the process with a message when an internal invariant is
+/// violated. Used for programmer errors only; expected failures go through
+/// Status.
+#define SSS_CHECK(condition)                                                  \
+  do {                                                                        \
+    if (SSS_PREDICT_FALSE(!(condition))) {                                    \
+      ::std::fprintf(stderr, "SSS_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                     __LINE__, #condition);                                   \
+      ::std::abort();                                                         \
+    }                                                                         \
+  } while (false)
+
+#define SSS_DCHECK_ENABLED !defined(NDEBUG)
+#if !defined(NDEBUG)
+#define SSS_DCHECK(condition) SSS_CHECK(condition)
+#else
+#define SSS_DCHECK(condition) \
+  do {                        \
+  } while (false)
+#endif
+
+/// \brief Propagates a non-OK Status out of the current function.
+#define SSS_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::sss::Status _st = (expr);                 \
+    if (SSS_PREDICT_FALSE(!_st.ok())) {         \
+      return _st;                               \
+    }                                           \
+  } while (false)
+
+/// \brief Assigns the value of a Result<T> expression to `lhs`, or propagates
+/// its error Status.
+#define SSS_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto&& result_name = (rexpr);                            \
+  if (SSS_PREDICT_FALSE(!result_name.ok())) {              \
+    return result_name.status();                           \
+  }                                                        \
+  lhs = std::move(result_name).ValueUnsafe()
+
+#define SSS_CONCAT_IMPL(x, y) x##y
+#define SSS_CONCAT(x, y) SSS_CONCAT_IMPL(x, y)
+
+#define SSS_ASSIGN_OR_RETURN(lhs, rexpr) \
+  SSS_ASSIGN_OR_RETURN_IMPL(SSS_CONCAT(_sss_result_, __LINE__), lhs, rexpr)

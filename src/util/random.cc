@@ -1,0 +1,66 @@
+#include "util/random.h"
+
+#ifdef __SIZEOF_INT128__
+using uint128_t = unsigned __int128;
+#endif
+
+namespace sss {
+
+Xoshiro256::Xoshiro256(uint64_t seed) noexcept {
+  uint64_t sm = seed;
+  for (auto& word : s_) {
+    word = SplitMix64(&sm);
+  }
+  // All-zero state is the one invalid state for xoshiro; SplitMix64 of any
+  // seed cannot produce four zero words, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) {
+    s_[0] = 1;
+  }
+}
+
+uint64_t Xoshiro256::Uniform(uint64_t bound) noexcept {
+  SSS_DCHECK(bound > 0);
+#ifdef __SIZEOF_INT128__
+  // Lemire's nearly-divisionless unbiased method.
+  uint64_t x = (*this)();
+  uint128_t m = static_cast<uint128_t>(x) * static_cast<uint128_t>(bound);
+  uint64_t lo = static_cast<uint64_t>(m);
+  if (lo < bound) {
+    const uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<uint128_t>(x) * static_cast<uint128_t>(bound);
+      lo = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+#else
+  // Portable fallback: rejection sampling on the top bits.
+  const uint64_t limit = max() - max() % bound;
+  uint64_t x;
+  do {
+    x = (*this)();
+  } while (x >= limit);
+  return x % bound;
+#endif
+}
+
+size_t SampleCumulative(const double* cumulative, size_t n, Xoshiro256* rng) {
+  SSS_DCHECK(n > 0);
+  const double total = cumulative[n - 1];
+  SSS_DCHECK(total > 0.0);
+  const double r = rng->UniformDouble() * total;
+  // Binary search for the first entry strictly greater than r.
+  size_t lo = 0, hi = n - 1;
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (cumulative[mid] > r) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace sss

@@ -1,0 +1,88 @@
+// Deterministic, seedable PRNG utilities. All generators in sss take explicit
+// 64-bit seeds so that every experiment row is reproducible from its printed
+// seed. We implement splitmix64 (seeding) and xoshiro256** (bulk generation)
+// rather than depend on unspecified std::mt19937 distribution behaviour.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/macros.h"
+
+namespace sss {
+
+/// \brief splitmix64: statistically strong 64-bit mixer, used to expand one
+/// user seed into xoshiro's 256-bit state.
+inline uint64_t SplitMix64(uint64_t* state) noexcept {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// \brief xoshiro256** by Blackman & Vigna: fast, high-quality, 2^256-1
+/// period. Satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = uint64_t;
+
+  /// Constructs a generator whose entire state is derived from `seed`.
+  explicit Xoshiro256(uint64_t seed = kDefaultSeed) noexcept;
+
+  /// Seed used when none is supplied; benches print it alongside results.
+  static constexpr uint64_t kDefaultSeed = 0x5353535342454443ULL;  // "SSSSBEDC"
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  /// \brief Next 64 random bits.
+  uint64_t operator()() noexcept {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// \brief Uniform integer in [0, bound). bound must be > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  uint64_t Uniform(uint64_t bound) noexcept;
+
+  /// \brief Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) noexcept {
+    SSS_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// \brief Uniform double in [0, 1).
+  double UniformDouble() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// \brief True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p) noexcept { return UniformDouble() < p; }
+
+  /// \brief Forks an independent stream (for per-thread generators).
+  Xoshiro256 Fork() noexcept { return Xoshiro256((*this)()); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+/// \brief Samples an index from a discrete cumulative weight table.
+/// `cumulative` must be non-decreasing with a positive final entry; returns
+/// the smallest i with cumulative[i] > r where r is uniform in
+/// [0, cumulative.back()).
+size_t SampleCumulative(const double* cumulative, size_t n, Xoshiro256* rng);
+
+}  // namespace sss

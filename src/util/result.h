@@ -1,0 +1,76 @@
+// Result<T>: value-or-Status, modeled on arrow::Result. Returned by
+// operations that produce a value but can fail.
+#pragma once
+
+#include <utility>
+#include <variant>
+
+#include "util/macros.h"
+#include "util/status.h"
+
+namespace sss {
+
+/// \brief Holds either a successfully produced T or the Status explaining why
+/// none could be produced.
+///
+/// Like arrow::Result, a Result is contextually convertible from both T and
+/// Status, so functions can `return Status::Invalid(...)` or `return value;`
+/// interchangeably.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a failed Result. `status` must not be OK.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT implicit
+    SSS_DCHECK(!std::get<Status>(repr_).ok());
+  }
+  /// Constructs a successful Result holding `value`.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT implicit
+
+  Result(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(const Result&) = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  /// \brief True iff a value is present.
+  bool ok() const noexcept { return std::holds_alternative<T>(repr_); }
+
+  /// \brief The error Status, or OK when a value is present.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// \brief The value; aborts if this Result holds an error.
+  const T& ValueOrDie() const& {
+    if (SSS_PREDICT_FALSE(!ok())) std::get<Status>(repr_).Abort();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    if (SSS_PREDICT_FALSE(!ok())) std::get<Status>(repr_).Abort();
+    return std::get<T>(repr_);
+  }
+  T ValueOrDie() && {
+    if (SSS_PREDICT_FALSE(!ok())) std::get<Status>(repr_).Abort();
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// \brief The value without checking. Only call after ok() returned true
+  /// (used by SSS_ASSIGN_OR_RETURN).
+  T ValueUnsafe() && { return std::move(std::get<T>(repr_)); }
+  const T& ValueUnsafe() const& { return std::get<T>(repr_); }
+
+  /// \brief The value, or `fallback` when this Result holds an error.
+  T ValueOr(T fallback) const& {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace sss

@@ -1,0 +1,43 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sss {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalid:
+      return "Invalid";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kKeyError:
+      return "KeyError";
+    case StatusCode::kOutOfMemory:
+      return "OutOfMemory";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kUnknownError:
+      return "UnknownError";
+  }
+  return "UnknownError";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code()));
+  out += ": ";
+  out += message();
+  return out;
+}
+
+void Status::Abort() const {
+  std::fprintf(stderr, "Fatal status: %s\n", ToString().c_str());
+  std::abort();
+}
+
+}  // namespace sss

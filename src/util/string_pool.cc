@@ -1,0 +1,4 @@
+// StringPool is header-only; this translation unit exists so the library has
+// a home for future out-of-line definitions and to verify the header is
+// self-contained.
+#include "util/string_pool.h"

@@ -1,0 +1,90 @@
+// StringPool: the collection representation used by the fast engines
+// (paper §3.4 "simple data types"). All string bytes live in one contiguous
+// buffer; per-string metadata is an offset array. A sequential scan then
+// walks memory strictly forward (hardware-prefetch friendly) and performs
+// zero per-string allocations, in contrast to a std::vector<std::string>.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace sss {
+
+/// \brief An append-only pool of immutable strings with contiguous storage.
+///
+/// Strings are addressed by dense ids in insertion order. Access is
+/// zero-copy via std::string_view into the pool's buffer; views are
+/// invalidated only by destruction of the pool (appends never reallocate the
+/// id space a view was taken from — the byte buffer may grow, so take views
+/// after loading is complete, which is how all engines use it).
+class StringPool {
+ public:
+  StringPool() { offsets_.push_back(0); }
+
+  SSS_DEFAULT_MOVE_AND_ASSIGN(StringPool);
+  SSS_DISALLOW_COPY_AND_ASSIGN(StringPool);
+
+  /// \brief Appends a string and returns its id.
+  uint32_t Add(std::string_view s) {
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+    offsets_.push_back(static_cast<uint64_t>(bytes_.size()));
+    if (s.size() > max_length_) max_length_ = s.size();
+    if (s.size() < min_length_) min_length_ = s.size();
+    return static_cast<uint32_t>(offsets_.size() - 2);
+  }
+
+  /// \brief Pre-reserves space for `count` strings totalling `bytes` bytes.
+  void Reserve(size_t count, size_t bytes) {
+    offsets_.reserve(count + 1);
+    bytes_.reserve(bytes);
+  }
+
+  /// \brief Number of strings in the pool.
+  size_t size() const noexcept { return offsets_.size() - 1; }
+  bool empty() const noexcept { return size() == 0; }
+
+  /// \brief Zero-copy view of string `id`. Precondition: id < size().
+  std::string_view View(size_t id) const noexcept {
+    SSS_DCHECK(id < size());
+    const uint64_t begin = offsets_[id];
+    return std::string_view(bytes_.data() + begin,
+                            offsets_[id + 1] - begin);
+  }
+  std::string_view operator[](size_t id) const noexcept { return View(id); }
+
+  /// \brief Length of string `id` without materializing a view.
+  size_t Length(size_t id) const noexcept {
+    SSS_DCHECK(id < size());
+    return static_cast<size_t>(offsets_[id + 1] - offsets_[id]);
+  }
+
+  /// \brief Longest / shortest string length in the pool (0 when empty).
+  size_t max_length() const noexcept { return empty() ? 0 : max_length_; }
+  size_t min_length() const noexcept { return empty() ? 0 : min_length_; }
+
+  /// \brief Total string bytes stored.
+  size_t total_bytes() const noexcept { return bytes_.size(); }
+
+  /// \brief Raw byte buffer (for bit-packing and serialization).
+  const char* data() const noexcept { return bytes_.data(); }
+
+  /// \brief Materializes all strings (test/diagnostic convenience).
+  std::vector<std::string> ToVector() const {
+    std::vector<std::string> out;
+    out.reserve(size());
+    for (size_t i = 0; i < size(); ++i) out.emplace_back(View(i));
+    return out;
+  }
+
+ private:
+  std::vector<char> bytes_;
+  std::vector<uint64_t> offsets_;  // size() + 1 entries; offsets_[0] == 0
+  size_t max_length_ = 0;
+  size_t min_length_ = SIZE_MAX;
+};
+
+}  // namespace sss

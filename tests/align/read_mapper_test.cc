@@ -1,0 +1,174 @@
+#include "align/read_mapper.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/query_generator.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace sss::align {
+namespace {
+
+std::string RandomGenome(Xoshiro256* rng, size_t len) {
+  std::string g;
+  g.reserve(len);
+  for (size_t i = 0; i < len; ++i) g.push_back("ACGT"[rng->Uniform(4)]);
+  return g;
+}
+
+TEST(ReverseComplementTest, KnownValues) {
+  EXPECT_EQ(ReverseComplement(""), "");
+  EXPECT_EQ(ReverseComplement("A"), "T");
+  EXPECT_EQ(ReverseComplement("ACGT"), "ACGT");  // palindrome
+  EXPECT_EQ(ReverseComplement("AACG"), "CGTT");
+  EXPECT_EQ(ReverseComplement("ANT"), "ANT");  // N is its own complement
+}
+
+TEST(ReverseComplementTest, IsAnInvolution) {
+  Xoshiro256 rng(0x4C);
+  for (int t = 0; t < 100; ++t) {
+    const std::string s = RandomGenome(&rng, 1 + rng.Uniform(50));
+    EXPECT_EQ(ReverseComplement(ReverseComplement(s)), s);
+  }
+}
+
+TEST(InfixEditDistanceTest, ExactSubstringIsZero) {
+  EXPECT_EQ(InfixEditDistance("ACGT", "TTACGTTT", 2), 0);
+  EXPECT_EQ(InfixEditDistance("ACGT", "ACGT", 0), 0);
+  EXPECT_EQ(InfixEditDistance("", "anything", 0), 0);
+}
+
+TEST(InfixEditDistanceTest, CountsInnerErrorsOnly) {
+  // One substitution inside the window, free ends.
+  EXPECT_EQ(InfixEditDistance("ACGT", "TTAGGTTT", 2), 1);   // C→G
+  EXPECT_EQ(InfixEditDistance("ACGT", "TTACGGTTT", 2), 1);  // one insertion
+  EXPECT_EQ(InfixEditDistance("ACGT", "TTAGTTT", 2), 1);    // one deletion
+}
+
+TEST(InfixEditDistanceTest, ExceedingKReportsGreater) {
+  EXPECT_GT(InfixEditDistance("AAAA", "TTTTTTT", 2), 2);
+  EXPECT_GT(InfixEditDistance("ACGTACGT", "T", 1), 1);
+}
+
+TEST(InfixEditDistanceTest, NeverExceedsGlobalDistance) {
+  Xoshiro256 rng(0x4D);
+  for (int t = 0; t < 200; ++t) {
+    const std::string read = RandomGenome(&rng, 1 + rng.Uniform(15));
+    const std::string window = RandomGenome(&rng, 1 + rng.Uniform(25));
+    const int global =
+        sss::testing::ReferenceEditDistance(read, window);
+    const int infix = InfixEditDistance(read, window, global);
+    EXPECT_LE(infix, global) << "read=" << read << " window=" << window;
+  }
+}
+
+TEST(ReadMapperTest, ErrorFreeReadsMapToOrigin) {
+  Xoshiro256 rng(0x4E);
+  const std::string genome = RandomGenome(&rng, 20000);
+  ReadMapperOptions options;
+  options.max_distance = 4;
+  ReadMapper mapper(genome, options);
+  for (int t = 0; t < 50; ++t) {
+    const size_t pos = rng.Uniform(genome.size() - 100);
+    const std::string read = genome.substr(pos, 100);
+    const auto mappings = mapper.Map(read);
+    ASSERT_FALSE(mappings.empty()) << "read from position " << pos;
+    EXPECT_EQ(mappings[0].distance, 0);
+    EXPECT_FALSE(mappings[0].reverse_strand);
+    // The window starts k before the true position (clamped).
+    EXPECT_NEAR(static_cast<double>(mappings[0].position),
+                static_cast<double>(pos), options.max_distance);
+  }
+}
+
+TEST(ReadMapperTest, ReverseStrandReadsAreFound) {
+  Xoshiro256 rng(0x4F);
+  const std::string genome = RandomGenome(&rng, 20000);
+  ReadMapper mapper(genome, {});
+  for (int t = 0; t < 25; ++t) {
+    const size_t pos = rng.Uniform(genome.size() - 80);
+    const std::string read = ReverseComplement(genome.substr(pos, 80));
+    const auto mappings = mapper.Map(read);
+    ASSERT_FALSE(mappings.empty());
+    EXPECT_EQ(mappings[0].distance, 0);
+    EXPECT_TRUE(mappings[0].reverse_strand);
+  }
+}
+
+TEST(ReadMapperTest, MutatedReadsMapWithinBudget) {
+  Xoshiro256 rng(0x50);
+  const std::string genome = RandomGenome(&rng, 20000);
+  ReadMapperOptions options;
+  options.max_distance = 4;
+  options.map_reverse_strand = false;
+  ReadMapper mapper(genome, options);
+  size_t mapped = 0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    const size_t pos = rng.Uniform(genome.size() - 100);
+    std::string read = genome.substr(pos, 100);
+    // Apply ≤ 4 random edits.
+    read = sss::gen::Perturb(read, 4, "ACGT", &rng);
+    const auto mappings = mapper.Map(read);
+    if (!mappings.empty()) {
+      ++mapped;
+      EXPECT_LE(mappings[0].distance, 4);
+    }
+  }
+  // Pigeonhole seeding guarantees the true locus is a candidate; every
+  // mutated read must map.
+  EXPECT_EQ(mapped, static_cast<size_t>(trials));
+}
+
+TEST(ReadMapperTest, ForeignReadsDoNotMap) {
+  Xoshiro256 rng(0x51);
+  const std::string genome = RandomGenome(&rng, 20000);
+  ReadMapperOptions options;
+  options.max_distance = 2;
+  ReadMapper mapper(genome, options);
+  size_t false_hits = 0;
+  for (int t = 0; t < 25; ++t) {
+    // A random 100-mer almost surely has no 2-error occurrence in 20 kbp.
+    const std::string read = RandomGenome(&rng, 100);
+    false_hits += mapper.Map(read).empty() ? 0 : 1;
+  }
+  EXPECT_EQ(false_hits, 0u);
+}
+
+TEST(ReadMapperTest, RepeatMaskingStillFindsUniqueSeeds) {
+  // Genome = repetitive region + unique tail; a read overlapping the tail
+  // maps even when its other seeds are repeat-masked.
+  Xoshiro256 rng(0x52);
+  std::string genome(4000, 'A');
+  const std::string unique = RandomGenome(&rng, 200);
+  genome += unique;
+  ReadMapperOptions options;
+  options.max_distance = 2;
+  options.map_reverse_strand = false;
+  options.max_seed_hits = 16;
+  ReadMapper mapper(genome, options);
+  const std::string read = genome.substr(3950, 120);  // 50 A's + unique
+  const auto mappings = mapper.Map(read);
+  ASSERT_FALSE(mappings.empty());
+  EXPECT_EQ(mappings[0].distance, 0);
+}
+
+TEST(ReadMapperTest, MaxMappingsCapsOutput) {
+  // A read from a tandem repeat maps in many places; the cap applies.
+  std::string genome;
+  Xoshiro256 rng(0x53);
+  const std::string unit = RandomGenome(&rng, 50);
+  for (int i = 0; i < 40; ++i) genome += unit;
+  ReadMapperOptions options;
+  options.max_distance = 1;
+  options.max_mappings = 3;
+  options.map_reverse_strand = false;
+  options.max_seed_hits = 0;  // no masking
+  ReadMapper mapper(genome, options);
+  const auto mappings = mapper.Map(unit);
+  EXPECT_LE(mappings.size(), 3u);
+  EXPECT_FALSE(mappings.empty());
+}
+
+}  // namespace
+}  // namespace sss::align

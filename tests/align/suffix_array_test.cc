@@ -1,0 +1,130 @@
+#include "align/suffix_array.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace sss::align {
+namespace {
+
+// Brute-force occurrence search for cross-checking.
+std::vector<uint32_t> BruteOccurrences(std::string_view text,
+                                       std::string_view pattern) {
+  std::vector<uint32_t> out;
+  if (pattern.empty()) {
+    for (size_t i = 0; i < text.size(); ++i) {
+      out.push_back(static_cast<uint32_t>(i));
+    }
+    return out;
+  }
+  size_t pos = 0;
+  while ((pos = text.find(pattern, pos)) != std::string::npos) {
+    out.push_back(static_cast<uint32_t>(pos));
+    ++pos;
+  }
+  return out;
+}
+
+TEST(SuffixArrayTest, EmptyText) {
+  SuffixArray sa("");
+  EXPECT_EQ(sa.size(), 0u);
+  EXPECT_EQ(sa.Count("x"), 0u);
+}
+
+TEST(SuffixArrayTest, SingleCharacter) {
+  SuffixArray sa("a");
+  EXPECT_EQ(sa.size(), 1u);
+  EXPECT_EQ(sa.At(0), 0u);
+  EXPECT_EQ(sa.Count("a"), 1u);
+  EXPECT_EQ(sa.Count("b"), 0u);
+}
+
+TEST(SuffixArrayTest, ClassicBanana) {
+  SuffixArray sa("banana");
+  // Suffixes sorted: a, ana, anana, banana, na, nana.
+  EXPECT_EQ(sa.At(0), 5u);
+  EXPECT_EQ(sa.At(1), 3u);
+  EXPECT_EQ(sa.At(2), 1u);
+  EXPECT_EQ(sa.At(3), 0u);
+  EXPECT_EQ(sa.At(4), 4u);
+  EXPECT_EQ(sa.At(5), 2u);
+  EXPECT_EQ(sa.Occurrences("ana"), (std::vector<uint32_t>{1, 3}));
+  EXPECT_EQ(sa.Occurrences("banana"), (std::vector<uint32_t>{0}));
+  EXPECT_EQ(sa.Count("nan"), 1u);
+  EXPECT_EQ(sa.Count("x"), 0u);
+}
+
+TEST(SuffixArrayTest, SuffixesAreSorted) {
+  Xoshiro256 rng(0x5A1);
+  std::string text;
+  for (int i = 0; i < 2000; ++i) {
+    text.push_back("ACGT"[rng.Uniform(4)]);
+  }
+  SuffixArray sa(text);
+  ASSERT_EQ(sa.size(), text.size());
+  std::vector<bool> seen(text.size(), false);
+  for (size_t i = 1; i < sa.size(); ++i) {
+    ASSERT_LT(std::string_view(text).substr(sa.At(i - 1)),
+              std::string_view(text).substr(sa.At(i)))
+        << "slot " << i;
+  }
+  for (size_t i = 0; i < sa.size(); ++i) seen[sa.At(i)] = true;
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }))
+      << "suffix array is not a permutation";
+}
+
+TEST(SuffixArrayTest, RepetitiveText) {
+  SuffixArray sa(std::string(500, 'a'));
+  EXPECT_EQ(sa.Count("aaa"), 498u);
+  EXPECT_EQ(sa.Count("b"), 0u);
+  // Sorted by length: shortest suffix first.
+  EXPECT_EQ(sa.At(0), 499u);
+  EXPECT_EQ(sa.At(499), 0u);
+}
+
+class SuffixArrayPropertyTest : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(SuffixArrayPropertyTest, OccurrencesMatchBruteForce) {
+  const std::string_view alphabet = GetParam();
+  Xoshiro256 rng(0x5A2);
+  std::string text;
+  const size_t n = 1500;
+  for (size_t i = 0; i < n; ++i) {
+    text.push_back(alphabet[rng.Uniform(alphabet.size())]);
+  }
+  SuffixArray sa(text);
+  for (int t = 0; t < 120; ++t) {
+    std::string pattern;
+    if (t % 3 == 0 && !text.empty()) {
+      // Pattern guaranteed present: a random substring.
+      const size_t len = 1 + rng.Uniform(12);
+      const size_t pos = rng.Uniform(text.size() - std::min(text.size(), len) + 1);
+      pattern = text.substr(pos, len);
+    } else {
+      const size_t len = 1 + rng.Uniform(8);
+      for (size_t i = 0; i < len; ++i) {
+        pattern.push_back(alphabet[rng.Uniform(alphabet.size())]);
+      }
+    }
+    ASSERT_EQ(sa.Occurrences(pattern), BruteOccurrences(text, pattern))
+        << "pattern '" << pattern << "'";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphabets, SuffixArrayPropertyTest,
+                         ::testing::Values("ACGT", "ab", "abcdefgh"),
+                         [](const auto& info) {
+                           return std::string("alpha") +
+                                  std::to_string(info.index);
+                         });
+
+TEST(SuffixArrayTest, MemoryIsFourBytesPerChar) {
+  SuffixArray sa(std::string(1000, 'x'));
+  EXPECT_EQ(sa.memory_bytes(), 4000u);  // the related work's "4n" claim
+}
+
+}  // namespace
+}  // namespace sss::align

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/auto_searcher.h"
+#include "core/cached.h"
+#include "gen/workload.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace sss {
+namespace {
+
+using sss::testing::BruteForceSearch;
+using sss::testing::RandomDataset;
+using sss::testing::RandomString;
+
+// --------------------------------------------------------------------------
+// AutoSearcher
+// --------------------------------------------------------------------------
+
+TEST(AutoSearcherTest, RoutesCityWorkloadToScan) {
+  const gen::Workload w =
+      gen::MakeWorkload(gen::WorkloadKind::kCityNames, 0.005, 1);
+  AutoSearcher engine(w.dataset);
+  EXPECT_FALSE(engine.PrefersIndex());
+  EXPECT_EQ(engine.RouteFor(2), "scan");
+}
+
+TEST(AutoSearcherTest, RoutesDnaWorkloadToTrie) {
+  const gen::Workload w =
+      gen::MakeWorkload(gen::WorkloadKind::kDnaReads, 0.001, 2);
+  AutoSearcher engine(w.dataset);
+  EXPECT_TRUE(engine.PrefersIndex());
+  EXPECT_EQ(engine.RouteFor(8), "trie");
+  // Hopeless thresholds degrade to the scan even on index-friendly data.
+  EXPECT_EQ(engine.RouteFor(80), "scan");
+}
+
+TEST(AutoSearcherTest, ResultsMatchBruteForceOnBothRoutes) {
+  Xoshiro256 rng(0xA070);
+  for (const char* alphabet : {"abcdefghij -", "ACGT"}) {
+    const bool dna = std::string_view(alphabet) == "ACGT";
+    Dataset d = RandomDataset(&rng, alphabet, 150, dna ? 60 : 2,
+                              dna ? 80 : 20,
+                              dna ? AlphabetKind::kDna
+                                  : AlphabetKind::kGeneric);
+    AutoSearcher engine(d);
+    for (int t = 0; t < 20; ++t) {
+      const Query q{
+          RandomString(&rng, alphabet, dna ? 60 : 2, dna ? 80 : 20),
+          static_cast<int>(rng.Uniform(5))};
+      ASSERT_EQ(engine.Search(q), BruteForceSearch(d, q))
+          << (dna ? "dna" : "city") << " q='" << q.text << "'";
+    }
+  }
+}
+
+TEST(AutoSearcherTest, LazyBuildOnlyWhatIsUsed) {
+  const gen::Workload w =
+      gen::MakeWorkload(gen::WorkloadKind::kCityNames, 0.002, 3);
+  AutoSearcher engine(w.dataset);
+  EXPECT_EQ(engine.memory_bytes(), 0u);  // nothing built yet
+  (void)engine.Search({"anything", 1});
+  const size_t after_scan = engine.memory_bytes();
+  // The scan engine has no auxiliary structures by default; the trie was
+  // not built (city data routes to the scan).
+  EXPECT_EQ(after_scan, 0u);
+}
+
+// --------------------------------------------------------------------------
+// CachedSearcher
+// --------------------------------------------------------------------------
+
+TEST(CachedSearcherTest, HitsAndMissesAreCounted) {
+  Xoshiro256 rng(0xCAC0);
+  Dataset d = RandomDataset(&rng, "abcd", 100, 2, 10);
+  auto inner =
+      std::move(MakeSearcher(EngineKind::kSequentialScan, d)).ValueOrDie();
+  CachedSearcher cached(inner.get(), 16);
+
+  const Query q{"abca", 1};
+  const MatchList first = cached.Search(q);
+  EXPECT_EQ(cached.misses(), 1u);
+  EXPECT_EQ(cached.hits(), 0u);
+  EXPECT_EQ(cached.Search(q), first);
+  EXPECT_EQ(cached.hits(), 1u);
+  EXPECT_EQ(cached.entries(), 1u);
+  EXPECT_EQ(cached.name(), "sequential_scan+cache");
+}
+
+TEST(CachedSearcherTest, DistinctThresholdsAreDistinctEntries) {
+  Xoshiro256 rng(0xCAC1);
+  Dataset d = RandomDataset(&rng, "abcd", 100, 2, 10);
+  auto inner =
+      std::move(MakeSearcher(EngineKind::kSequentialScan, d)).ValueOrDie();
+  CachedSearcher cached(inner.get(), 16);
+  (void)cached.Search({"abc", 0});
+  (void)cached.Search({"abc", 2});
+  EXPECT_EQ(cached.entries(), 2u);
+  EXPECT_EQ(cached.misses(), 2u);
+}
+
+TEST(CachedSearcherTest, CachedResultsAreCorrect) {
+  Xoshiro256 rng(0xCAC2);
+  Dataset d = RandomDataset(&rng, "abcde", 150, 1, 12);
+  auto inner =
+      std::move(MakeSearcher(EngineKind::kCompressedTrieIndex, d))
+          .ValueOrDie();
+  CachedSearcher cached(inner.get(), 64);  // roomy: pass 2 is pure hits
+  QuerySet queries;
+  for (int i = 0; i < 30; ++i) {
+    queries.push_back({RandomString(&rng, "abcde", 1, 12),
+                       static_cast<int>(i % 3)});
+  }
+  // Two passes: second is mostly hits; results must stay identical.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const Query& q : queries) {
+      ASSERT_EQ(cached.Search(q), BruteForceSearch(d, q))
+          << "pass " << pass << " q='" << q.text << "'";
+    }
+  }
+  EXPECT_GT(cached.hits(), 0u);
+}
+
+TEST(CachedSearcherTest, EvictsLeastRecentlyUsed) {
+  Dataset d("x", AlphabetKind::kGeneric);
+  d.Add("a");
+  auto inner =
+      std::move(MakeSearcher(EngineKind::kSequentialScan, d)).ValueOrDie();
+  CachedSearcher cached(inner.get(), 2);
+  (void)cached.Search({"q1", 0});
+  (void)cached.Search({"q2", 0});
+  (void)cached.Search({"q1", 0});  // refresh q1
+  (void)cached.Search({"q3", 0});  // evicts q2
+  EXPECT_EQ(cached.entries(), 2u);
+  const uint64_t hits_before = cached.hits();
+  (void)cached.Search({"q1", 0});  // still cached
+  EXPECT_EQ(cached.hits(), hits_before + 1);
+  (void)cached.Search({"q2", 0});  // was evicted: miss
+  EXPECT_EQ(cached.hits(), hits_before + 1);
+}
+
+TEST(CachedSearcherTest, ClearEmptiesCache) {
+  Dataset d("x", AlphabetKind::kGeneric);
+  d.Add("a");
+  auto inner =
+      std::move(MakeSearcher(EngineKind::kSequentialScan, d)).ValueOrDie();
+  CachedSearcher cached(inner.get(), 4);
+  (void)cached.Search({"q", 0});
+  cached.Clear();
+  EXPECT_EQ(cached.entries(), 0u);
+}
+
+TEST(CachedSearcherTest, ConcurrentMixedQueriesStayCorrect) {
+  Xoshiro256 rng(0xCAC3);
+  Dataset d = RandomDataset(&rng, "abc", 200, 1, 10);
+  auto inner =
+      std::move(MakeSearcher(EngineKind::kSequentialScan, d)).ValueOrDie();
+  CachedSearcher cached(inner.get(), 8);
+  QuerySet queries;
+  SearchResults expected;
+  for (int i = 0; i < 12; ++i) {
+    queries.push_back({RandomString(&rng, "abc", 1, 10), i % 3});
+    expected.push_back(BruteForceSearch(d, queries.back()));
+  }
+  std::vector<std::thread> threads;
+  std::atomic<bool> ok{true};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 50; ++round) {
+        const size_t i = static_cast<size_t>(round) % queries.size();
+        if (cached.Search(queries[i]) != expected[i]) ok = false;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(ok);
+}
+
+}  // namespace
+}  // namespace sss

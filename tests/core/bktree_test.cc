@@ -1,0 +1,120 @@
+#include "core/bktree.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace sss {
+namespace {
+
+using sss::testing::BruteForceSearch;
+using sss::testing::RandomDataset;
+using sss::testing::RandomString;
+
+TEST(BKTreeTest, FindsExactAndApproximate) {
+  Dataset d("x", AlphabetKind::kGeneric);
+  d.Add("Magdeburg");
+  d.Add("Hamburg");
+  d.Add("Marburg");
+  BKTreeSearcher tree(d);
+  EXPECT_EQ(tree.Search({"Magdeburg", 0}), (MatchList{0}));
+  EXPECT_EQ(tree.Search({"Maqdeburg", 1}), (MatchList{0}));
+  EXPECT_EQ(tree.Search({"Magdeburg", 3}), (MatchList{0, 2}));
+  EXPECT_TRUE(tree.Search({"Leipzig", 2}).empty());
+  EXPECT_EQ(tree.name(), "bk_tree");
+}
+
+TEST(BKTreeTest, DuplicatesChainOntoOneNode) {
+  Dataset d("x", AlphabetKind::kGeneric);
+  d.Add("dup");
+  d.Add("dup");
+  d.Add("other");
+  d.Add("dup");
+  BKTreeSearcher tree(d);
+  EXPECT_EQ(tree.num_nodes(), 2u);  // "dup" once, "other" once
+  EXPECT_EQ(tree.Search({"dup", 0}), (MatchList{0, 1, 3}));
+}
+
+TEST(BKTreeTest, EmptyDatasetAndEmptyQuery) {
+  Dataset empty("e", AlphabetKind::kGeneric);
+  BKTreeSearcher tree(empty);
+  EXPECT_TRUE(tree.Search({"x", 3}).empty());
+
+  Dataset d("d", AlphabetKind::kGeneric);
+  d.Add("");
+  d.Add("ab");
+  BKTreeSearcher tree2(d);
+  EXPECT_EQ(tree2.Search({"", 0}), (MatchList{0}));
+  EXPECT_EQ(tree2.Search({"", 2}), (MatchList{0, 1}));
+}
+
+TEST(BKTreeTest, DepthStaysLogarithmicOnVariedData) {
+  Xoshiro256 rng(0xBC);
+  Dataset d = RandomDataset(&rng, "abcdefghijkl", 2000, 4, 24);
+  BKTreeSearcher tree(d);
+  EXPECT_GT(tree.num_nodes(), 1900u);
+  // Random strings give a bushy tree; depth far below node count.
+  EXPECT_LT(tree.MaxDepth(), 64u);
+  EXPECT_GT(tree.memory_bytes(), 0u);
+}
+
+struct BKSweep {
+  const char* label;
+  const char* alphabet;
+  size_t min_len;
+  size_t max_len;
+  std::vector<int> ks;
+};
+
+class BKTreeEquivalenceTest : public ::testing::TestWithParam<BKSweep> {};
+
+TEST_P(BKTreeEquivalenceTest, MatchesBruteForce) {
+  const BKSweep& cfg = GetParam();
+  Xoshiro256 rng(0xBC1);
+  Dataset d =
+      RandomDataset(&rng, cfg.alphabet, 200, cfg.min_len, cfg.max_len);
+  BKTreeSearcher tree(d);
+  for (int t = 0; t < 30; ++t) {
+    for (int k : cfg.ks) {
+      std::string text;
+      if (t % 2 == 0) {
+        text = std::string(d.View(rng.Uniform(d.size())));
+        if (!text.empty() && k > 0) text[rng.Uniform(text.size())] = 'z';
+      } else {
+        text = RandomString(&rng, cfg.alphabet, cfg.min_len, cfg.max_len);
+      }
+      const Query q{text, k};
+      ASSERT_EQ(tree.Search(q), BruteForceSearch(d, q))
+          << cfg.label << " q='" << q.text << "' k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, BKTreeEquivalenceTest,
+    ::testing::Values(
+        BKSweep{"city_like", "abcdefghij -", 2, 30, {0, 1, 2, 3}},
+        BKSweep{"dna_like", "ACGNT", 40, 60, {0, 4, 8, 16}},
+        BKSweep{"with_duplicates", "ab", 1, 6, {0, 1, 2}}),
+    [](const ::testing::TestParamInfo<BKSweep>& info) {
+      return info.param.label;
+    });
+
+TEST(BKTreeTest, SearchIsThreadSafe) {
+  Xoshiro256 rng(0xBC2);
+  Dataset d = RandomDataset(&rng, "abcdef", 300, 2, 15);
+  BKTreeSearcher tree(d);
+  QuerySet queries;
+  for (int i = 0; i < 48; ++i) {
+    queries.push_back(
+        {RandomString(&rng, "abcdef", 2, 15), static_cast<int>(i % 4)});
+  }
+  const SearchResults serial =
+      tree.SearchBatch(queries, {ExecutionStrategy::kSerial, 0});
+  EXPECT_EQ(tree.SearchBatch(queries, {ExecutionStrategy::kFixedPool, 8}),
+            serial);
+}
+
+}  // namespace
+}  // namespace sss

@@ -1,0 +1,145 @@
+#include "core/join.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace sss {
+namespace {
+
+using sss::testing::RandomDataset;
+using sss::testing::ReferenceEditDistance;
+
+std::vector<JoinPair> BruteForceJoin(const Dataset& d, int k,
+                                     bool include_exact) {
+  std::vector<JoinPair> out;
+  for (uint32_t i = 0; i < d.size(); ++i) {
+    for (uint32_t j = i + 1; j < d.size(); ++j) {
+      const int dist = ReferenceEditDistance(d.View(i), d.View(j));
+      if (dist <= k && (include_exact || d.View(i) != d.View(j))) {
+        out.emplace_back(i, j);
+      }
+    }
+  }
+  return out;
+}
+
+TEST(JoinTest, FindsNearDuplicatePairs) {
+  Dataset d("x", AlphabetKind::kGeneric);
+  d.Add("Magdeburg");   // 0
+  d.Add("Magdeburq");   // 1: ed 1 to 0
+  d.Add("Hamburg");     // 2
+  d.Add("Magdeburg");   // 3: exact dup of 0
+  JoinOptions options;
+  options.max_distance = 1;
+  const auto pairs = SimilaritySelfJoin(d, options);
+  EXPECT_EQ(pairs, (std::vector<JoinPair>{{0, 1}, {0, 3}, {1, 3}}));
+}
+
+TEST(JoinTest, ExcludeExactDuplicates) {
+  Dataset d("x", AlphabetKind::kGeneric);
+  d.Add("same");
+  d.Add("same");
+  d.Add("sane");
+  JoinOptions options;
+  options.max_distance = 1;
+  options.include_exact_duplicates = false;
+  const auto pairs = SimilaritySelfJoin(d, options);
+  EXPECT_EQ(pairs, (std::vector<JoinPair>{{0, 2}, {1, 2}}));
+}
+
+TEST(JoinTest, ZeroThresholdFindsOnlyDuplicates) {
+  Dataset d("x", AlphabetKind::kGeneric);
+  d.Add("aa");
+  d.Add("ab");
+  d.Add("aa");
+  JoinOptions options;
+  options.max_distance = 0;
+  const auto pairs = SimilaritySelfJoin(d, options);
+  EXPECT_EQ(pairs, (std::vector<JoinPair>{{0, 2}}));
+}
+
+TEST(JoinTest, EmptyAndSingletonDatasets) {
+  Dataset empty("e", AlphabetKind::kGeneric);
+  EXPECT_TRUE(SimilaritySelfJoin(empty, {}).empty());
+  Dataset one("o", AlphabetKind::kGeneric);
+  one.Add("only");
+  EXPECT_TRUE(SimilaritySelfJoin(one, {}).empty());
+}
+
+class JoinEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JoinEquivalenceTest, MatchesBruteForce) {
+  const int k = GetParam();
+  Xoshiro256 rng(0x701 + k);
+  Dataset d = RandomDataset(&rng, "abc", 120, 1, 8);
+  JoinOptions options;
+  options.max_distance = k;
+  EXPECT_EQ(SimilaritySelfJoin(d, options), BruteForceJoin(d, k, true));
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, JoinEquivalenceTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+class JoinAlgorithmTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JoinAlgorithmTest, TrieProbeMatchesBruteForce) {
+  const int k = GetParam();
+  Xoshiro256 rng(0x711 + k);
+  Dataset d = RandomDataset(&rng, "abc", 120, 1, 8);
+  JoinOptions options;
+  options.max_distance = k;
+  options.algorithm = JoinAlgorithm::kTrieProbe;
+  EXPECT_EQ(SimilaritySelfJoin(d, options), BruteForceJoin(d, k, true));
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, JoinAlgorithmTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(JoinTest, TrieProbeRespectsExactDuplicateFlag) {
+  Dataset d("x", AlphabetKind::kGeneric);
+  d.Add("same");
+  d.Add("same");
+  d.Add("sane");
+  JoinOptions options;
+  options.max_distance = 1;
+  options.include_exact_duplicates = false;
+  options.algorithm = JoinAlgorithm::kTrieProbe;
+  EXPECT_EQ(SimilaritySelfJoin(d, options),
+            (std::vector<JoinPair>{{0, 2}, {1, 2}}));
+}
+
+TEST(JoinTest, TrieProbeParallelMatchesSerial) {
+  Xoshiro256 rng(0x712);
+  Dataset d = RandomDataset(&rng, "abcd", 250, 2, 10);
+  JoinOptions serial;
+  serial.max_distance = 2;
+  serial.algorithm = JoinAlgorithm::kTrieProbe;
+  JoinOptions parallel = serial;
+  parallel.exec = {ExecutionStrategy::kFixedPool, 4};
+  EXPECT_EQ(SimilaritySelfJoin(d, parallel), SimilaritySelfJoin(d, serial));
+}
+
+TEST(JoinTest, BothAlgorithmsAgreeOnLargerData) {
+  Xoshiro256 rng(0x713);
+  Dataset d = RandomDataset(&rng, "abcdef", 500, 2, 14);
+  JoinOptions scan;
+  scan.max_distance = 2;
+  JoinOptions trie = scan;
+  trie.algorithm = JoinAlgorithm::kTrieProbe;
+  EXPECT_EQ(SimilaritySelfJoin(d, trie), SimilaritySelfJoin(d, scan));
+}
+
+TEST(JoinTest, ParallelMatchesSerial) {
+  Xoshiro256 rng(0x702);
+  Dataset d = RandomDataset(&rng, "abcd", 300, 2, 10);
+  JoinOptions serial;
+  serial.max_distance = 2;
+  JoinOptions parallel = serial;
+  parallel.exec = {ExecutionStrategy::kFixedPool, 4};
+  EXPECT_EQ(SimilaritySelfJoin(d, parallel), SimilaritySelfJoin(d, serial));
+}
+
+}  // namespace
+}  // namespace sss

@@ -1,0 +1,117 @@
+#include "core/packed_scan.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scan.h"
+#include "gen/dna_generator.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace sss {
+namespace {
+
+using sss::testing::BruteForceSearch;
+using sss::testing::RandomDataset;
+using sss::testing::RandomString;
+
+TEST(PackedScanTest, RejectsNonDnaData) {
+  Dataset d("x", AlphabetKind::kGeneric);
+  d.Add("ACGT");
+  d.Add("hello");
+  auto searcher = PackedDnaScanSearcher::Make(d);
+  ASSERT_FALSE(searcher.ok());
+  EXPECT_TRUE(searcher.status().IsInvalid());
+}
+
+TEST(PackedScanTest, FindsMatches) {
+  Dataset d("x", AlphabetKind::kDna);
+  d.Add("ACGTACGT");
+  d.Add("ACGTACGA");
+  d.Add("TTTTTTTT");
+  auto searcher = PackedDnaScanSearcher::Make(d);
+  ASSERT_TRUE(searcher.ok());
+  EXPECT_EQ((*searcher)->Search({"ACGTACGT", 0}), (MatchList{0}));
+  EXPECT_EQ((*searcher)->Search({"ACGTACGT", 1}), (MatchList{0, 1}));
+  EXPECT_EQ((*searcher)->Search({"TTTTTTTA", 1}), (MatchList{2}));
+  EXPECT_EQ((*searcher)->name(), "packed_dna_scan");
+}
+
+TEST(PackedScanTest, QueryWithForeignSymbolsNeverMatchesThem) {
+  Dataset d("x", AlphabetKind::kDna);
+  d.Add("ACGT");
+  auto searcher = PackedDnaScanSearcher::Make(d);
+  ASSERT_TRUE(searcher.ok());
+  // 'X' is outside the alphabet: it costs one edit against any base.
+  EXPECT_TRUE((*searcher)->Search({"XCGT", 0}).empty());
+  EXPECT_EQ((*searcher)->Search({"XCGT", 1}), (MatchList{0}));
+}
+
+TEST(PackedScanTest, CompressionRatioNearEightThirds) {
+  Xoshiro256 rng(0xDA7);
+  Dataset d = RandomDataset(&rng, "ACGT", 500, 100, 100, AlphabetKind::kDna);
+  auto searcher = PackedDnaScanSearcher::Make(d);
+  ASSERT_TRUE(searcher.ok());
+  EXPECT_GT((*searcher)->compression_ratio(), 2.3);
+  EXPECT_LT((*searcher)->memory_bytes(), d.pool().total_bytes() / 2);
+}
+
+class PackedScanEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PackedScanEquivalenceTest, MatchesBruteForceAndPlainScan) {
+  const int k = GetParam();
+  Xoshiro256 rng(0xDA8 + k);
+  Dataset d = RandomDataset(&rng, "ACGNT", 150, 80, 110, AlphabetKind::kDna);
+  auto packed = PackedDnaScanSearcher::Make(d);
+  ASSERT_TRUE(packed.ok());
+  SequentialScanSearcher plain(d, {});
+  for (int t = 0; t < 20; ++t) {
+    std::string text(d.View(rng.Uniform(d.size())));
+    for (int e = 0; e < k && !text.empty(); ++e) {
+      text[rng.Uniform(text.size())] = "ACGNT"[rng.Uniform(5)];
+    }
+    const Query q{text, k};
+    const MatchList expected = BruteForceSearch(d, q);
+    ASSERT_EQ((*packed)->Search(q), expected) << "k=" << k;
+    ASSERT_EQ(plain.Search(q), expected) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, PackedScanEquivalenceTest,
+                         ::testing::Values(0, 4, 8, 16));
+
+TEST(PackedScanTest, WorksOnGeneratedReads) {
+  gen::DnaGeneratorOptions options;
+  options.num_reads = 300;
+  options.genome_length = 20000;
+  Dataset d = gen::DnaReadGenerator(options, 5).Generate();
+  auto searcher = PackedDnaScanSearcher::Make(d);
+  ASSERT_TRUE(searcher.ok()) << searcher.status().ToString();
+  // Every read matches itself at k=0.
+  for (size_t id = 0; id < 20; ++id) {
+    const MatchList m =
+        (*searcher)->Search({std::string(d.View(id)), 0});
+    ASSERT_FALSE(m.empty());
+    EXPECT_TRUE(std::find(m.begin(), m.end(), static_cast<uint32_t>(id)) !=
+                m.end());
+  }
+}
+
+TEST(PackedScanTest, BatchStrategiesAgree) {
+  Xoshiro256 rng(0xDA9);
+  Dataset d = RandomDataset(&rng, "ACGT", 200, 50, 70, AlphabetKind::kDna);
+  auto searcher = PackedDnaScanSearcher::Make(d);
+  ASSERT_TRUE(searcher.ok());
+  QuerySet queries;
+  for (int i = 0; i < 24; ++i) {
+    queries.push_back(
+        {RandomString(&rng, "ACGT", 50, 70), (i % 2) == 0 ? 4 : 8});
+  }
+  const SearchResults serial =
+      (*searcher)->SearchBatch(queries, {ExecutionStrategy::kSerial, 0});
+  EXPECT_EQ(
+      (*searcher)->SearchBatch(queries, {ExecutionStrategy::kFixedPool, 4}),
+      serial);
+}
+
+}  // namespace
+}  // namespace sss

@@ -1,0 +1,136 @@
+#include "core/qgram_index.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace sss {
+namespace {
+
+using sss::testing::BruteForceSearch;
+using sss::testing::RandomDataset;
+using sss::testing::RandomString;
+
+TEST(QGramIndexTest, FindsExactMatches) {
+  Dataset d("x", AlphabetKind::kGeneric);
+  d.Add("Magdeburg");
+  d.Add("Hamburg");
+  d.Add("Marburg");
+  QGramIndexSearcher index(d, {/*q=*/2});
+  EXPECT_EQ(index.Search({"Magdeburg", 0}), (MatchList{0}));
+  EXPECT_EQ(index.Search({"Hamburg", 0}), (MatchList{1}));
+  EXPECT_TRUE(index.Search({"Berlin", 0}).empty());
+  EXPECT_EQ(index.name(), "qgram_index");
+}
+
+TEST(QGramIndexTest, FindsApproximateMatches) {
+  Dataset d("x", AlphabetKind::kGeneric);
+  d.Add("Magdeburg");
+  d.Add("Hamburg");
+  d.Add("Marburg");
+  QGramIndexSearcher index(d, {/*q=*/2});
+  EXPECT_EQ(index.Search({"Maqdeburg", 1}), (MatchList{0}));
+  EXPECT_EQ(index.Search({"Magdeburg", 3}), (MatchList{0, 2}));
+}
+
+TEST(QGramIndexTest, ShortQueriesUseFallback) {
+  Dataset d("x", AlphabetKind::kGeneric);
+  d.Add("ab");
+  d.Add("ac");
+  d.Add("zz");
+  QGramIndexSearcher index(d, {/*q=*/3});  // every profile empty
+  EXPECT_EQ(index.Search({"ab", 1}), (MatchList{0, 1}));
+  EXPECT_EQ(index.Search({"zz", 0}), (MatchList{2}));
+}
+
+TEST(QGramIndexTest, VacuousThresholdStillCorrect) {
+  // l_q − q + 1 − k·q ≤ 0 forces the scan fallback.
+  Dataset d("x", AlphabetKind::kGeneric);
+  d.Add("abcdef");
+  d.Add("abcxef");
+  QGramIndexSearcher index(d, {/*q=*/3});
+  EXPECT_EQ(index.Search({"abcdef", 2}), (MatchList{0, 1}));
+}
+
+TEST(QGramIndexTest, EmptyDatasetAndEmptyQuery) {
+  Dataset empty("e", AlphabetKind::kGeneric);
+  QGramIndexSearcher index(empty, {});
+  EXPECT_TRUE(index.Search({"x", 2}).empty());
+
+  Dataset d("d", AlphabetKind::kGeneric);
+  d.Add("a");
+  QGramIndexSearcher index2(d, {});
+  EXPECT_EQ(index2.Search({"", 1}), (MatchList{0}));
+}
+
+TEST(QGramIndexTest, ReportsMemory) {
+  Xoshiro256 rng(0x96);
+  Dataset d = RandomDataset(&rng, "abcdef", 200, 5, 20);
+  QGramIndexSearcher index(d, {/*q=*/3});
+  EXPECT_GT(index.memory_bytes(), 0u);
+  EXPECT_GT(index.num_buckets(), 0u);
+}
+
+struct QGramSweep {
+  const char* label;
+  const char* alphabet;
+  int q;
+  size_t min_len;
+  size_t max_len;
+  std::vector<int> ks;
+};
+
+class QGramIndexEquivalenceTest
+    : public ::testing::TestWithParam<QGramSweep> {};
+
+TEST_P(QGramIndexEquivalenceTest, MatchesBruteForce) {
+  const QGramSweep& cfg = GetParam();
+  Xoshiro256 rng(0x96A);
+  Dataset d =
+      RandomDataset(&rng, cfg.alphabet, 200, cfg.min_len, cfg.max_len);
+  QGramIndexSearcher index(d, {cfg.q});
+  for (int t = 0; t < 40; ++t) {
+    for (int k : cfg.ks) {
+      std::string text;
+      if (t % 2 == 0) {
+        text = std::string(d.View(rng.Uniform(d.size())));
+        if (!text.empty() && k > 0) text[rng.Uniform(text.size())] = 'z';
+      } else {
+        text = RandomString(&rng, cfg.alphabet, cfg.min_len, cfg.max_len);
+      }
+      const Query q{text, k};
+      ASSERT_EQ(index.Search(q), BruteForceSearch(d, q))
+          << cfg.label << " q='" << q.text << "' k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, QGramIndexEquivalenceTest,
+    ::testing::Values(
+        QGramSweep{"city_q2", "abcdefghij -", 2, 2, 30, {0, 1, 2, 3}},
+        QGramSweep{"city_q3", "abcdefghij -", 3, 2, 30, {0, 1, 2, 3}},
+        QGramSweep{"dna_q6", "ACGNT", 6, 40, 60, {0, 4, 8, 16}},
+        QGramSweep{"tiny_q1", "ab", 1, 0, 10, {0, 1, 2}}),
+    [](const ::testing::TestParamInfo<QGramSweep>& info) {
+      return info.param.label;
+    });
+
+TEST(QGramIndexTest, SearchIsThreadSafe) {
+  Xoshiro256 rng(0x96B);
+  Dataset d = RandomDataset(&rng, "abcdef", 300, 3, 18);
+  QGramIndexSearcher index(d, {/*q=*/2});
+  QuerySet queries;
+  for (int i = 0; i < 48; ++i) {
+    queries.push_back(
+        {RandomString(&rng, "abcdef", 3, 18), static_cast<int>(i % 3)});
+  }
+  const SearchResults serial =
+      index.SearchBatch(queries, {ExecutionStrategy::kSerial, 0});
+  EXPECT_EQ(index.SearchBatch(queries, {ExecutionStrategy::kFixedPool, 8}),
+            serial);
+}
+
+}  // namespace
+}  // namespace sss

@@ -1,0 +1,132 @@
+#include "core/ranked.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace sss {
+namespace {
+
+using sss::testing::RandomDataset;
+using sss::testing::RandomString;
+using sss::testing::ReferenceEditDistance;
+
+Dataset Cities() {
+  Dataset d("x", AlphabetKind::kGeneric);
+  d.Add("Magdeburg");   // 0
+  d.Add("Marburg");     // 1  ed(Magdeburg, Marburg) = 3
+  d.Add("Maqdeburg");   // 2  ed = 1
+  d.Add("Magdeburg");   // 3  ed = 0
+  d.Add("Hamburg");     // 4  ed = 4
+  return d;
+}
+
+TEST(RankedSearchTest, OrdersByDistanceThenId) {
+  Dataset d = Cities();
+  const auto matches = RankedSearch(d, "Magdeburg", 4);
+  ASSERT_EQ(matches.size(), 5u);
+  EXPECT_EQ(matches[0], (RankedMatch{0, 0}));
+  EXPECT_EQ(matches[1], (RankedMatch{3, 0}));
+  EXPECT_EQ(matches[2], (RankedMatch{2, 1}));
+  EXPECT_EQ(matches[3], (RankedMatch{1, 3}));
+  EXPECT_EQ(matches[4], (RankedMatch{4, 4}));
+}
+
+TEST(RankedSearchTest, RespectsThreshold) {
+  Dataset d = Cities();
+  const auto matches = RankedSearch(d, "Magdeburg", 1);
+  ASSERT_EQ(matches.size(), 3u);
+  EXPECT_EQ(matches[2].distance, 1);
+}
+
+TEST(RankedSearchTest, CapsResults) {
+  Dataset d = Cities();
+  const auto matches = RankedSearch(d, "Magdeburg", 4, /*max_results=*/2);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].id, 0u);
+  EXPECT_EQ(matches[1].id, 3u);
+}
+
+TEST(RankedSearchTest, EmptyDatasetAndNoMatches) {
+  Dataset empty("e", AlphabetKind::kGeneric);
+  EXPECT_TRUE(RankedSearch(empty, "x", 3).empty());
+  Dataset d = Cities();
+  EXPECT_TRUE(RankedSearch(d, "zzzzzzzzz", 2).empty());
+}
+
+TEST(RankedSearchTest, DistancesAreExactAcrossThresholds) {
+  Xoshiro256 rng(0x4A4);
+  Dataset d = RandomDataset(&rng, "abcdef", 150, 1, 20);
+  for (int t = 0; t < 20; ++t) {
+    const std::string q = RandomString(&rng, "abcdef", 1, 20);
+    for (int k : {0, 2, 5, 9}) {
+      for (const RankedMatch& m : RankedSearch(d, q, k)) {
+        ASSERT_EQ(m.distance,
+                  ReferenceEditDistance(q, d.View(m.id)))
+            << "q='" << q << "' id=" << m.id;
+        ASSERT_LE(m.distance, k);
+      }
+    }
+  }
+}
+
+TEST(NearestNeighborsTest, FindsExactMatchFirst) {
+  Dataset d = Cities();
+  CompressedTrieSearcher index(d);
+  const auto nn = NearestNeighbors(index, d, "Magdeburg", 1, 10);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0], (RankedMatch{0, 0}));
+}
+
+TEST(NearestNeighborsTest, ReturnsNClosest) {
+  Dataset d = Cities();
+  CompressedTrieSearcher index(d);
+  const auto nn = NearestNeighbors(index, d, "Magdeburg", 3, 10);
+  ASSERT_EQ(nn.size(), 3u);
+  EXPECT_EQ(nn[0], (RankedMatch{0, 0}));
+  EXPECT_EQ(nn[1], (RankedMatch{3, 0}));
+  EXPECT_EQ(nn[2], (RankedMatch{2, 1}));
+}
+
+TEST(NearestNeighborsTest, RadiusCapLimitsResults) {
+  Dataset d = Cities();
+  CompressedTrieSearcher index(d);
+  // Query far from everything, radius too small to reach any string.
+  const auto nn = NearestNeighbors(index, d, "zzz", 5, /*max_radius=*/1);
+  EXPECT_TRUE(nn.empty());
+}
+
+TEST(NearestNeighborsTest, ZeroNAndEmptyDataset) {
+  Dataset d = Cities();
+  CompressedTrieSearcher index(d);
+  EXPECT_TRUE(NearestNeighbors(index, d, "Magdeburg", 0, 10).empty());
+
+  Dataset empty("e", AlphabetKind::kGeneric);
+  CompressedTrieSearcher empty_index(empty);
+  EXPECT_TRUE(NearestNeighbors(empty_index, empty, "x", 3, 10).empty());
+}
+
+TEST(NearestNeighborsTest, MatchesBruteForceRanking) {
+  Xoshiro256 rng(0x4A5);
+  Dataset d = RandomDataset(&rng, "abcd", 120, 1, 12);
+  CompressedTrieSearcher index(d);
+  for (int t = 0; t < 15; ++t) {
+    const std::string q = RandomString(&rng, "abcd", 1, 12);
+    const size_t n = 1 + rng.Uniform(5);
+    const auto nn = NearestNeighbors(index, d, q, n, 24);
+
+    // Brute-force ranking.
+    std::vector<RankedMatch> all;
+    for (uint32_t id = 0; id < d.size(); ++id) {
+      all.push_back(
+          RankedMatch{id, ReferenceEditDistance(q, d.View(id))});
+    }
+    std::sort(all.begin(), all.end());
+    all.resize(std::min(n, all.size()));
+    ASSERT_EQ(nn, all) << "q='" << q << "' n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace sss

@@ -1,0 +1,134 @@
+#include "core/searcher.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace sss {
+namespace {
+
+using sss::testing::BruteForceSearch;
+using sss::testing::RandomDataset;
+using sss::testing::RandomString;
+
+TEST(SearcherFactoryTest, BuildsEveryEngineKind) {
+  Dataset d("x", AlphabetKind::kGeneric);
+  d.Add("alpha");
+  d.Add("beta");
+  for (EngineKind kind :
+       {EngineKind::kSequentialScan, EngineKind::kTrieIndex,
+        EngineKind::kCompressedTrieIndex, EngineKind::kQGramIndex,
+        EngineKind::kPartitionIndex}) {
+    auto searcher = MakeSearcher(kind, d);
+    ASSERT_TRUE(searcher.ok()) << ToString(kind);
+    EXPECT_EQ((*searcher)->name(), ToString(kind));
+    EXPECT_EQ((*searcher)->Search({"alpha", 0}), (MatchList{0}));
+  }
+}
+
+TEST(SearcherFactoryTest, PackedScanRequiresDnaData) {
+  Dataset generic("x", AlphabetKind::kGeneric);
+  generic.Add("alpha");
+  EXPECT_FALSE(MakeSearcher(EngineKind::kPackedDnaScan, generic).ok());
+
+  Dataset dna("y", AlphabetKind::kDna);
+  dna.Add("ACGT");
+  auto searcher = MakeSearcher(EngineKind::kPackedDnaScan, dna);
+  ASSERT_TRUE(searcher.ok());
+  EXPECT_EQ((*searcher)->Search({"ACGT", 0}), (MatchList{0}));
+}
+
+TEST(SearcherFactoryTest, ToStringNames) {
+  EXPECT_EQ(ToString(EngineKind::kSequentialScan), "sequential_scan");
+  EXPECT_EQ(ToString(EngineKind::kTrieIndex), "trie_index");
+  EXPECT_EQ(ToString(EngineKind::kCompressedTrieIndex),
+            "compressed_trie_index");
+}
+
+// The paper's central correctness requirement: both competitors (and the
+// compressed variant) return identical results on identical batches.
+class EngineAgreementTest
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {};
+
+TEST_P(EngineAgreementTest, AllEnginesReturnIdenticalBatches) {
+  const auto [alphabet, max_k] = GetParam();
+  Xoshiro256 rng(0xA6EE);
+  Dataset d = RandomDataset(&rng, alphabet, 250, 1, 30);
+  std::vector<std::unique_ptr<Searcher>> engines;
+  for (EngineKind kind :
+       {EngineKind::kSequentialScan, EngineKind::kTrieIndex,
+        EngineKind::kCompressedTrieIndex, EngineKind::kQGramIndex,
+        EngineKind::kPartitionIndex}) {
+    engines.push_back(std::move(MakeSearcher(kind, d)).ValueOrDie());
+  }
+  QuerySet queries;
+  for (int i = 0; i < 40; ++i) {
+    queries.push_back({RandomString(&rng, alphabet, 1, 30),
+                       static_cast<int>(rng.Uniform(max_k + 1))});
+  }
+  const SearchResults reference =
+      engines[0]->SearchBatch(queries, {ExecutionStrategy::kSerial, 0});
+  // Cross-check a sample against brute force.
+  for (size_t i = 0; i < queries.size(); i += 7) {
+    ASSERT_EQ(reference[i], BruteForceSearch(d, queries[i])) << i;
+  }
+  for (size_t e = 1; e < engines.size(); ++e) {
+    EXPECT_EQ(
+        engines[e]->SearchBatch(queries, {ExecutionStrategy::kSerial, 0}),
+        reference)
+        << engines[e]->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, EngineAgreementTest,
+    ::testing::Values(std::make_tuple("abcdefgh -", 3),
+                      std::make_tuple("ACGNT", 8)));
+
+TEST(SearcherBatchTest, AllStrategiesProduceSameResults) {
+  Xoshiro256 rng(0xA6EF);
+  Dataset d = RandomDataset(&rng, "abcd", 150, 1, 12);
+  auto searcher =
+      std::move(MakeSearcher(EngineKind::kTrieIndex, d)).ValueOrDie();
+  QuerySet queries;
+  for (int i = 0; i < 25; ++i) {
+    queries.push_back(
+        {RandomString(&rng, "abcd", 1, 12), static_cast<int>(i % 3)});
+  }
+  const SearchResults serial =
+      searcher->SearchBatch(queries, {ExecutionStrategy::kSerial, 0});
+  for (ExecutionStrategy strategy :
+       {ExecutionStrategy::kThreadPerQuery, ExecutionStrategy::kFixedPool,
+        ExecutionStrategy::kAdaptive}) {
+    EXPECT_EQ(searcher->SearchBatch(queries, {strategy, 4}), serial)
+        << static_cast<int>(strategy);
+  }
+}
+
+TEST(SearcherBatchTest, EmptyBatchIsEmpty) {
+  Dataset d("x", AlphabetKind::kGeneric);
+  d.Add("a");
+  auto searcher =
+      std::move(MakeSearcher(EngineKind::kSequentialScan, d)).ValueOrDie();
+  for (ExecutionStrategy strategy :
+       {ExecutionStrategy::kSerial, ExecutionStrategy::kThreadPerQuery,
+        ExecutionStrategy::kFixedPool, ExecutionStrategy::kAdaptive}) {
+    EXPECT_TRUE(searcher->SearchBatch({}, {strategy, 2}).empty());
+  }
+}
+
+TEST(SearcherTest, IndexMemoryIsReported) {
+  Xoshiro256 rng(0xA6F0);
+  Dataset d = RandomDataset(&rng, "abcdef", 500, 4, 20);
+  auto trie = std::move(MakeSearcher(EngineKind::kTrieIndex, d)).ValueOrDie();
+  auto radix = std::move(MakeSearcher(EngineKind::kCompressedTrieIndex, d))
+                   .ValueOrDie();
+  EXPECT_GT(trie->memory_bytes(), 0u);
+  EXPECT_GT(radix->memory_bytes(), 0u);
+  EXPECT_LT(radix->memory_bytes(), trie->memory_bytes())
+      << "compression should reduce index memory";
+}
+
+}  // namespace
+}  // namespace sss

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/compressed_trie.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace sss {
+namespace {
+
+using sss::testing::RandomDataset;
+using sss::testing::RandomString;
+
+class TrieSerializationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("sss_idx_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::string ReadRaw(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }
+  void WriteRaw(const std::string& path, const std::string& contents) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << contents;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(TrieSerializationTest, RoundTripAnswersIdentically) {
+  Xoshiro256 rng(0x1D1);
+  Dataset d = RandomDataset(&rng, "abcdef -", 300, 1, 25);
+  CompressedTrieSearcher original(d);
+  ASSERT_TRUE(original.SaveIndex(Path("idx.bin")).ok());
+
+  auto loaded = CompressedTrieSearcher::LoadIndex(Path("idx.bin"), d);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->Stats().num_nodes, original.Stats().num_nodes);
+  EXPECT_EQ((*loaded)->pruning(), original.pruning());
+
+  for (int t = 0; t < 30; ++t) {
+    const Query q{RandomString(&rng, "abcdef -", 1, 25),
+                  static_cast<int>(rng.Uniform(4))};
+    ASSERT_EQ((*loaded)->Search(q), original.Search(q))
+        << "q='" << q.text << "' k=" << q.max_distance;
+  }
+}
+
+TEST_F(TrieSerializationTest, PreservesOptions) {
+  Xoshiro256 rng(0x1D2);
+  Dataset d = RandomDataset(&rng, "ACGNT", 100, 30, 50, AlphabetKind::kDna);
+  CompressedTrieSearcher original(d, TriePruning::kPaperRule,
+                                  /*frequency_bounds=*/true);
+  ASSERT_TRUE(original.SaveIndex(Path("opt.bin")).ok());
+  auto loaded = CompressedTrieSearcher::LoadIndex(Path("opt.bin"), d);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->pruning(), TriePruning::kPaperRule);
+  for (int t = 0; t < 15; ++t) {
+    const Query q{RandomString(&rng, "ACGNT", 30, 50),
+                  static_cast<int>(rng.Uniform(9))};
+    ASSERT_EQ((*loaded)->Search(q), original.Search(q));
+  }
+}
+
+TEST_F(TrieSerializationTest, RejectsDifferentDataset) {
+  Xoshiro256 rng(0x1D3);
+  Dataset d1 = RandomDataset(&rng, "abc", 100, 2, 10);
+  Dataset d2 = RandomDataset(&rng, "abc", 100, 2, 10);
+  CompressedTrieSearcher original(d1);
+  ASSERT_TRUE(original.SaveIndex(Path("fp.bin")).ok());
+  auto loaded = CompressedTrieSearcher::LoadIndex(Path("fp.bin"), d2);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalid());
+  EXPECT_NE(loaded.status().message().find("fingerprint"),
+            std::string::npos);
+}
+
+TEST_F(TrieSerializationTest, DetectsCorruption) {
+  Xoshiro256 rng(0x1D4);
+  Dataset d = RandomDataset(&rng, "ab", 80, 2, 10);
+  CompressedTrieSearcher original(d);
+  ASSERT_TRUE(original.SaveIndex(Path("c.bin")).ok());
+  const std::string full = ReadRaw(Path("c.bin"));
+
+  // Bit flips anywhere must be caught (checksum covers the whole body).
+  for (int trial = 0; trial < 32; ++trial) {
+    std::string corrupted = full;
+    const size_t pos = rng.Uniform(corrupted.size());
+    corrupted[pos] = static_cast<char>(corrupted[pos] ^ 0x10);
+    if (corrupted == full) continue;
+    WriteRaw(Path("c.bin"), corrupted);
+    auto loaded = CompressedTrieSearcher::LoadIndex(Path("c.bin"), d);
+    ASSERT_FALSE(loaded.ok()) << "flip at byte " << pos;
+  }
+
+  // Truncations too.
+  for (size_t keep : {full.size() - 1, full.size() / 2, size_t{10}}) {
+    WriteRaw(Path("c.bin"), full.substr(0, keep));
+    auto loaded = CompressedTrieSearcher::LoadIndex(Path("c.bin"), d);
+    ASSERT_FALSE(loaded.ok()) << "kept " << keep;
+  }
+}
+
+TEST_F(TrieSerializationTest, MissingFileIsIOError) {
+  Dataset d("x", AlphabetKind::kGeneric);
+  d.Add("a");
+  auto loaded = CompressedTrieSearcher::LoadIndex(Path("nope.bin"), d);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsIOError());
+}
+
+TEST_F(TrieSerializationTest, EmptyDatasetRoundTrips) {
+  Dataset d("empty", AlphabetKind::kGeneric);
+  CompressedTrieSearcher original(d);
+  ASSERT_TRUE(original.SaveIndex(Path("e.bin")).ok());
+  auto loaded = CompressedTrieSearcher::LoadIndex(Path("e.bin"), d);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE((*loaded)->Search({"x", 3}).empty());
+}
+
+}  // namespace
+}  // namespace sss

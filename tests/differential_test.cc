@@ -1,0 +1,93 @@
+// Differential fuzzing: for many random seeds, build a random workload
+// (random alphabet, lengths, duplicates, thresholds) and require every
+// engine to return byte-identical results, cross-checked against brute
+// force. This is the paper's §3.1 correctness gate turned into a
+// randomized regression net: any divergence between any two engines on any
+// input is a failure, and the seed in the test name reproduces it.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/searcher.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace sss {
+namespace {
+
+using sss::testing::BruteForceSearch;
+using sss::testing::RandomString;
+
+class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialTest, AllEnginesAgreeOnRandomWorkload) {
+  Xoshiro256 rng(GetParam());
+
+  // Randomize the workload shape itself.
+  static constexpr const char* kAlphabets[] = {
+      "ab", "ACGNT", "abcdefghijklmnop", "aA -.'",
+  };
+  const std::string_view alphabet = kAlphabets[rng.Uniform(4)];
+  const size_t n = 50 + rng.Uniform(250);
+  const size_t min_len = rng.Uniform(4);
+  const size_t max_len = min_len + 1 + rng.Uniform(30);
+  const bool plant_duplicates = rng.Bernoulli(0.5);
+
+  Dataset d("fuzz", alphabet == std::string_view("ACGNT")
+                        ? AlphabetKind::kDna
+                        : AlphabetKind::kGeneric);
+  for (size_t i = 0; i < n; ++i) {
+    if (plant_duplicates && i > 0 && rng.Bernoulli(0.15)) {
+      d.Add(d.View(rng.Uniform(i)));  // exact duplicate of an earlier string
+    } else {
+      d.Add(RandomString(&rng, alphabet, min_len, max_len));
+    }
+  }
+
+  std::vector<std::unique_ptr<Searcher>> engines;
+  for (EngineKind kind :
+       {EngineKind::kSequentialScan, EngineKind::kTrieIndex,
+        EngineKind::kCompressedTrieIndex, EngineKind::kQGramIndex,
+        EngineKind::kPartitionIndex, EngineKind::kBKTree}) {
+    engines.push_back(std::move(MakeSearcher(kind, d)).ValueOrDie());
+  }
+  if (d.alphabet() == AlphabetKind::kDna) {
+    auto packed = MakeSearcher(EngineKind::kPackedDnaScan, d);
+    ASSERT_TRUE(packed.ok());
+    engines.push_back(std::move(packed).ValueUnsafe());
+  }
+
+  for (int t = 0; t < 25; ++t) {
+    const int k = static_cast<int>(rng.Uniform(8));
+    std::string text;
+    switch (rng.Uniform(3)) {
+      case 0:  // perturbed dataset string (hits likely)
+        text = std::string(d.View(rng.Uniform(d.size())));
+        for (int e = 0; e < k && !text.empty(); ++e) {
+          text[rng.Uniform(text.size())] =
+              alphabet[rng.Uniform(alphabet.size())];
+        }
+        break;
+      case 1:  // fresh random string (misses likely)
+        text = RandomString(&rng, alphabet, min_len, max_len);
+        break;
+      default:  // extreme length (edge cases)
+        text = RandomString(&rng, alphabet, 0,
+                            rng.Bernoulli(0.5) ? 1 : max_len + 6);
+        break;
+    }
+    const Query q{text, k};
+    const MatchList expected = BruteForceSearch(d, q);
+    for (const auto& engine : engines) {
+      ASSERT_EQ(engine->Search(q), expected)
+          << "engine " << engine->name() << " seed " << GetParam()
+          << " q='" << q.text << "' k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Range<uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace sss

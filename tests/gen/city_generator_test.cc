@@ -1,0 +1,131 @@
+#include "gen/city_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/city_corpus.h"
+
+namespace sss::gen {
+namespace {
+
+TEST(CityCorpusTest, CorpusIsNonTrivial) {
+  EXPECT_GT(kCityCorpusSize, 500u);
+  for (size_t i = 0; i < kCityCorpusSize; ++i) {
+    ASSERT_NE(kCityCorpus[i], nullptr);
+    ASSERT_GT(std::string_view(kCityCorpus[i]).size(), 1u);
+  }
+}
+
+TEST(CityGeneratorTest, DeterministicForSeed) {
+  CityGeneratorOptions options;
+  options.num_strings = 200;
+  CityNameGenerator a(options, 42), b(options, 42);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(CityGeneratorTest, DifferentSeedsDiffer) {
+  CityGeneratorOptions options;
+  CityNameGenerator a(options, 1), b(options, 2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.Next() == b.Next() ? 1 : 0;
+  EXPECT_LT(equal, 20);
+}
+
+TEST(CityGeneratorTest, RespectsLengthBounds) {
+  CityGeneratorOptions options;
+  options.min_length = 3;
+  options.max_length = 20;
+  CityNameGenerator gen(options, 7);
+  for (int i = 0; i < 2000; ++i) {
+    const std::string name = gen.Next();
+    EXPECT_GE(name.size(), 3u);
+    EXPECT_LE(name.size(), 20u);
+  }
+}
+
+TEST(CityGeneratorTest, GenerateProducesRequestedCount) {
+  CityGeneratorOptions options;
+  options.num_strings = 1234;
+  Dataset d = CityNameGenerator(options, 3).Generate();
+  EXPECT_EQ(d.size(), 1234u);
+  EXPECT_EQ(d.name(), "city_names");
+  EXPECT_EQ(d.alphabet(), AlphabetKind::kGeneric);
+}
+
+TEST(CityGeneratorTest, MatchesTableOneShape) {
+  // Table I: length ≤ 64, alphabet approaching 255 symbols at scale.
+  CityGeneratorOptions options;
+  options.num_strings = 20000;
+  Dataset d = CityNameGenerator(options, 11).Generate();
+  const DatasetStats stats = d.ComputeStats();
+  EXPECT_LE(stats.max_length, 64u);
+  EXPECT_GT(stats.alphabet_size, 100u)
+      << "accents + transcription noise should widen the alphabet well "
+         "beyond ASCII letters";
+  EXPECT_GT(stats.avg_length, 4.0);
+  EXPECT_LT(stats.avg_length, 20.0);
+}
+
+TEST(CityGeneratorTest, NamesLookNatural) {
+  // The Markov chain should produce mostly letters/spaces, with variety.
+  CityGeneratorOptions options;
+  options.accent_prob = 0;
+  options.exotic_string_prob = 0;
+  CityNameGenerator gen(options, 13);
+  std::set<std::string> distinct;
+  size_t letters = 0, total = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const std::string name = gen.Next();
+    distinct.insert(name);
+    for (char c : name) {
+      ++total;
+      if (std::isalpha(static_cast<unsigned char>(c))) ++letters;
+    }
+  }
+  EXPECT_GT(distinct.size(), 700u) << "generator collapsed to few outputs";
+  EXPECT_GT(static_cast<double>(letters) / total, 0.85);
+}
+
+TEST(CityGeneratorTest, AccentsOffKeepsAscii) {
+  CityGeneratorOptions options;
+  options.accent_prob = 0;
+  options.exotic_string_prob = 0;
+  CityNameGenerator gen(options, 17);
+  for (int i = 0; i < 500; ++i) {
+    for (char c : gen.Next()) {
+      EXPECT_LT(static_cast<unsigned char>(c), 128)
+          << "non-ASCII byte with accents disabled";
+    }
+  }
+}
+
+TEST(CityGeneratorTest, AccentsOnIntroducesLatin1) {
+  CityGeneratorOptions options;
+  options.accent_prob = 0.5;
+  options.exotic_string_prob = 0;
+  CityNameGenerator gen(options, 19);
+  bool saw_high_byte = false;
+  for (int i = 0; i < 500 && !saw_high_byte; ++i) {
+    for (char c : gen.Next()) {
+      if (static_cast<unsigned char>(c) >= 0xC0) saw_high_byte = true;
+    }
+  }
+  EXPECT_TRUE(saw_high_byte);
+}
+
+TEST(CityGeneratorTest, MarkovOrdersProduceValidOutput) {
+  for (int order : {1, 2, 3}) {
+    CityGeneratorOptions options;
+    options.order = order;
+    CityNameGenerator gen(options, 23);
+    for (int i = 0; i < 100; ++i) {
+      const std::string name = gen.Next();
+      EXPECT_GE(name.size(), options.min_length) << "order " << order;
+      EXPECT_LE(name.size(), options.max_length) << "order " << order;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sss::gen

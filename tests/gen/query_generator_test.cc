@@ -1,0 +1,126 @@
+#include "gen/query_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace sss::gen {
+namespace {
+
+using sss::testing::ReferenceEditDistance;
+
+TEST(PerturbTest, ZeroEditsIsIdentity) {
+  Xoshiro256 rng(1);
+  EXPECT_EQ(Perturb("Magdeburg", 0, "", &rng), "Magdeburg");
+}
+
+// Property: Perturb(s, e) is within edit distance e of s, across edit
+// counts and base lengths.
+class PerturbPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PerturbPropertyTest, StaysWithinEditBudget) {
+  const int edits = GetParam();
+  Xoshiro256 rng(100 + edits);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::string base =
+        sss::testing::RandomString(&rng, "abcdefgh", 0, 30);
+    const std::string out = Perturb(base, edits, "abcdefgh", &rng);
+    EXPECT_LE(ReferenceEditDistance(base, out), edits)
+        << "base='" << base << "' out='" << out << "'";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EditCounts, PerturbPropertyTest,
+                         ::testing::Values(0, 1, 2, 3, 5, 8, 16));
+
+TEST(PerturbTest, UsesProvidedAlphabet) {
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const std::string out = Perturb("AAAA", 4, "Z", &rng);
+    for (char c : out) EXPECT_TRUE(c == 'A' || c == 'Z') << out;
+  }
+}
+
+TEST(PerturbTest, EmptyBaseSurvives) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const std::string out = Perturb("", 3, "xy", &rng);
+    EXPECT_LE(out.size(), 3u);
+  }
+}
+
+TEST(MakeQuerySetTest, ProducesRequestedCount) {
+  Dataset d("x", AlphabetKind::kGeneric);
+  d.Add("alpha");
+  d.Add("beta");
+  QueryGeneratorOptions options;
+  options.num_queries = 57;
+  const QuerySet queries = MakeQuerySet(d, options, 9);
+  EXPECT_EQ(queries.size(), 57u);
+}
+
+TEST(MakeQuerySetTest, CyclesThresholdLadder) {
+  Dataset d("x", AlphabetKind::kGeneric);
+  d.Add("someword");
+  QueryGeneratorOptions options;
+  options.num_queries = 8;
+  options.thresholds = {0, 4, 8, 16};
+  const QuerySet queries = MakeQuerySet(d, options, 5);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(queries[i].max_distance,
+              options.thresholds[i % options.thresholds.size()]);
+  }
+}
+
+TEST(MakeQuerySetTest, EveryQueryHasAMatchAtItsThreshold) {
+  // The generator's guarantee: queries are ≤ k edits from some dataset
+  // string, so result sets are non-empty, as in the competition.
+  Xoshiro256 rng(7);
+  Dataset d =
+      sss::testing::RandomDataset(&rng, "abcdefghij", 50, 5, 20);
+  QueryGeneratorOptions options;
+  options.num_queries = 40;
+  options.thresholds = {0, 1, 2, 3};
+  const QuerySet queries = MakeQuerySet(d, options, 11);
+  for (const Query& q : queries) {
+    EXPECT_FALSE(
+        sss::testing::BruteForceSearch(d, q).empty())
+        << "query '" << q.text << "' k=" << q.max_distance;
+  }
+}
+
+TEST(MakeQuerySetTest, DeterministicForSeed) {
+  Dataset d("x", AlphabetKind::kGeneric);
+  d.Add("one");
+  d.Add("two");
+  d.Add("three");
+  QueryGeneratorOptions options;
+  options.num_queries = 30;
+  const QuerySet a = MakeQuerySet(d, options, 31);
+  const QuerySet b = MakeQuerySet(d, options, 31);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].text, b[i].text);
+    EXPECT_EQ(a[i].max_distance, b[i].max_distance);
+  }
+}
+
+TEST(MakeQuerySetTest, ExactEditsAppliesFullBudget) {
+  Dataset d("x", AlphabetKind::kGeneric);
+  d.Add("aaaaaaaaaaaaaaaaaaaa");  // single base string, 20 chars
+  QueryGeneratorOptions options;
+  options.num_queries = 50;
+  options.thresholds = {3};
+  options.exact_edits = true;
+  options.alphabet = "z";  // every edit hits a distinct symbol
+  const QuerySet queries = MakeQuerySet(d, options, 13);
+  size_t changed = 0;
+  for (const Query& q : queries) {
+    if (q.text != d.View(0)) ++changed;
+    EXPECT_LE(ReferenceEditDistance(std::string(d.View(0)), q.text), 3);
+  }
+  EXPECT_GT(changed, 40u) << "exact_edits should nearly always change text";
+}
+
+}  // namespace
+}  // namespace sss::gen

@@ -1,0 +1,130 @@
+#include "gen/typo_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/edit_distance.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace sss::gen {
+namespace {
+
+TEST(TypoModelTest, NeighborsAreSymmetric) {
+  for (char c = 'a'; c <= 'z'; ++c) {
+    const std::string_view neighbors = TypoModel::NeighborsOf(c);
+    for (char n : neighbors) {
+      EXPECT_NE(TypoModel::NeighborsOf(n).find(c), std::string_view::npos)
+          << c << " lists " << n << " but not vice versa";
+    }
+  }
+}
+
+TEST(TypoModelTest, NeighborsHandleCaseAndNonLetters) {
+  EXPECT_EQ(TypoModel::NeighborsOf('G'), TypoModel::NeighborsOf('g'));
+  EXPECT_TRUE(TypoModel::NeighborsOf(' ').empty());
+  EXPECT_TRUE(TypoModel::NeighborsOf('7').empty());
+  EXPECT_TRUE(TypoModel::NeighborsOf('\xE9').empty());
+}
+
+TEST(TypoModelTest, ZeroTyposIsIdentity) {
+  TypoModel model;
+  Xoshiro256 rng(1);
+  EXPECT_EQ(model.Corrupt("Magdeburg", 0, &rng), "Magdeburg");
+}
+
+TEST(TypoModelTest, SingleTypoIsOneOsaOperation) {
+  TypoModel model;
+  Xoshiro256 rng(2);
+  for (int t = 0; t < 300; ++t) {
+    const std::string base =
+        sss::testing::RandomString(&rng, "abcdefgh", 3, 15);
+    const std::string corrupted = model.Corrupt(base, 1, &rng);
+    EXPECT_LE(OsaDistance(base, corrupted), 1)
+        << "base='" << base << "' out='" << corrupted << "'";
+  }
+}
+
+TEST(TypoModelTest, StackedTyposStayWithinLevenshteinBudget) {
+  // Overlapping mistakes break the OSA bound (that metric forbids editing
+  // a region twice), but each mistake is ≤ 2 plain edit operations.
+  TypoModel model;
+  Xoshiro256 rng(2);
+  for (int typos : {1, 2, 3}) {
+    for (int t = 0; t < 200; ++t) {
+      const std::string base =
+          sss::testing::RandomString(&rng, "abcdefgh", 3, 15);
+      const std::string corrupted = model.Corrupt(base, typos, &rng);
+      EXPECT_LE(sss::testing::ReferenceEditDistance(base, corrupted),
+                2 * typos)
+          << "base='" << base << "' out='" << corrupted << "'";
+    }
+  }
+}
+
+TEST(TypoModelTest, SubstitutionsPreferNeighbors) {
+  TypoModelOptions options;
+  options.neighbor_substitution = 1.0;
+  options.omission = options.insertion = options.transposition = 0.0;
+  TypoModel model(options);
+  Xoshiro256 rng(3);
+  size_t neighbor_hits = 0, total = 0;
+  for (int t = 0; t < 500; ++t) {
+    const std::string base = "gggggggg";
+    const std::string out = model.Corrupt(base, 1, &rng);
+    ASSERT_EQ(out.size(), base.size());
+    for (size_t i = 0; i < out.size(); ++i) {
+      if (out[i] != base[i]) {
+        ++total;
+        if (TypoModel::NeighborsOf('g').find(out[i]) !=
+            std::string_view::npos) {
+          ++neighbor_hits;
+        }
+      }
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_EQ(neighbor_hits, total) << "all substitutions must be neighbors";
+}
+
+TEST(TypoModelTest, PreservesCaseOnSubstitution) {
+  TypoModelOptions options;
+  options.neighbor_substitution = 1.0;
+  options.omission = options.insertion = options.transposition = 0.0;
+  TypoModel model(options);
+  Xoshiro256 rng(4);
+  for (int t = 0; t < 100; ++t) {
+    const std::string out = model.Corrupt("GGGG", 1, &rng);
+    for (char c : out) {
+      EXPECT_TRUE(std::isupper(static_cast<unsigned char>(c))) << out;
+    }
+  }
+}
+
+TEST(TypoModelTest, OmissionsShorten) {
+  TypoModelOptions options;
+  options.omission = 1.0;
+  options.neighbor_substitution = options.insertion =
+      options.transposition = 0.0;
+  TypoModel model(options);
+  Xoshiro256 rng(5);
+  EXPECT_EQ(model.Corrupt("abcdef", 2, &rng).size(), 4u);
+}
+
+TEST(TypoModelTest, EmptyInputSurvives) {
+  TypoModel model;
+  Xoshiro256 rng(6);
+  const std::string out = model.Corrupt("", 2, &rng);
+  EXPECT_LE(out.size(), 2u);  // only insertions can apply
+}
+
+TEST(TypoModelTest, DeterministicForSeed) {
+  TypoModel model;
+  Xoshiro256 a(7), b(7);
+  for (int t = 0; t < 100; ++t) {
+    EXPECT_EQ(model.Corrupt("Heidelberg", 2, &a),
+              model.Corrupt("Heidelberg", 2, &b));
+  }
+}
+
+}  // namespace
+}  // namespace sss::gen

@@ -1,0 +1,76 @@
+#include "gen/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace sss::gen {
+namespace {
+
+TEST(WorkloadTest, CityScaleProducesScaledSizes) {
+  const Workload w = MakeWorkload(WorkloadKind::kCityNames, 0.01, 1);
+  EXPECT_EQ(w.dataset.size(), 4000u);
+  EXPECT_EQ(w.queries_100.size(), 1u);
+  EXPECT_EQ(w.queries_500.size(), 5u);
+  EXPECT_EQ(w.queries_1000.size(), 10u);
+}
+
+TEST(WorkloadTest, DnaScaleProducesScaledSizes) {
+  const Workload w = MakeWorkload(WorkloadKind::kDnaReads, 0.002, 2);
+  EXPECT_EQ(w.dataset.size(), 1500u);
+  EXPECT_EQ(w.dataset.alphabet(), AlphabetKind::kDna);
+}
+
+TEST(WorkloadTest, ThresholdLaddersMatchTableOne) {
+  EXPECT_EQ(ThresholdsFor(WorkloadKind::kCityNames),
+            (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(ThresholdsFor(WorkloadKind::kDnaReads),
+            (std::vector<int>{0, 4, 8, 16}));
+}
+
+TEST(WorkloadTest, QueriesUseTheLadder) {
+  const Workload w = MakeWorkload(WorkloadKind::kDnaReads, 0.002, 3);
+  for (const Query& q : w.queries_1000) {
+    EXPECT_TRUE(q.max_distance == 0 || q.max_distance == 4 ||
+                q.max_distance == 8 || q.max_distance == 16);
+  }
+}
+
+TEST(WorkloadTest, QueriesForSelectsBatch) {
+  const Workload w = MakeWorkload(WorkloadKind::kCityNames, 0.01, 4);
+  EXPECT_EQ(&w.QueriesFor(100), &w.queries_100);
+  EXPECT_EQ(&w.QueriesFor(500), &w.queries_500);
+  EXPECT_EQ(&w.QueriesFor(1000), &w.queries_1000);
+  EXPECT_EQ(w.ScaledCount(1000), 10u);
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  const Workload a = MakeWorkload(WorkloadKind::kCityNames, 0.005, 77);
+  const Workload b = MakeWorkload(WorkloadKind::kCityNames, 0.005, 77);
+  ASSERT_EQ(a.dataset.size(), b.dataset.size());
+  for (size_t i = 0; i < a.dataset.size(); ++i) {
+    ASSERT_EQ(a.dataset.View(i), b.dataset.View(i));
+  }
+  ASSERT_EQ(a.queries_500.size(), b.queries_500.size());
+  for (size_t i = 0; i < a.queries_500.size(); ++i) {
+    EXPECT_EQ(a.queries_500[i].text, b.queries_500[i].text);
+  }
+}
+
+TEST(WorkloadTest, BatchesAreIndependentSamples) {
+  const Workload w = MakeWorkload(WorkloadKind::kCityNames, 0.01, 5);
+  // The 100-batch is not a prefix of the 500-batch (distinct derived seeds).
+  ASSERT_FALSE(w.queries_100.empty());
+  ASSERT_FALSE(w.queries_500.empty());
+  bool identical_prefix = true;
+  for (size_t i = 0; i < w.queries_100.size() && identical_prefix; ++i) {
+    identical_prefix = w.queries_100[i].text == w.queries_500[i].text;
+  }
+  EXPECT_FALSE(identical_prefix);
+}
+
+TEST(WorkloadTest, ToStringNames) {
+  EXPECT_EQ(ToString(WorkloadKind::kCityNames), "city_names");
+  EXPECT_EQ(ToString(WorkloadKind::kDnaReads), "dna_reads");
+}
+
+}  // namespace
+}  // namespace sss::gen

@@ -1,0 +1,144 @@
+// End-to-end tests mirroring the paper's evaluation pipeline (§5.2): build a
+// workload (generator → dataset + query batches), run both competitors under
+// every parallelism strategy, verify all engines agree and results survive
+// the competition file formats.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "core/scan.h"
+#include "core/searcher.h"
+#include "gen/workload.h"
+#include "io/reader.h"
+#include "io/writer.h"
+#include "test_util.h"
+
+namespace sss {
+namespace {
+
+class WorkloadIntegrationTest
+    : public ::testing::TestWithParam<gen::WorkloadKind> {};
+
+TEST_P(WorkloadIntegrationTest, AllEnginesAgreeOnGeneratedWorkload) {
+  const gen::Workload w = gen::MakeWorkload(GetParam(), 0.004, 0xFEED);
+  std::vector<std::unique_ptr<Searcher>> engines;
+  for (EngineKind kind :
+       {EngineKind::kSequentialScan, EngineKind::kTrieIndex,
+        EngineKind::kCompressedTrieIndex}) {
+    engines.push_back(std::move(MakeSearcher(kind, w.dataset)).ValueOrDie());
+  }
+  const SearchResults reference = engines[0]->SearchBatch(
+      w.queries_1000, {ExecutionStrategy::kSerial, 0});
+  for (size_t e = 1; e < engines.size(); ++e) {
+    ASSERT_EQ(engines[e]->SearchBatch(w.queries_1000,
+                                      {ExecutionStrategy::kSerial, 0}),
+              reference)
+        << engines[e]->name();
+  }
+  // Workload guarantee: perturbed queries have non-empty results.
+  size_t nonempty = 0;
+  for (const MatchList& m : reference) nonempty += m.empty() ? 0 : 1;
+  EXPECT_EQ(nonempty, reference.size());
+}
+
+TEST_P(WorkloadIntegrationTest, ParallelStrategiesAgreeEndToEnd) {
+  const gen::Workload w = gen::MakeWorkload(GetParam(), 0.003, 0xBEEF);
+  auto scan = std::move(MakeSearcher(EngineKind::kSequentialScan, w.dataset))
+                  .ValueOrDie();
+  const SearchResults serial =
+      scan->SearchBatch(w.queries_500, {ExecutionStrategy::kSerial, 0});
+  for (ExecutionStrategy strategy :
+       {ExecutionStrategy::kThreadPerQuery, ExecutionStrategy::kFixedPool,
+        ExecutionStrategy::kAdaptive}) {
+    for (size_t threads : {2u, 8u}) {
+      ASSERT_EQ(scan->SearchBatch(w.queries_500, {strategy, threads}),
+                serial)
+          << "strategy " << static_cast<int>(strategy) << " threads "
+          << threads;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, WorkloadIntegrationTest,
+                         ::testing::Values(gen::WorkloadKind::kCityNames,
+                                           gen::WorkloadKind::kDnaReads),
+                         [](const auto& info) {
+                           return gen::ToString(info.param);
+                         });
+
+TEST(PipelineIntegrationTest, FileRoundTripPreservesResults) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("sss_integration_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+
+  const gen::Workload w =
+      gen::MakeWorkload(gen::WorkloadKind::kCityNames, 0.003, 0xABCD);
+  const std::string data_path = (dir / "data.txt").string();
+  const std::string query_path = (dir / "queries.txt").string();
+  ASSERT_TRUE(WriteDatasetFile(data_path, w.dataset).ok());
+  ASSERT_TRUE(WriteQueryFile(query_path, w.queries_100).ok());
+
+  auto loaded_data =
+      ReadDatasetFile(data_path, "city_names", AlphabetKind::kGeneric);
+  ASSERT_TRUE(loaded_data.ok());
+  auto loaded_queries = ReadQueryFile(query_path, 0);
+  ASSERT_TRUE(loaded_queries.ok());
+  // Note: generated city names never contain '\n' or '\r', so line-based
+  // round-tripping is lossless.
+  ASSERT_EQ(loaded_data->size(), w.dataset.size());
+
+  auto direct = std::move(MakeSearcher(EngineKind::kTrieIndex, w.dataset))
+                    .ValueOrDie();
+  auto via_files =
+      std::move(MakeSearcher(EngineKind::kTrieIndex, *loaded_data))
+          .ValueOrDie();
+  const SearchResults expected =
+      direct->SearchBatch(w.queries_100, {ExecutionStrategy::kSerial, 0});
+  EXPECT_EQ(via_files->SearchBatch(*loaded_queries,
+                                   {ExecutionStrategy::kSerial, 0}),
+            expected);
+
+  const std::string result_path = (dir / "results.txt").string();
+  EXPECT_TRUE(WriteResultFile(result_path, expected).ok());
+  EXPECT_TRUE(std::filesystem::exists(result_path));
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PipelineIntegrationTest, ScanVariantsAgreeOnDnaWorkload) {
+  // The future-work features (sorting, filters, bit-parallel kernel) all
+  // run on the real DNA workload and agree with the plain configuration.
+  const gen::Workload w =
+      gen::MakeWorkload(gen::WorkloadKind::kDnaReads, 0.0015, 0xD7A);
+  SequentialScanSearcher plain(w.dataset, {});
+  ScanOptions tuned;
+  tuned.sort_by_length = true;
+  tuned.frequency_filter = true;
+  tuned.qgram_filter_q = 3;
+  SequentialScanSearcher fancy(w.dataset, tuned);
+  const SearchResults expected =
+      plain.SearchBatch(w.queries_100, {ExecutionStrategy::kSerial, 0});
+  EXPECT_EQ(fancy.SearchBatch(w.queries_100, {ExecutionStrategy::kSerial, 0}),
+            expected);
+}
+
+TEST(PipelineIntegrationTest, StatsMatchTableOneAtScale) {
+  const gen::Workload city =
+      gen::MakeWorkload(gen::WorkloadKind::kCityNames, 0.02, 0x7AB1);
+  const DatasetStats cs = city.dataset.ComputeStats();
+  EXPECT_EQ(cs.num_strings, 8000u);
+  EXPECT_LE(cs.max_length, 64u);
+  EXPECT_GT(cs.alphabet_size, 100u);
+
+  const gen::Workload dna =
+      gen::MakeWorkload(gen::WorkloadKind::kDnaReads, 0.002, 0x7AB2);
+  const DatasetStats ds = dna.dataset.ComputeStats();
+  EXPECT_EQ(ds.num_strings, 1500u);
+  EXPECT_LE(ds.alphabet_size, 5u);
+  EXPECT_NEAR(ds.avg_length, 100.0, 5.0);
+}
+
+}  // namespace
+}  // namespace sss

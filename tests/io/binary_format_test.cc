@@ -1,0 +1,163 @@
+#include "io/binary_format.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/random.h"
+
+namespace sss {
+namespace {
+
+class BinaryFormatTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("sss_bin_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::string ReadRaw(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }
+  void WriteRaw(const std::string& path, const std::string& contents) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << contents;
+  }
+
+  std::filesystem::path dir_;
+};
+
+Dataset SampleDataset() {
+  Dataset d("sample_set", AlphabetKind::kDna);
+  d.Add("ACGT");
+  d.Add("");
+  d.Add("GATTACA");
+  d.Add("ACGT");  // duplicate
+  return d;
+}
+
+TEST_F(BinaryFormatTest, RoundTripPreservesEverything) {
+  const Dataset original = SampleDataset();
+  ASSERT_TRUE(WriteBinaryDataset(Path("d.bin"), original).ok());
+  auto loaded = ReadBinaryDataset(Path("d.bin"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->name(), "sample_set");
+  EXPECT_EQ(loaded->alphabet(), AlphabetKind::kDna);
+  ASSERT_EQ(loaded->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded->View(i), original.View(i)) << "id " << i;
+  }
+}
+
+TEST_F(BinaryFormatTest, EmptyDatasetRoundTrips) {
+  Dataset empty("nothing", AlphabetKind::kGeneric);
+  ASSERT_TRUE(WriteBinaryDataset(Path("e.bin"), empty).ok());
+  auto loaded = ReadBinaryDataset(Path("e.bin"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 0u);
+  EXPECT_EQ(loaded->name(), "nothing");
+}
+
+TEST_F(BinaryFormatTest, LargeRandomRoundTrip) {
+  Xoshiro256 rng(0xB14);
+  Dataset original("big", AlphabetKind::kGeneric);
+  for (int i = 0; i < 5000; ++i) {
+    std::string s;
+    const size_t len = rng.Uniform(60);
+    for (size_t j = 0; j < len; ++j) {
+      s.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    original.Add(s);  // arbitrary bytes, including '\n' and '\0'
+  }
+  ASSERT_TRUE(WriteBinaryDataset(Path("big.bin"), original).ok());
+  auto loaded = ReadBinaryDataset(Path("big.bin"));
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    ASSERT_EQ(loaded->View(i), original.View(i)) << "id " << i;
+  }
+}
+
+TEST_F(BinaryFormatTest, MissingFileIsIOError) {
+  auto loaded = ReadBinaryDataset(Path("missing.bin"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsIOError());
+}
+
+TEST_F(BinaryFormatTest, BadMagicRejected) {
+  WriteRaw(Path("junk.bin"), "definitely not a dataset file ......");
+  auto loaded = ReadBinaryDataset(Path("junk.bin"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalid());
+}
+
+TEST_F(BinaryFormatTest, TooSmallFileRejected) {
+  WriteRaw(Path("tiny.bin"), "SSS");
+  auto loaded = ReadBinaryDataset(Path("tiny.bin"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalid());
+}
+
+TEST_F(BinaryFormatTest, TruncationDetected) {
+  ASSERT_TRUE(WriteBinaryDataset(Path("t.bin"), SampleDataset()).ok());
+  const std::string full = ReadRaw(Path("t.bin"));
+  // Chop bytes off at several points; every truncation must be rejected.
+  for (size_t keep :
+       {full.size() - 1, full.size() - 9, full.size() / 2, size_t{12}}) {
+    WriteRaw(Path("t.bin"), full.substr(0, keep));
+    auto loaded = ReadBinaryDataset(Path("t.bin"));
+    ASSERT_FALSE(loaded.ok()) << "kept " << keep << " of " << full.size();
+    EXPECT_TRUE(loaded.status().IsInvalid());
+  }
+}
+
+TEST_F(BinaryFormatTest, BitFlipCorruptionDetected) {
+  ASSERT_TRUE(WriteBinaryDataset(Path("c.bin"), SampleDataset()).ok());
+  const std::string full = ReadRaw(Path("c.bin"));
+  // Flip one bit at assorted positions; either a structural check or the
+  // checksum must catch every one.
+  Xoshiro256 rng(0xB15);
+  for (int trial = 0; trial < 64; ++trial) {
+    std::string corrupted = full;
+    const size_t pos = rng.Uniform(corrupted.size());
+    corrupted[pos] = static_cast<char>(
+        corrupted[pos] ^ static_cast<char>(1 << rng.Uniform(8)));
+    WriteRaw(Path("c.bin"), corrupted);
+    auto loaded = ReadBinaryDataset(Path("c.bin"));
+    ASSERT_FALSE(loaded.ok())
+        << "bit flip at byte " << pos << " went undetected";
+  }
+}
+
+TEST_F(BinaryFormatTest, ChecksumTamperDetected) {
+  ASSERT_TRUE(WriteBinaryDataset(Path("k.bin"), SampleDataset()).ok());
+  std::string full = ReadRaw(Path("k.bin"));
+  full.back() = static_cast<char>(full.back() ^ 0x01);  // corrupt checksum
+  WriteRaw(Path("k.bin"), full);
+  auto loaded = ReadBinaryDataset(Path("k.bin"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalid());
+}
+
+TEST_F(BinaryFormatTest, HugeCountFieldRejectedSafely) {
+  ASSERT_TRUE(WriteBinaryDataset(Path("h.bin"), SampleDataset()).ok());
+  std::string full = ReadRaw(Path("h.bin"));
+  // The count lives after magic(8) + alphabet(4) + name_len(4) + name(10).
+  const size_t count_pos = 8 + 4 + 4 + std::string("sample_set").size();
+  for (size_t b = 0; b < 8; ++b) full[count_pos + b] = '\xFF';
+  WriteRaw(Path("h.bin"), full);
+  auto loaded = ReadBinaryDataset(Path("h.bin"));  // must not crash/OOM
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalid());
+}
+
+}  // namespace
+}  // namespace sss

@@ -1,0 +1,60 @@
+#include "io/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace sss {
+namespace {
+
+TEST(DatasetTest, EmptyStats) {
+  Dataset d("empty", AlphabetKind::kGeneric);
+  const DatasetStats stats = d.ComputeStats();
+  EXPECT_EQ(stats.num_strings, 0u);
+  EXPECT_EQ(stats.alphabet_size, 0u);
+  EXPECT_EQ(stats.total_bytes, 0u);
+}
+
+TEST(DatasetTest, AddAndView) {
+  Dataset d("test", AlphabetKind::kGeneric);
+  EXPECT_EQ(d.Add("Berlin"), 0u);
+  EXPECT_EQ(d.Add("Bern"), 1u);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.View(0), "Berlin");
+  EXPECT_EQ(d[1], "Bern");
+  EXPECT_EQ(d.Length(0), 6u);
+}
+
+TEST(DatasetTest, MetadataPreserved) {
+  Dataset d("dna_reads", AlphabetKind::kDna);
+  EXPECT_EQ(d.name(), "dna_reads");
+  EXPECT_EQ(d.alphabet(), AlphabetKind::kDna);
+}
+
+TEST(DatasetTest, StatsComputeAllFields) {
+  Dataset d("stats", AlphabetKind::kGeneric);
+  d.Add("ab");      // 2 distinct
+  d.Add("abcd");    // +2
+  d.Add("a");       // +0
+  const DatasetStats stats = d.ComputeStats();
+  EXPECT_EQ(stats.num_strings, 3u);
+  EXPECT_EQ(stats.alphabet_size, 4u);  // a b c d
+  EXPECT_EQ(stats.min_length, 1u);
+  EXPECT_EQ(stats.max_length, 4u);
+  EXPECT_EQ(stats.total_bytes, 7u);
+  EXPECT_DOUBLE_EQ(stats.avg_length, 7.0 / 3.0);
+}
+
+TEST(DatasetTest, StatsCountHighBytesDistinctly) {
+  Dataset d("latin1", AlphabetKind::kGeneric);
+  d.Add("\xE9\xE8\xE9");  // é è é
+  const DatasetStats stats = d.ComputeStats();
+  EXPECT_EQ(stats.alphabet_size, 2u);
+}
+
+TEST(DatasetTest, QueryDefaults) {
+  Query q;
+  EXPECT_EQ(q.text, "");
+  EXPECT_EQ(q.max_distance, 0);
+}
+
+}  // namespace
+}  // namespace sss

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "io/dataset.h"
+#include "io/reader.h"
+#include "io/writer.h"
+
+namespace sss {
+namespace {
+
+class ReaderWriterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("sss_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  void WriteRaw(const std::string& path, const std::string& contents) {
+    std::ofstream out(path, std::ios::binary);
+    out << contents;
+  }
+
+  std::string ReadRaw(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(ReaderWriterTest, DatasetRoundTrip) {
+  Dataset original("cities", AlphabetKind::kGeneric);
+  original.Add("Berlin");
+  original.Add("Bern");
+  original.Add("Ulm");
+  ASSERT_TRUE(WriteDatasetFile(Path("d.txt"), original).ok());
+
+  auto loaded = ReadDatasetFile(Path("d.txt"), "cities",
+                                AlphabetKind::kGeneric);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 3u);
+  EXPECT_EQ(loaded->View(0), "Berlin");
+  EXPECT_EQ(loaded->View(1), "Bern");
+  EXPECT_EQ(loaded->View(2), "Ulm");
+  EXPECT_EQ(loaded->name(), "cities");
+}
+
+TEST_F(ReaderWriterTest, ReadDatasetSkipsEmptyLines) {
+  WriteRaw(Path("gaps.txt"), "a\n\n\nb\n\nc\n");
+  auto loaded =
+      ReadDatasetFile(Path("gaps.txt"), "g", AlphabetKind::kGeneric);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 3u);
+  EXPECT_EQ(loaded->View(1), "b");
+}
+
+TEST_F(ReaderWriterTest, ReadDatasetStripsCarriageReturns) {
+  WriteRaw(Path("crlf.txt"), "alpha\r\nbeta\r\n");
+  auto loaded =
+      ReadDatasetFile(Path("crlf.txt"), "c", AlphabetKind::kGeneric);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->View(0), "alpha");
+  EXPECT_EQ(loaded->View(1), "beta");
+}
+
+TEST_F(ReaderWriterTest, ReadDatasetHandlesMissingTrailingNewline) {
+  WriteRaw(Path("notrail.txt"), "one\ntwo");
+  auto loaded =
+      ReadDatasetFile(Path("notrail.txt"), "n", AlphabetKind::kGeneric);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->View(1), "two");
+}
+
+TEST_F(ReaderWriterTest, ReadDatasetMissingFileIsIOError) {
+  auto loaded = ReadDatasetFile(Path("missing.txt"), "m",
+                                AlphabetKind::kGeneric);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsIOError());
+}
+
+TEST_F(ReaderWriterTest, EmptyDatasetFileLoadsEmpty) {
+  WriteRaw(Path("empty.txt"), "");
+  auto loaded =
+      ReadDatasetFile(Path("empty.txt"), "e", AlphabetKind::kGeneric);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 0u);
+}
+
+TEST_F(ReaderWriterTest, QueryFileRoundTrip) {
+  QuerySet queries = {{"Magdeburg", 2}, {"AGGCGT", 0}, {"x y z", 3}};
+  ASSERT_TRUE(WriteQueryFile(Path("q.txt"), queries).ok());
+  auto loaded = ReadQueryFile(Path("q.txt"), /*default_k=*/9);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 3u);
+  EXPECT_EQ((*loaded)[0].text, "Magdeburg");
+  EXPECT_EQ((*loaded)[0].max_distance, 2);
+  EXPECT_EQ((*loaded)[1].max_distance, 0);
+  EXPECT_EQ((*loaded)[2].text, "x y z");
+}
+
+TEST_F(ReaderWriterTest, BareQueryLinesUseDefaultThreshold) {
+  WriteRaw(Path("bare.txt"), "plainquery\nanother\n");
+  auto loaded = ReadQueryFile(Path("bare.txt"), /*default_k=*/4);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].max_distance, 4);
+  EXPECT_EQ((*loaded)[1].text, "another");
+}
+
+TEST_F(ReaderWriterTest, MalformedThresholdIsInvalid) {
+  WriteRaw(Path("bad.txt"), "notanumber\tquery\n");
+  auto loaded = ReadQueryFile(Path("bad.txt"), 0);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalid());
+}
+
+TEST_F(ReaderWriterTest, NegativeThresholdIsInvalid) {
+  WriteRaw(Path("neg.txt"), "-1\tquery\n");
+  auto loaded = ReadQueryFile(Path("neg.txt"), 0);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalid());
+}
+
+TEST(ParseQueryLineTest, TabbedAndBareForms) {
+  auto tabbed = ParseQueryLine("3\tBerlin", 0);
+  ASSERT_TRUE(tabbed.ok());
+  EXPECT_EQ(tabbed->max_distance, 3);
+  EXPECT_EQ(tabbed->text, "Berlin");
+
+  auto bare = ParseQueryLine("Berlin", 7);
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->max_distance, 7);
+  EXPECT_EQ(bare->text, "Berlin");
+}
+
+TEST(ParseQueryLineTest, QueryTextMayContainLaterTabs) {
+  auto q = ParseQueryLine("2\ta\tb", 0);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->text, "a\tb");
+}
+
+TEST_F(ReaderWriterTest, ResultFileFormat) {
+  SearchResults results = {{1, 5, 9}, {}, {42}};
+  ASSERT_TRUE(WriteResultFile(Path("r.txt"), results).ok());
+  EXPECT_EQ(ReadRaw(Path("r.txt")), "0: 1 5 9\n1:\n2: 42\n");
+}
+
+TEST_F(ReaderWriterTest, WriteToUnwritablePathIsIOError) {
+  Dataset d("x", AlphabetKind::kGeneric);
+  d.Add("a");
+  EXPECT_TRUE(
+      WriteDatasetFile("/nonexistent_dir_zzz/out.txt", d).IsIOError());
+  EXPECT_TRUE(WriteQueryFile("/nonexistent_dir_zzz/q.txt", {}).IsIOError());
+  EXPECT_TRUE(WriteResultFile("/nonexistent_dir_zzz/r.txt", {}).IsIOError());
+}
+
+TEST_F(ReaderWriterTest, LargeRoundTripPreservesEverything) {
+  Dataset original("big", AlphabetKind::kGeneric);
+  for (int i = 0; i < 2000; ++i) {
+    original.Add("string_" + std::to_string(i * 7919 % 1000));
+  }
+  ASSERT_TRUE(WriteDatasetFile(Path("big.txt"), original).ok());
+  auto loaded =
+      ReadDatasetFile(Path("big.txt"), "big", AlphabetKind::kGeneric);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    ASSERT_EQ(loaded->View(i), original.View(i)) << "id " << i;
+  }
+}
+
+}  // namespace
+}  // namespace sss

@@ -1,0 +1,132 @@
+#include "parallel/adaptive_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace sss {
+namespace {
+
+AdaptivePoolOptions FastOptions() {
+  AdaptivePoolOptions options;
+  options.master_interval = std::chrono::microseconds(100);
+  return options;
+}
+
+TEST(AdaptivePoolTest, RunsAllSubmittedTasks) {
+  AdaptivePool pool(FastOptions());
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 500; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(AdaptivePoolTest, ParallelForCoversEveryIndexOnce) {
+  AdaptivePool pool(FastOptions());
+  std::vector<std::atomic<int>> hits(777);
+  pool.ParallelFor(777, [&](size_t i) { hits[i].fetch_add(1); }, 5);
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(AdaptivePoolTest, StartsWithInitialThreads) {
+  AdaptivePoolOptions options = FastOptions();
+  options.initial_threads = 3;
+  options.min_threads = 1;
+  options.max_threads = 8;
+  AdaptivePool pool(options);
+  EXPECT_EQ(pool.live_threads(), 3u);
+}
+
+TEST(AdaptivePoolTest, OpensWorkersUnderSustainedPressure) {
+  AdaptivePoolOptions options = FastOptions();
+  options.initial_threads = 1;
+  options.min_threads = 1;
+  options.max_threads = 4;
+  options.high_watermark = 2.0;
+  AdaptivePool pool(options);
+  // Flood with slow tasks: queue pressure must trigger the open rule.
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&counter] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      counter.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 200);
+  EXPECT_GT(pool.total_opens(), options.initial_threads)
+      << "the master never scaled up despite queue pressure";
+  EXPECT_GT(pool.peak_threads(), 1u);
+  EXPECT_LE(pool.peak_threads(), 4u);
+}
+
+TEST(AdaptivePoolTest, ClosesWorkersWhenIdle) {
+  AdaptivePoolOptions options = FastOptions();
+  options.initial_threads = 4;
+  options.min_threads = 1;
+  options.max_threads = 4;
+  options.low_watermark = 0.5;
+  AdaptivePool pool(options);
+  // Idle pool: pressure is 0 < low watermark, so the master should shrink
+  // toward min_threads.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (pool.live_threads() > 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(pool.live_threads(), 1u) << "idle pool did not shrink to min";
+  EXPECT_GE(pool.total_closes(), 3u);
+}
+
+TEST(AdaptivePoolTest, NeverExceedsMaxThreads) {
+  AdaptivePoolOptions options = FastOptions();
+  options.initial_threads = 1;
+  options.max_threads = 3;
+  AdaptivePool pool(options);
+  for (int i = 0; i < 300; ++i) {
+    pool.Submit([] {
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    });
+  }
+  pool.Wait();
+  EXPECT_LE(pool.peak_threads(), 3u);
+}
+
+TEST(AdaptivePoolTest, SurvivesRepeatedBatches) {
+  AdaptivePool pool(FastOptions());
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.ParallelFor(100, [&](size_t) { counter.fetch_add(1); }, 4);
+  }
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(AdaptivePoolTest, CleanShutdownWithPendingWork) {
+  std::atomic<int> counter{0};
+  {
+    AdaptivePool pool(FastOptions());
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        counter.fetch_add(1);
+      });
+    }
+    pool.Wait();
+  }  // destructor: master joins everyone
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(AdaptivePoolTest, WaitWithNoTasksReturns) {
+  AdaptivePool pool(FastOptions());
+  pool.Wait();
+}
+
+}  // namespace
+}  // namespace sss

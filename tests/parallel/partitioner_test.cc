@@ -1,0 +1,78 @@
+#include "parallel/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace sss {
+namespace {
+
+TEST(PartitionerTest, SinglePartIsWholeRange) {
+  const auto ranges = PartitionEvenly(10, 1);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0], (Range{0, 10}));
+}
+
+TEST(PartitionerTest, EvenSplit) {
+  const auto ranges = PartitionEvenly(12, 4);
+  ASSERT_EQ(ranges.size(), 4u);
+  for (const Range& r : ranges) EXPECT_EQ(r.size(), 3u);
+}
+
+TEST(PartitionerTest, RemainderGoesToFirstParts) {
+  const auto ranges = PartitionEvenly(10, 4);
+  ASSERT_EQ(ranges.size(), 4u);
+  EXPECT_EQ(ranges[0].size(), 3u);
+  EXPECT_EQ(ranges[1].size(), 3u);
+  EXPECT_EQ(ranges[2].size(), 2u);
+  EXPECT_EQ(ranges[3].size(), 2u);
+}
+
+TEST(PartitionerTest, MorePartsThanItems) {
+  const auto ranges = PartitionEvenly(2, 5);
+  ASSERT_EQ(ranges.size(), 5u);
+  EXPECT_EQ(ranges[0].size(), 1u);
+  EXPECT_EQ(ranges[1].size(), 1u);
+  for (size_t p = 2; p < 5; ++p) EXPECT_TRUE(ranges[p].empty());
+}
+
+TEST(PartitionerTest, ZeroItems) {
+  const auto ranges = PartitionEvenly(0, 3);
+  ASSERT_EQ(ranges.size(), 3u);
+  for (const Range& r : ranges) EXPECT_TRUE(r.empty());
+}
+
+// Property: ranges are contiguous, disjoint, cover [0, n), sizes differ by
+// at most one.
+class PartitionPropertyTest
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(PartitionPropertyTest, CoversRangeExactly) {
+  const auto [n, parts] = GetParam();
+  const auto ranges = PartitionEvenly(n, parts);
+  ASSERT_EQ(ranges.size(), parts);
+  size_t expected_begin = 0;
+  size_t min_size = SIZE_MAX, max_size = 0;
+  for (const Range& r : ranges) {
+    EXPECT_EQ(r.begin, expected_begin);
+    EXPECT_LE(r.begin, r.end);
+    expected_begin = r.end;
+    min_size = std::min(min_size, r.size());
+    max_size = std::max(max_size, r.size());
+  }
+  EXPECT_EQ(expected_begin, n);
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PartitionPropertyTest,
+    ::testing::Values(std::pair<size_t, size_t>{0, 1},
+                      std::pair<size_t, size_t>{1, 1},
+                      std::pair<size_t, size_t>{100, 7},
+                      std::pair<size_t, size_t>{7, 100},
+                      std::pair<size_t, size_t>{1000, 8},
+                      std::pair<size_t, size_t>{999, 32},
+                      std::pair<size_t, size_t>{1, 64}));
+
+}  // namespace
+}  // namespace sss

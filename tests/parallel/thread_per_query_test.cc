@@ -1,0 +1,78 @@
+#include "parallel/thread_per_query.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <thread>
+
+namespace sss {
+namespace {
+
+TEST(ThreadPerQueryTest, RunsEveryItemExactlyOnce) {
+  std::vector<std::atomic<int>> hits(200);
+  RunThreadPerItem(200, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPerQueryTest, ZeroItemsIsNoop) {
+  int calls = 0;
+  RunThreadPerItem(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPerQueryTest, SingleItem) {
+  std::atomic<int> calls{0};
+  RunThreadPerItem(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPerQueryTest, ItemsRunOnDistinctThreads) {
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  RunThreadPerItem(8, [&](size_t) {
+    std::lock_guard<std::mutex> lock(mu);
+    ids.insert(std::this_thread::get_id());
+  });
+  EXPECT_EQ(ids.size(), 8u) << "strategy 1 must spawn one thread per item";
+}
+
+TEST(ThreadPerQueryTest, MaxLiveBoundsConcurrency) {
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  std::atomic<int> total{0};
+  RunThreadPerItem(
+      32,
+      [&](size_t) {
+        const int now = concurrent.fetch_add(1) + 1;
+        int old_peak = peak.load();
+        while (now > old_peak &&
+               !peak.compare_exchange_weak(old_peak, now)) {
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        concurrent.fetch_sub(1);
+        total.fetch_add(1);
+      },
+      /*max_live=*/4);
+  EXPECT_EQ(total.load(), 32);
+  EXPECT_LE(peak.load(), 4);
+}
+
+TEST(ThreadPerQueryTest, BlocksUntilAllComplete) {
+  std::atomic<int> done{0};
+  RunThreadPerItem(16, [&](size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    done.fetch_add(1);
+  });
+  EXPECT_EQ(done.load(), 16) << "RunThreadPerItem returned before joining";
+}
+
+}  // namespace
+}  // namespace sss

@@ -1,0 +1,127 @@
+#include "parallel/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+
+namespace sss {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+}
+
+TEST(ThreadPoolTest, ReportsThreadCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3u);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsUsesHardwareDefault) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, TasksActuallyRunConcurrently) {
+  ThreadPool pool(4);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&] {
+      const int now = concurrent.fetch_add(1) + 1;
+      int old_peak = peak.load();
+      while (now > old_peak &&
+             !peak.compare_exchange_weak(old_peak, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      concurrent.fetch_sub(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_GE(peak.load(), 2) << "no overlap observed across 16 x 20ms tasks";
+}
+
+TEST(ThreadPoolTest, StaticParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.StaticParallelFor(1000, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, DynamicParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.DynamicParallelFor(1000, [&](size_t i) { hits[i].fetch_add(1); },
+                          /*chunk=*/7);
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForWithZeroItems) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.StaticParallelFor(0, [&](size_t) { ++calls; });
+  pool.DynamicParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, ParallelForWithFewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  pool.StaticParallelFor(3, [&](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPoolTest, SequentialBatchesReusePool) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 10; ++round) {
+    pool.DynamicParallelFor(50, [&](size_t) { counter.fetch_add(1); });
+  }
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsCleanly) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        counter.fetch_add(1);
+      });
+    }
+    pool.Wait();
+  }  // destructor joins
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, SubmitFromWithinTaskWorks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] {
+    counter.fetch_add(1);
+    pool.Submit([&] { counter.fetch_add(10); });
+  });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 11);
+}
+
+}  // namespace
+}  // namespace sss

@@ -1,0 +1,113 @@
+#include "util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+namespace sss {
+namespace {
+
+TEST(ArenaTest, AllocateReturnsWritableMemory) {
+  Arena arena;
+  auto* p = static_cast<char*>(arena.Allocate(128));
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xAB, 128);
+  EXPECT_EQ(static_cast<unsigned char>(p[127]), 0xAB);
+}
+
+TEST(ArenaTest, AllocationsDoNotOverlap) {
+  Arena arena(64);
+  std::set<uintptr_t> starts;
+  std::vector<std::pair<uintptr_t, size_t>> blocks;
+  for (int i = 0; i < 200; ++i) {
+    const size_t n = 1 + static_cast<size_t>(i % 37);
+    auto* p = static_cast<char*>(arena.Allocate(n));
+    std::memset(p, i & 0xFF, n);
+    blocks.emplace_back(reinterpret_cast<uintptr_t>(p), n);
+  }
+  std::sort(blocks.begin(), blocks.end());
+  for (size_t i = 1; i < blocks.size(); ++i) {
+    EXPECT_GE(blocks[i].first, blocks[i - 1].first + blocks[i - 1].second)
+        << "allocation " << i << " overlaps its predecessor";
+  }
+}
+
+TEST(ArenaTest, RespectsAlignment) {
+  Arena arena;
+  (void)arena.Allocate(1, 1);  // misalign the cursor
+  for (size_t align : {2, 4, 8, 16, 64}) {
+    void* p = arena.Allocate(3, align);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u)
+        << "alignment " << align;
+  }
+}
+
+TEST(ArenaTest, GrowsBeyondInitialBlock) {
+  Arena arena(64);
+  for (int i = 0; i < 100; ++i) (void)arena.Allocate(50);
+  EXPECT_GT(arena.num_blocks(), 1u);
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_allocated());
+}
+
+TEST(ArenaTest, LargeAllocationGetsItsOwnBlock) {
+  Arena arena(64);
+  auto* p = static_cast<char*>(arena.Allocate(1 << 20));
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 1, 1 << 20);
+  EXPECT_GE(arena.bytes_reserved(), size_t{1} << 20);
+}
+
+TEST(ArenaTest, NewConstructsObjects) {
+  Arena arena;
+  struct Pod {
+    int a;
+    double b;
+  };
+  Pod* pod = arena.New<Pod>(Pod{3, 2.5});
+  EXPECT_EQ(pod->a, 3);
+  EXPECT_DOUBLE_EQ(pod->b, 2.5);
+}
+
+TEST(ArenaTest, NewArrayIsUsable) {
+  Arena arena;
+  int* xs = arena.NewArray<int>(100);
+  for (int i = 0; i < 100; ++i) xs[i] = i * i;
+  EXPECT_EQ(xs[99], 99 * 99);
+}
+
+TEST(ArenaTest, CopyStringCopies) {
+  Arena arena;
+  const char src[] = "hello arena";
+  const char* copy = arena.CopyString(src, sizeof(src) - 1);
+  EXPECT_NE(copy, src);
+  EXPECT_EQ(std::memcmp(copy, src, sizeof(src) - 1), 0);
+}
+
+TEST(ArenaTest, CopyEmptyStringIsSafe) {
+  Arena arena;
+  const char* copy = arena.CopyString("", 0);
+  EXPECT_NE(copy, nullptr);
+}
+
+TEST(ArenaTest, ResetReleasesEverything) {
+  Arena arena(64);
+  for (int i = 0; i < 50; ++i) (void)arena.Allocate(100);
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  EXPECT_EQ(arena.num_blocks(), 0u);
+  // Usable again after reset.
+  auto* p = static_cast<char*>(arena.Allocate(16));
+  std::memset(p, 0, 16);
+}
+
+TEST(ArenaTest, TracksBytesAllocated) {
+  Arena arena;
+  (void)arena.Allocate(10, 1);
+  (void)arena.Allocate(20, 1);
+  EXPECT_GE(arena.bytes_allocated(), 30u);
+}
+
+}  // namespace
+}  // namespace sss

@@ -1,0 +1,75 @@
+#include "util/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace sss {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void SetEnv(const char* name, const char* value) {
+    ASSERT_EQ(setenv(name, value, /*overwrite=*/1), 0);
+    set_.push_back(name);
+  }
+  void TearDown() override {
+    for (const char* name : set_) unsetenv(name);
+  }
+  std::vector<const char*> set_;
+};
+
+TEST_F(EnvTest, GetEnvReturnsValue) {
+  SetEnv("SSS_TEST_STR", "hello");
+  auto v = GetEnv("SSS_TEST_STR");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "hello");
+}
+
+TEST_F(EnvTest, GetEnvMissingIsNullopt) {
+  unsetenv("SSS_TEST_MISSING");
+  EXPECT_FALSE(GetEnv("SSS_TEST_MISSING").has_value());
+}
+
+TEST_F(EnvTest, GetEnvIntParses) {
+  SetEnv("SSS_TEST_INT", "1234");
+  EXPECT_EQ(GetEnvInt("SSS_TEST_INT", 0), 1234);
+  SetEnv("SSS_TEST_NEG", "-7");
+  EXPECT_EQ(GetEnvInt("SSS_TEST_NEG", 0), -7);
+}
+
+TEST_F(EnvTest, GetEnvIntFallsBackOnGarbage) {
+  SetEnv("SSS_TEST_BADINT", "12abc");
+  EXPECT_EQ(GetEnvInt("SSS_TEST_BADINT", 42), 42);
+  SetEnv("SSS_TEST_EMPTYINT", "");
+  EXPECT_EQ(GetEnvInt("SSS_TEST_EMPTYINT", 9), 9);
+  unsetenv("SSS_TEST_NOINT");
+  EXPECT_EQ(GetEnvInt("SSS_TEST_NOINT", -3), -3);
+}
+
+TEST_F(EnvTest, GetEnvDoubleParses) {
+  SetEnv("SSS_TEST_DBL", "0.25");
+  EXPECT_DOUBLE_EQ(GetEnvDouble("SSS_TEST_DBL", 1.0), 0.25);
+  SetEnv("SSS_TEST_BADDBL", "zero");
+  EXPECT_DOUBLE_EQ(GetEnvDouble("SSS_TEST_BADDBL", 1.5), 1.5);
+}
+
+TEST_F(EnvTest, GetEnvBoolRecognizesTruthyForms) {
+  for (const char* truthy : {"1", "true", "TRUE", "on", "Yes"}) {
+    SetEnv("SSS_TEST_BOOL", truthy);
+    EXPECT_TRUE(GetEnvBool("SSS_TEST_BOOL", false)) << truthy;
+  }
+  for (const char* falsy : {"0", "false", "off", "NO"}) {
+    SetEnv("SSS_TEST_BOOL", falsy);
+    EXPECT_FALSE(GetEnvBool("SSS_TEST_BOOL", true)) << falsy;
+  }
+}
+
+TEST_F(EnvTest, GetEnvBoolFallsBackOnUnknown) {
+  SetEnv("SSS_TEST_BOOL2", "maybe");
+  EXPECT_TRUE(GetEnvBool("SSS_TEST_BOOL2", true));
+  EXPECT_FALSE(GetEnvBool("SSS_TEST_BOOL2", false));
+}
+
+}  // namespace
+}  // namespace sss

@@ -1,0 +1,115 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/random.h"
+
+namespace sss {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+}
+
+TEST(HistogramTest, SingleValue) {
+  LatencyHistogram h;
+  h.Record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1000u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 1000.0);
+  // Percentile error bounded by the bucket width (~1/16 of the octave).
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.5)), 1000.0, 1000.0 / 8);
+}
+
+TEST(HistogramTest, ZeroClampsToOne) {
+  LatencyHistogram h;
+  h.Record(0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1u);
+}
+
+TEST(HistogramTest, MinMaxMeanExact) {
+  LatencyHistogram h;
+  for (uint64_t v : {5u, 10u, 15u, 20u, 25u}) h.Record(v);
+  EXPECT_EQ(h.min(), 5u);
+  EXPECT_EQ(h.max(), 25u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 15.0);
+}
+
+TEST(HistogramTest, PercentilesOfUniformData) {
+  LatencyHistogram h;
+  for (uint64_t v = 1; v <= 10000; ++v) h.Record(v);
+  // Log-bucketing guarantees ≤ ~7% relative error at these magnitudes.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.5)), 5000, 5000 * 0.08);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.9)), 9000, 9000 * 0.08);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.99)), 9900, 9900 * 0.08);
+  EXPECT_EQ(h.Percentile(1.0), 10000u);
+}
+
+TEST(HistogramTest, PercentileNeverExceedsMax) {
+  Xoshiro256 rng(0x415);
+  LatencyHistogram h;
+  for (int i = 0; i < 5000; ++i) h.Record(1 + rng.Uniform(1 << 20));
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_LE(h.Percentile(q), h.max()) << q;
+    EXPECT_GE(h.Percentile(q), h.min() / 2) << q;  // bucket lower slack
+  }
+  // Monotone in q.
+  EXPECT_LE(h.Percentile(0.25), h.Percentile(0.75));
+  EXPECT_LE(h.Percentile(0.75), h.Percentile(0.99));
+}
+
+TEST(HistogramTest, HandlesHugeValues) {
+  LatencyHistogram h;
+  h.Record(uint64_t{1} << 47);
+  h.Record(uint64_t{1} << 50);  // beyond the last octave: clamped bucket
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), uint64_t{1} << 50);
+  EXPECT_GT(h.Percentile(0.99), uint64_t{1} << 46);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.Record(50);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+}
+
+TEST(HistogramTest, SummaryMentionsPercentiles) {
+  LatencyHistogram h;
+  h.Record(100);
+  const std::string s = h.Summary("us");
+  EXPECT_NE(s.find("p50="), std::string::npos);
+  EXPECT_NE(s.find("p99="), std::string::npos);
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+}
+
+TEST(HistogramTest, ConcurrentRecordingLosesNothing) {
+  LatencyHistogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      Xoshiro256 rng(static_cast<uint64_t>(t));
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(1 + rng.Uniform(1 << 16));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace sss

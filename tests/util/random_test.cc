@@ -1,0 +1,143 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+
+namespace sss {
+namespace {
+
+TEST(Xoshiro256Test, DeterministicForSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256Test, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a() == b() ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Xoshiro256Test, UniformStaysInBounds) {
+  Xoshiro256 rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.Uniform(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256Test, UniformBoundOneAlwaysZero) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Uniform(1), 0u);
+}
+
+TEST(Xoshiro256Test, UniformCoversAllValues) {
+  Xoshiro256 rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.Uniform(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Xoshiro256Test, UniformIsApproximatelyUnbiased) {
+  Xoshiro256 rng(13);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.Uniform(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], expected, expected * 0.1) << "bucket " << b;
+  }
+}
+
+TEST(Xoshiro256Test, UniformIntInclusiveRange) {
+  Xoshiro256 rng(17);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Xoshiro256Test, UniformDoubleInHalfOpenUnit) {
+  Xoshiro256 rng(19);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Xoshiro256Test, BernoulliMatchesProbability) {
+  Xoshiro256 rng(23);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 50000.0, 0.3, 0.02);
+}
+
+TEST(Xoshiro256Test, BernoulliDegenerateProbabilities) {
+  Xoshiro256 rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(Xoshiro256Test, ForkProducesIndependentStream) {
+  Xoshiro256 a(31);
+  Xoshiro256 b = a.Fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a() == b() ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(SplitMix64Test, AdvancesStateDeterministically) {
+  uint64_t s1 = 42, s2 = 42;
+  EXPECT_EQ(SplitMix64(&s1), SplitMix64(&s2));
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(s1, 42u);  // state advanced
+}
+
+TEST(SampleCumulativeTest, RespectsWeights) {
+  Xoshiro256 rng(37);
+  // Weights 1, 3, 6 → cumulative 1, 4, 10.
+  const double cumulative[] = {1.0, 4.0, 10.0};
+  std::array<int, 3> counts{};
+  constexpr int kDraws = 60000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[SampleCumulative(cumulative, 3, &rng)];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kDraws), 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kDraws), 0.6, 0.02);
+}
+
+TEST(SampleCumulativeTest, SingleEntryAlwaysZero) {
+  Xoshiro256 rng(41);
+  const double cumulative[] = {5.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(SampleCumulative(cumulative, 1, &rng), 0u);
+  }
+}
+
+TEST(SampleCumulativeTest, ZeroWeightEntryNeverSampled) {
+  Xoshiro256 rng(43);
+  // Entry 1 has zero weight (cumulative flat between 0 and 1).
+  const double cumulative[] = {2.0, 2.0, 4.0};
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_NE(SampleCumulative(cumulative, 3, &rng), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace sss

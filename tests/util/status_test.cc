@@ -1,0 +1,130 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+
+namespace sss {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  EXPECT_TRUE(Status::Invalid("bad").IsInvalid());
+  EXPECT_TRUE(Status::IOError("io").IsIOError());
+  EXPECT_TRUE(Status::KeyError("key").IsKeyError());
+  EXPECT_TRUE(Status::OutOfMemory("oom").IsOutOfMemory());
+  EXPECT_TRUE(Status::NotImplemented("ni").IsNotImplemented());
+  EXPECT_TRUE(Status::Cancelled("c").IsCancelled());
+  EXPECT_EQ(Status::Invalid("bad input").message(), "bad input");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::Invalid("oops").ToString(), "Invalid: oops");
+  EXPECT_EQ(Status::IOError("gone").ToString(), "IOError: gone");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status a = Status::Invalid("x");
+  Status b = a;
+  EXPECT_TRUE(b.IsInvalid());
+  EXPECT_EQ(b.message(), "x");
+  EXPECT_TRUE(a.IsInvalid());  // source untouched
+  EXPECT_EQ(a, b);
+}
+
+TEST(StatusTest, MoveTransfersState) {
+  Status a = Status::IOError("y");
+  Status b = std::move(a);
+  EXPECT_TRUE(b.IsIOError());
+  EXPECT_EQ(b.message(), "y");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Invalid("m"), Status::Invalid("m"));
+  EXPECT_FALSE(Status::Invalid("m") == Status::Invalid("n"));
+  EXPECT_FALSE(Status::Invalid("m") == Status::IOError("m"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, CodeToStringNamesAllCodes) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInvalid), "Invalid");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnknownError), "UnknownError");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::Invalid("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalid());
+  EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<int> ok = 7;
+  Result<int> err = Status::Invalid("x");
+  EXPECT_EQ(ok.ValueOr(0), 7);
+  EXPECT_EQ(err.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, WorksWithMoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).ValueUnsafe();
+  EXPECT_EQ(*p, 5);
+}
+
+Status FailingOperation() { return Status::IOError("disk on fire"); }
+
+Status PropagationSite() {
+  SSS_RETURN_NOT_OK(FailingOperation());
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(PropagationSite().IsIOError());
+}
+
+Result<int> ProduceInt(bool fail) {
+  if (fail) return Status::Invalid("asked to fail");
+  return 10;
+}
+
+Status AssignSite(bool fail, int* out) {
+  SSS_ASSIGN_OR_RETURN(*out, ProduceInt(fail));
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesAndAssigns) {
+  int out = 0;
+  EXPECT_TRUE(AssignSite(false, &out).ok());
+  EXPECT_EQ(out, 10);
+  EXPECT_TRUE(AssignSite(true, &out).IsInvalid());
+}
+
+}  // namespace
+}  // namespace sss

@@ -1,0 +1,130 @@
+#include "util/string_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace sss {
+namespace {
+
+TEST(StringPoolTest, EmptyPool) {
+  StringPool pool;
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_TRUE(pool.empty());
+  EXPECT_EQ(pool.total_bytes(), 0u);
+  EXPECT_EQ(pool.max_length(), 0u);
+  EXPECT_EQ(pool.min_length(), 0u);
+}
+
+TEST(StringPoolTest, AddReturnsSequentialIds) {
+  StringPool pool;
+  EXPECT_EQ(pool.Add("a"), 0u);
+  EXPECT_EQ(pool.Add("bb"), 1u);
+  EXPECT_EQ(pool.Add("ccc"), 2u);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(StringPoolTest, ViewRoundTrips) {
+  StringPool pool;
+  pool.Add("Magdeburg");
+  pool.Add("Berlin");
+  pool.Add("");
+  pool.Add("Ulm");
+  EXPECT_EQ(pool.View(0), "Magdeburg");
+  EXPECT_EQ(pool.View(1), "Berlin");
+  EXPECT_EQ(pool.View(2), "");
+  EXPECT_EQ(pool.View(3), "Ulm");
+  EXPECT_EQ(pool[1], "Berlin");
+}
+
+TEST(StringPoolTest, LengthMatchesView) {
+  StringPool pool;
+  pool.Add("abc");
+  pool.Add("");
+  pool.Add("longer string here");
+  for (size_t i = 0; i < pool.size(); ++i) {
+    EXPECT_EQ(pool.Length(i), pool.View(i).size());
+  }
+}
+
+TEST(StringPoolTest, MinMaxLengthTracked) {
+  StringPool pool;
+  pool.Add("aaaa");
+  pool.Add("a");
+  pool.Add("aaaaaaa");
+  EXPECT_EQ(pool.min_length(), 1u);
+  EXPECT_EQ(pool.max_length(), 7u);
+}
+
+TEST(StringPoolTest, TotalBytesIsSumOfLengths) {
+  StringPool pool;
+  pool.Add("ab");
+  pool.Add("cde");
+  EXPECT_EQ(pool.total_bytes(), 5u);
+}
+
+TEST(StringPoolTest, StorageIsContiguous) {
+  StringPool pool;
+  pool.Add("abc");
+  pool.Add("def");
+  EXPECT_EQ(std::string_view(pool.data(), 6), "abcdef");
+}
+
+TEST(StringPoolTest, HandlesEmbeddedNulAndHighBytes) {
+  StringPool pool;
+  const std::string with_nul{"a\0b", 3};
+  const std::string high = "\xC3\xA9\xFF";
+  pool.Add(with_nul);
+  pool.Add(high);
+  EXPECT_EQ(pool.View(0), std::string_view(with_nul));
+  EXPECT_EQ(pool.View(1), std::string_view(high));
+}
+
+TEST(StringPoolTest, ToVectorMaterializesAll) {
+  StringPool pool;
+  pool.Add("x");
+  pool.Add("y");
+  const auto v = pool.ToVector();
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], "x");
+  EXPECT_EQ(v[1], "y");
+}
+
+TEST(StringPoolTest, ManyRandomStringsRoundTrip) {
+  Xoshiro256 rng(99);
+  StringPool pool;
+  std::vector<std::string> truth;
+  for (int i = 0; i < 5000; ++i) {
+    std::string s;
+    const size_t len = rng.Uniform(40);
+    for (size_t j = 0; j < len; ++j) {
+      s.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    truth.push_back(s);
+    pool.Add(s);
+  }
+  ASSERT_EQ(pool.size(), truth.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_EQ(pool.View(i), std::string_view(truth[i])) << "id " << i;
+  }
+}
+
+TEST(StringPoolTest, ReserveDoesNotChangeContents) {
+  StringPool pool;
+  pool.Add("before");
+  pool.Reserve(1000, 10000);
+  pool.Add("after");
+  EXPECT_EQ(pool.View(0), "before");
+  EXPECT_EQ(pool.View(1), "after");
+}
+
+TEST(StringPoolTest, MoveTransfersContents) {
+  StringPool a;
+  a.Add("payload");
+  StringPool b = std::move(a);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.View(0), "payload");
+}
+
+}  // namespace
+}  // namespace sss

@@ -1,0 +1,278 @@
+// sss_cli — command-line front end for the library, in the shape of the
+// EDBT/ICDT 2013 competition harness: datasets and queries are files, the
+// tool reports only the result-computation time (I/O excluded), and
+// results are written in the competition layout.
+//
+//   sss_cli generate --workload city --count 40000 --seed 7 \
+//           --out data.txt --queries 100 --queries-out q.txt
+//   sss_cli search --data data.txt --queries q.txt --engine scan \
+//           --strategy pool --threads 8 --out results.txt
+//   sss_cli join --data data.txt --k 1 --out pairs.txt
+//   sss_cli stats --data data.txt
+//
+// Engines: scan | trie | ctrie | qgram | partition | packed | bktree
+// Strategies: serial | tpq | pool | adaptive
+#include <cstdio>
+#include <string>
+
+#include "core/join.h"
+#include "core/searcher.h"
+#include "gen/city_generator.h"
+#include "gen/dna_generator.h"
+#include "gen/query_generator.h"
+#include "gen/workload.h"
+#include "io/reader.h"
+#include "io/writer.h"
+#include "util/flags.h"
+#include "util/histogram.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+// Unwraps a Result into a declaration, or exits the subcommand with the
+// error printed (CLI-flavored SSS_ASSIGN_OR_RETURN).
+#define SSS_ASSIGN_OR_RETURN_CLI(decl, rexpr)                       \
+  auto SSS_CONCAT(_cli_result_, __LINE__) = (rexpr);                \
+  if (!SSS_CONCAT(_cli_result_, __LINE__).ok()) {                   \
+    return Fail(SSS_CONCAT(_cli_result_, __LINE__).status());       \
+  }                                                                 \
+  decl = std::move(SSS_CONCAT(_cli_result_, __LINE__)).ValueUnsafe()
+
+namespace sss::cli {
+namespace {
+
+// Keeps the latency-pass searches from being optimized away.
+volatile size_t benchmark_results_sink_ = 0;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: sss_cli <generate|search|join|stats> [flags]\n"
+               "  generate --workload city|dna --count N [--seed S]\n"
+               "           --out FILE [--queries N --queries-out FILE]\n"
+               "  search   --data FILE --queries FILE [--default-k K]\n"
+               "           [--engine scan|trie|ctrie|qgram|partition|packed|bktree]\n"
+               "           [--strategy serial|tpq|pool|adaptive]\n"
+               "           [--threads N] [--out FILE] [--dna] [--latency]\n"
+               "  join     --data FILE --k K [--out FILE] [--threads N] [--dna]\n"
+               "  stats    --data FILE [--dna]\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+Result<EngineKind> ParseEngine(const std::string& name) {
+  if (name == "scan") return EngineKind::kSequentialScan;
+  if (name == "trie") return EngineKind::kTrieIndex;
+  if (name == "ctrie") return EngineKind::kCompressedTrieIndex;
+  if (name == "qgram") return EngineKind::kQGramIndex;
+  if (name == "partition") return EngineKind::kPartitionIndex;
+  if (name == "packed") return EngineKind::kPackedDnaScan;
+  if (name == "bktree") return EngineKind::kBKTree;
+  return Status::Invalid("unknown engine '" + name + "'");
+}
+
+Result<ExecutionStrategy> ParseStrategy(const std::string& name) {
+  if (name == "serial") return ExecutionStrategy::kSerial;
+  if (name == "tpq") return ExecutionStrategy::kThreadPerQuery;
+  if (name == "pool") return ExecutionStrategy::kFixedPool;
+  if (name == "adaptive") return ExecutionStrategy::kAdaptive;
+  return Status::Invalid("unknown strategy '" + name + "'");
+}
+
+AlphabetKind AlphabetFromFlags(const FlagSet& flags) {
+  Result<bool> dna = flags.GetBool("dna", false);
+  return dna.ok() && *dna ? AlphabetKind::kDna : AlphabetKind::kGeneric;
+}
+
+int RunGenerate(const FlagSet& flags) {
+  const std::string workload = flags.GetString("workload", "city");
+  SSS_ASSIGN_OR_RETURN_CLI(int64_t count, flags.GetInt("count", 10000));
+  SSS_ASSIGN_OR_RETURN_CLI(
+      int64_t seed,
+      flags.GetInt("seed", static_cast<int64_t>(Xoshiro256::kDefaultSeed)));
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "generate: --out is required\n");
+    return 2;
+  }
+
+  Dataset dataset;
+  gen::WorkloadKind kind;
+  if (workload == "city") {
+    kind = gen::WorkloadKind::kCityNames;
+    gen::CityGeneratorOptions options;
+    options.num_strings = static_cast<size_t>(count);
+    dataset =
+        gen::CityNameGenerator(options, static_cast<uint64_t>(seed))
+            .Generate();
+  } else if (workload == "dna") {
+    kind = gen::WorkloadKind::kDnaReads;
+    gen::DnaGeneratorOptions options;
+    options.num_reads = static_cast<size_t>(count);
+    dataset =
+        gen::DnaReadGenerator(options, static_cast<uint64_t>(seed))
+            .Generate();
+  } else {
+    std::fprintf(stderr, "generate: unknown workload '%s'\n",
+                 workload.c_str());
+    return 2;
+  }
+
+  Status st = WriteDatasetFile(out, dataset);
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote %zu strings to %s\n", dataset.size(), out.c_str());
+
+  SSS_ASSIGN_OR_RETURN_CLI(int64_t num_queries, flags.GetInt("queries", 0));
+  if (num_queries > 0) {
+    const std::string queries_out = flags.GetString("queries-out", "");
+    if (queries_out.empty()) {
+      std::fprintf(stderr, "generate: --queries needs --queries-out\n");
+      return 2;
+    }
+    gen::QueryGeneratorOptions q_options;
+    q_options.num_queries = static_cast<size_t>(num_queries);
+    q_options.thresholds = gen::ThresholdsFor(kind);
+    const QuerySet queries = gen::MakeQuerySet(
+        dataset, q_options, static_cast<uint64_t>(seed) ^ 0xABCD);
+    st = WriteQueryFile(queries_out, queries);
+    if (!st.ok()) return Fail(st);
+    std::printf("wrote %zu queries to %s\n", queries.size(),
+                queries_out.c_str());
+  }
+  return 0;
+}
+
+int RunSearch(const FlagSet& flags) {
+  const std::string data_path = flags.GetString("data", "");
+  const std::string query_path = flags.GetString("queries", "");
+  if (data_path.empty() || query_path.empty()) {
+    std::fprintf(stderr, "search: --data and --queries are required\n");
+    return 2;
+  }
+  SSS_ASSIGN_OR_RETURN_CLI(int64_t default_k, flags.GetInt("default-k", 0));
+
+  auto dataset = ReadDatasetFile(data_path, "cli_data",
+                                 AlphabetFromFlags(flags));
+  if (!dataset.ok()) return Fail(dataset.status());
+  auto queries = ReadQueryFile(query_path, static_cast<int>(default_k));
+  if (!queries.ok()) return Fail(queries.status());
+
+  auto engine_kind = ParseEngine(flags.GetString("engine", "scan"));
+  if (!engine_kind.ok()) return Fail(engine_kind.status());
+  auto strategy = ParseStrategy(flags.GetString("strategy", "pool"));
+  if (!strategy.ok()) return Fail(strategy.status());
+  SSS_ASSIGN_OR_RETURN_CLI(int64_t threads, flags.GetInt("threads", 0));
+
+  Stopwatch build_timer;
+  auto searcher = MakeSearcher(*engine_kind, *dataset);
+  if (!searcher.ok()) return Fail(searcher.status());
+  const double build_seconds = build_timer.ElapsedSeconds();
+
+  // The paper's measurement (§5.2): only the result computation is timed.
+  Stopwatch query_timer;
+  const SearchResults results = (*searcher)->SearchBatch(
+      *queries, {*strategy, static_cast<size_t>(threads)});
+  const double query_seconds = query_timer.ElapsedSeconds();
+
+  size_t total_matches = 0;
+  for (const MatchList& m : results) total_matches += m.size();
+  std::printf(
+      "engine=%s strings=%zu queries=%zu matches=%zu\n"
+      "build_time=%.3fs query_time=%.3fs (%.3f ms/query)\n",
+      (*searcher)->name().c_str(), dataset->size(), queries->size(),
+      total_matches, build_seconds, query_seconds,
+      queries->empty() ? 0.0
+                       : query_seconds * 1e3 /
+                             static_cast<double>(queries->size()));
+
+  // Optional per-query latency distribution (serial pass; the parallel
+  // batch above reports throughput, this reports the tail).
+  if (flags.Has("latency")) {
+    LatencyHistogram histogram;
+    for (const Query& q : *queries) {
+      Stopwatch t;
+      benchmark_results_sink_ += (*searcher)->Search(q).size();
+      histogram.Record(static_cast<uint64_t>(t.ElapsedNanos() / 1000));
+    }
+    std::printf("per-query latency: %s\n", histogram.Summary("us").c_str());
+  }
+
+  const std::string out = flags.GetString("out", "");
+  if (!out.empty()) {
+    Status st = WriteResultFile(out, results);
+    if (!st.ok()) return Fail(st);
+    std::printf("results written to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int RunJoin(const FlagSet& flags) {
+  const std::string data_path = flags.GetString("data", "");
+  if (data_path.empty()) {
+    std::fprintf(stderr, "join: --data is required\n");
+    return 2;
+  }
+  SSS_ASSIGN_OR_RETURN_CLI(int64_t k, flags.GetInt("k", 1));
+  SSS_ASSIGN_OR_RETURN_CLI(int64_t threads, flags.GetInt("threads", 0));
+
+  auto dataset = ReadDatasetFile(data_path, "cli_data",
+                                 AlphabetFromFlags(flags));
+  if (!dataset.ok()) return Fail(dataset.status());
+
+  JoinOptions options;
+  options.max_distance = static_cast<int>(k);
+  options.exec = {ExecutionStrategy::kFixedPool,
+                  static_cast<size_t>(threads)};
+  Stopwatch timer;
+  const std::vector<JoinPair> pairs = SimilaritySelfJoin(*dataset, options);
+  std::printf("join k=%lld: %zu pairs in %.3fs\n",
+              static_cast<long long>(k), pairs.size(),
+              timer.ElapsedSeconds());
+
+  const std::string out = flags.GetString("out", "");
+  if (!out.empty()) {
+    std::FILE* f = std::fopen(out.c_str(), "wb");
+    if (f == nullptr) return Fail(Status::IOError("cannot open " + out));
+    for (const auto& [a, b] : pairs) std::fprintf(f, "%u %u\n", a, b);
+    std::fclose(f);
+    std::printf("pairs written to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int RunStats(const FlagSet& flags) {
+  const std::string data_path = flags.GetString("data", "");
+  if (data_path.empty()) {
+    std::fprintf(stderr, "stats: --data is required\n");
+    return 2;
+  }
+  auto dataset = ReadDatasetFile(data_path, "cli_data",
+                                 AlphabetFromFlags(flags));
+  if (!dataset.ok()) return Fail(dataset.status());
+  const DatasetStats stats = dataset->ComputeStats();
+  std::printf(
+      "strings=%zu alphabet=%zu min_len=%zu max_len=%zu avg_len=%.2f "
+      "bytes=%zu\n",
+      stats.num_strings, stats.alphabet_size, stats.min_length,
+      stats.max_length, stats.avg_length, stats.total_bytes);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sss::cli
+
+int main(int argc, char** argv) {
+  if (argc < 2) return sss::cli::Usage();
+  const std::string command = argv[1];
+
+  auto flags = sss::FlagSet::Parse(argc - 1, argv + 1);
+  if (!flags.ok()) return sss::cli::Fail(flags.status());
+
+  if (command == "generate") return sss::cli::RunGenerate(*flags);
+  if (command == "search") return sss::cli::RunSearch(*flags);
+  if (command == "join") return sss::cli::RunJoin(*flags);
+  if (command == "stats") return sss::cli::RunStats(*flags);
+  return sss::cli::Usage();
+}
