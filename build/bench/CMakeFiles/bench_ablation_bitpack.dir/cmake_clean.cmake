@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bitpack.dir/bench_ablation_bitpack.cc.o"
+  "CMakeFiles/bench_ablation_bitpack.dir/bench_ablation_bitpack.cc.o.d"
+  "bench_ablation_bitpack"
+  "bench_ablation_bitpack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bitpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

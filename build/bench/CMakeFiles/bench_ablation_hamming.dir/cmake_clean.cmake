@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hamming.dir/bench_ablation_hamming.cc.o"
+  "CMakeFiles/bench_ablation_hamming.dir/bench_ablation_hamming.cc.o.d"
+  "bench_ablation_hamming"
+  "bench_ablation_hamming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hamming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sorting.dir/bench_ablation_sorting.cc.o"
+  "CMakeFiles/bench_ablation_sorting.dir/bench_ablation_sorting.cc.o.d"
+  "bench_ablation_sorting"
+  "bench_ablation_sorting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sorting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

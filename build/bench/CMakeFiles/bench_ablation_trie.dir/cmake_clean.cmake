@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_trie.dir/bench_ablation_trie.cc.o"
+  "CMakeFiles/bench_ablation_trie.dir/bench_ablation_trie.cc.o.d"
+  "bench_ablation_trie"
+  "bench_ablation_trie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_app_read_mapping.dir/bench_app_read_mapping.cc.o"
+  "CMakeFiles/bench_app_read_mapping.dir/bench_app_read_mapping.cc.o.d"
+  "bench_app_read_mapping"
+  "bench_app_read_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_app_read_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

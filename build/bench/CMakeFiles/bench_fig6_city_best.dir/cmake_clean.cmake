@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_city_best.dir/bench_fig6_city_best.cc.o"
+  "CMakeFiles/bench_fig6_city_best.dir/bench_fig6_city_best.cc.o.d"
+  "bench_fig6_city_best"
+  "bench_fig6_city_best.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_city_best.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_dna_best.dir/bench_fig7_dna_best.cc.o"
+  "CMakeFiles/bench_fig7_dna_best.dir/bench_fig7_dna_best.cc.o.d"
+  "bench_fig7_dna_best"
+  "bench_fig7_dna_best.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_dna_best.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_dna_best.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_seq_city_threads.cc" "bench/CMakeFiles/bench_table2_seq_city_threads.dir/bench_table2_seq_city_threads.cc.o" "gcc" "bench/CMakeFiles/bench_table2_seq_city_threads.dir/bench_table2_seq_city_threads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/align/CMakeFiles/sss_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sss_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/sss_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/sss_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/sss_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table5_idx_city_ladder.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_seq_dna_threads.dir/bench_table6_seq_dna_threads.cc.o"
+  "CMakeFiles/bench_table6_seq_dna_threads.dir/bench_table6_seq_dna_threads.cc.o.d"
+  "bench_table6_seq_dna_threads"
+  "bench_table6_seq_dna_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_seq_dna_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_seq_dna_ladder.dir/bench_table7_seq_dna_ladder.cc.o"
+  "CMakeFiles/bench_table7_seq_dna_ladder.dir/bench_table7_seq_dna_ladder.cc.o.d"
+  "bench_table7_seq_dna_ladder"
+  "bench_table7_seq_dna_ladder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_seq_dna_ladder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_search.dir/city_search.cpp.o"
+  "CMakeFiles/city_search.dir/city_search.cpp.o.d"
+  "city_search"
+  "city_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/near_dedupe.dir/near_dedupe.cpp.o"
+  "CMakeFiles/near_dedupe.dir/near_dedupe.cpp.o.d"
+  "near_dedupe"
+  "near_dedupe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/near_dedupe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

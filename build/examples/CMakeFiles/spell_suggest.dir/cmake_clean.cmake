@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spell_suggest.dir/spell_suggest.cpp.o"
+  "CMakeFiles/spell_suggest.dir/spell_suggest.cpp.o.d"
+  "spell_suggest"
+  "spell_suggest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spell_suggest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/align/read_mapper.cc" "src/align/CMakeFiles/sss_align.dir/read_mapper.cc.o" "gcc" "src/align/CMakeFiles/sss_align.dir/read_mapper.cc.o.d"
+  "/root/repo/src/align/suffix_array.cc" "src/align/CMakeFiles/sss_align.dir/suffix_array.cc.o" "gcc" "src/align/CMakeFiles/sss_align.dir/suffix_array.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sss_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sss_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/sss_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/sss_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sss_align.dir/read_mapper.cc.o"
+  "CMakeFiles/sss_align.dir/read_mapper.cc.o.d"
+  "CMakeFiles/sss_align.dir/suffix_array.cc.o"
+  "CMakeFiles/sss_align.dir/suffix_array.cc.o.d"
+  "libsss_align.a"
+  "libsss_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sss_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

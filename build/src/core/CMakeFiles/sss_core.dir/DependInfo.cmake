@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/auto_searcher.cc" "src/core/CMakeFiles/sss_core.dir/auto_searcher.cc.o" "gcc" "src/core/CMakeFiles/sss_core.dir/auto_searcher.cc.o.d"
+  "/root/repo/src/core/bktree.cc" "src/core/CMakeFiles/sss_core.dir/bktree.cc.o" "gcc" "src/core/CMakeFiles/sss_core.dir/bktree.cc.o.d"
+  "/root/repo/src/core/cached.cc" "src/core/CMakeFiles/sss_core.dir/cached.cc.o" "gcc" "src/core/CMakeFiles/sss_core.dir/cached.cc.o.d"
+  "/root/repo/src/core/compressed_trie.cc" "src/core/CMakeFiles/sss_core.dir/compressed_trie.cc.o" "gcc" "src/core/CMakeFiles/sss_core.dir/compressed_trie.cc.o.d"
+  "/root/repo/src/core/edit_distance.cc" "src/core/CMakeFiles/sss_core.dir/edit_distance.cc.o" "gcc" "src/core/CMakeFiles/sss_core.dir/edit_distance.cc.o.d"
+  "/root/repo/src/core/filters.cc" "src/core/CMakeFiles/sss_core.dir/filters.cc.o" "gcc" "src/core/CMakeFiles/sss_core.dir/filters.cc.o.d"
+  "/root/repo/src/core/hamming.cc" "src/core/CMakeFiles/sss_core.dir/hamming.cc.o" "gcc" "src/core/CMakeFiles/sss_core.dir/hamming.cc.o.d"
+  "/root/repo/src/core/join.cc" "src/core/CMakeFiles/sss_core.dir/join.cc.o" "gcc" "src/core/CMakeFiles/sss_core.dir/join.cc.o.d"
+  "/root/repo/src/core/kernels.cc" "src/core/CMakeFiles/sss_core.dir/kernels.cc.o" "gcc" "src/core/CMakeFiles/sss_core.dir/kernels.cc.o.d"
+  "/root/repo/src/core/packed_scan.cc" "src/core/CMakeFiles/sss_core.dir/packed_scan.cc.o" "gcc" "src/core/CMakeFiles/sss_core.dir/packed_scan.cc.o.d"
+  "/root/repo/src/core/partition_index.cc" "src/core/CMakeFiles/sss_core.dir/partition_index.cc.o" "gcc" "src/core/CMakeFiles/sss_core.dir/partition_index.cc.o.d"
+  "/root/repo/src/core/qgram_index.cc" "src/core/CMakeFiles/sss_core.dir/qgram_index.cc.o" "gcc" "src/core/CMakeFiles/sss_core.dir/qgram_index.cc.o.d"
+  "/root/repo/src/core/ranked.cc" "src/core/CMakeFiles/sss_core.dir/ranked.cc.o" "gcc" "src/core/CMakeFiles/sss_core.dir/ranked.cc.o.d"
+  "/root/repo/src/core/scan.cc" "src/core/CMakeFiles/sss_core.dir/scan.cc.o" "gcc" "src/core/CMakeFiles/sss_core.dir/scan.cc.o.d"
+  "/root/repo/src/core/searcher.cc" "src/core/CMakeFiles/sss_core.dir/searcher.cc.o" "gcc" "src/core/CMakeFiles/sss_core.dir/searcher.cc.o.d"
+  "/root/repo/src/core/trie.cc" "src/core/CMakeFiles/sss_core.dir/trie.cc.o" "gcc" "src/core/CMakeFiles/sss_core.dir/trie.cc.o.d"
+  "/root/repo/src/core/trie_serialization.cc" "src/core/CMakeFiles/sss_core.dir/trie_serialization.cc.o" "gcc" "src/core/CMakeFiles/sss_core.dir/trie_serialization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sss_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/sss_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/sss_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

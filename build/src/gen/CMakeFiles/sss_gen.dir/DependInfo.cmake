@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/city_corpus.cc" "src/gen/CMakeFiles/sss_gen.dir/city_corpus.cc.o" "gcc" "src/gen/CMakeFiles/sss_gen.dir/city_corpus.cc.o.d"
+  "/root/repo/src/gen/city_generator.cc" "src/gen/CMakeFiles/sss_gen.dir/city_generator.cc.o" "gcc" "src/gen/CMakeFiles/sss_gen.dir/city_generator.cc.o.d"
+  "/root/repo/src/gen/dna_generator.cc" "src/gen/CMakeFiles/sss_gen.dir/dna_generator.cc.o" "gcc" "src/gen/CMakeFiles/sss_gen.dir/dna_generator.cc.o.d"
+  "/root/repo/src/gen/query_generator.cc" "src/gen/CMakeFiles/sss_gen.dir/query_generator.cc.o" "gcc" "src/gen/CMakeFiles/sss_gen.dir/query_generator.cc.o.d"
+  "/root/repo/src/gen/typo_model.cc" "src/gen/CMakeFiles/sss_gen.dir/typo_model.cc.o" "gcc" "src/gen/CMakeFiles/sss_gen.dir/typo_model.cc.o.d"
+  "/root/repo/src/gen/workload.cc" "src/gen/CMakeFiles/sss_gen.dir/workload.cc.o" "gcc" "src/gen/CMakeFiles/sss_gen.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sss_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/sss_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sss_gen.dir/city_corpus.cc.o"
+  "CMakeFiles/sss_gen.dir/city_corpus.cc.o.d"
+  "CMakeFiles/sss_gen.dir/city_generator.cc.o"
+  "CMakeFiles/sss_gen.dir/city_generator.cc.o.d"
+  "CMakeFiles/sss_gen.dir/dna_generator.cc.o"
+  "CMakeFiles/sss_gen.dir/dna_generator.cc.o.d"
+  "CMakeFiles/sss_gen.dir/query_generator.cc.o"
+  "CMakeFiles/sss_gen.dir/query_generator.cc.o.d"
+  "CMakeFiles/sss_gen.dir/typo_model.cc.o"
+  "CMakeFiles/sss_gen.dir/typo_model.cc.o.d"
+  "CMakeFiles/sss_gen.dir/workload.cc.o"
+  "CMakeFiles/sss_gen.dir/workload.cc.o.d"
+  "libsss_gen.a"
+  "libsss_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sss_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsss_gen.a"
+)

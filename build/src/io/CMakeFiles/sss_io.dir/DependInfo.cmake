@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/binary_format.cc" "src/io/CMakeFiles/sss_io.dir/binary_format.cc.o" "gcc" "src/io/CMakeFiles/sss_io.dir/binary_format.cc.o.d"
+  "/root/repo/src/io/dataset.cc" "src/io/CMakeFiles/sss_io.dir/dataset.cc.o" "gcc" "src/io/CMakeFiles/sss_io.dir/dataset.cc.o.d"
+  "/root/repo/src/io/reader.cc" "src/io/CMakeFiles/sss_io.dir/reader.cc.o" "gcc" "src/io/CMakeFiles/sss_io.dir/reader.cc.o.d"
+  "/root/repo/src/io/writer.cc" "src/io/CMakeFiles/sss_io.dir/writer.cc.o" "gcc" "src/io/CMakeFiles/sss_io.dir/writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sss_io.dir/binary_format.cc.o"
+  "CMakeFiles/sss_io.dir/binary_format.cc.o.d"
+  "CMakeFiles/sss_io.dir/dataset.cc.o"
+  "CMakeFiles/sss_io.dir/dataset.cc.o.d"
+  "CMakeFiles/sss_io.dir/reader.cc.o"
+  "CMakeFiles/sss_io.dir/reader.cc.o.d"
+  "CMakeFiles/sss_io.dir/writer.cc.o"
+  "CMakeFiles/sss_io.dir/writer.cc.o.d"
+  "libsss_io.a"
+  "libsss_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sss_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

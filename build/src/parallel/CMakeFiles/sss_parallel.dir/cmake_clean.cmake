@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sss_parallel.dir/adaptive_pool.cc.o"
+  "CMakeFiles/sss_parallel.dir/adaptive_pool.cc.o.d"
+  "CMakeFiles/sss_parallel.dir/thread_per_query.cc.o"
+  "CMakeFiles/sss_parallel.dir/thread_per_query.cc.o.d"
+  "CMakeFiles/sss_parallel.dir/thread_pool.cc.o"
+  "CMakeFiles/sss_parallel.dir/thread_pool.cc.o.d"
+  "libsss_parallel.a"
+  "libsss_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sss_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sss_parallel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/arena.cc" "src/util/CMakeFiles/sss_util.dir/arena.cc.o" "gcc" "src/util/CMakeFiles/sss_util.dir/arena.cc.o.d"
+  "/root/repo/src/util/bitpack.cc" "src/util/CMakeFiles/sss_util.dir/bitpack.cc.o" "gcc" "src/util/CMakeFiles/sss_util.dir/bitpack.cc.o.d"
+  "/root/repo/src/util/env.cc" "src/util/CMakeFiles/sss_util.dir/env.cc.o" "gcc" "src/util/CMakeFiles/sss_util.dir/env.cc.o.d"
+  "/root/repo/src/util/flags.cc" "src/util/CMakeFiles/sss_util.dir/flags.cc.o" "gcc" "src/util/CMakeFiles/sss_util.dir/flags.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/util/CMakeFiles/sss_util.dir/histogram.cc.o" "gcc" "src/util/CMakeFiles/sss_util.dir/histogram.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/util/CMakeFiles/sss_util.dir/logging.cc.o" "gcc" "src/util/CMakeFiles/sss_util.dir/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/util/CMakeFiles/sss_util.dir/random.cc.o" "gcc" "src/util/CMakeFiles/sss_util.dir/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/util/CMakeFiles/sss_util.dir/status.cc.o" "gcc" "src/util/CMakeFiles/sss_util.dir/status.cc.o.d"
+  "/root/repo/src/util/string_pool.cc" "src/util/CMakeFiles/sss_util.dir/string_pool.cc.o" "gcc" "src/util/CMakeFiles/sss_util.dir/string_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

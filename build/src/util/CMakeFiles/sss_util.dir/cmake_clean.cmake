@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sss_util.dir/arena.cc.o"
+  "CMakeFiles/sss_util.dir/arena.cc.o.d"
+  "CMakeFiles/sss_util.dir/bitpack.cc.o"
+  "CMakeFiles/sss_util.dir/bitpack.cc.o.d"
+  "CMakeFiles/sss_util.dir/env.cc.o"
+  "CMakeFiles/sss_util.dir/env.cc.o.d"
+  "CMakeFiles/sss_util.dir/flags.cc.o"
+  "CMakeFiles/sss_util.dir/flags.cc.o.d"
+  "CMakeFiles/sss_util.dir/histogram.cc.o"
+  "CMakeFiles/sss_util.dir/histogram.cc.o.d"
+  "CMakeFiles/sss_util.dir/logging.cc.o"
+  "CMakeFiles/sss_util.dir/logging.cc.o.d"
+  "CMakeFiles/sss_util.dir/random.cc.o"
+  "CMakeFiles/sss_util.dir/random.cc.o.d"
+  "CMakeFiles/sss_util.dir/status.cc.o"
+  "CMakeFiles/sss_util.dir/status.cc.o.d"
+  "CMakeFiles/sss_util.dir/string_pool.cc.o"
+  "CMakeFiles/sss_util.dir/string_pool.cc.o.d"
+  "libsss_util.a"
+  "libsss_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sss_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsss_util.a"
+)

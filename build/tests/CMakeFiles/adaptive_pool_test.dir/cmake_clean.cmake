@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_pool_test.dir/parallel/adaptive_pool_test.cc.o"
+  "CMakeFiles/adaptive_pool_test.dir/parallel/adaptive_pool_test.cc.o.d"
+  "adaptive_pool_test"
+  "adaptive_pool_test.pdb"
+  "adaptive_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_cached_test.dir/core/auto_cached_test.cc.o"
+  "CMakeFiles/auto_cached_test.dir/core/auto_cached_test.cc.o.d"
+  "auto_cached_test"
+  "auto_cached_test.pdb"
+  "auto_cached_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_cached_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bktree_test.dir/core/bktree_test.cc.o"
+  "CMakeFiles/bktree_test.dir/core/bktree_test.cc.o.d"
+  "bktree_test"
+  "bktree_test.pdb"
+  "bktree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bktree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_generator_test.dir/gen/city_generator_test.cc.o"
+  "CMakeFiles/city_generator_test.dir/gen/city_generator_test.cc.o.d"
+  "city_generator_test"
+  "city_generator_test.pdb"
+  "city_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressed_trie_test.dir/core/compressed_trie_test.cc.o"
+  "CMakeFiles/compressed_trie_test.dir/core/compressed_trie_test.cc.o.d"
+  "compressed_trie_test"
+  "compressed_trie_test.pdb"
+  "compressed_trie_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressed_trie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dna_generator_test.dir/gen/dna_generator_test.cc.o"
+  "CMakeFiles/dna_generator_test.dir/gen/dna_generator_test.cc.o.d"
+  "dna_generator_test"
+  "dna_generator_test.pdb"
+  "dna_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dna_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

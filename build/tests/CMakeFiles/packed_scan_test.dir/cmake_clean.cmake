@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packed_scan_test.dir/core/packed_scan_test.cc.o"
+  "CMakeFiles/packed_scan_test.dir/core/packed_scan_test.cc.o.d"
+  "packed_scan_test"
+  "packed_scan_test.pdb"
+  "packed_scan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packed_scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

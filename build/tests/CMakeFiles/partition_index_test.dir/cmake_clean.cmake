@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_index_test.dir/core/partition_index_test.cc.o"
+  "CMakeFiles/partition_index_test.dir/core/partition_index_test.cc.o.d"
+  "partition_index_test"
+  "partition_index_test.pdb"
+  "partition_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/read_mapper_test.dir/align/read_mapper_test.cc.o"
+  "CMakeFiles/read_mapper_test.dir/align/read_mapper_test.cc.o.d"
+  "read_mapper_test"
+  "read_mapper_test.pdb"
+  "read_mapper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/read_mapper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/string_pool_test.dir/util/string_pool_test.cc.o"
+  "CMakeFiles/string_pool_test.dir/util/string_pool_test.cc.o.d"
+  "string_pool_test"
+  "string_pool_test.pdb"
+  "string_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/string_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

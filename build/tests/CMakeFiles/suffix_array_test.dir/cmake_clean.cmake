@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suffix_array_test.dir/align/suffix_array_test.cc.o"
+  "CMakeFiles/suffix_array_test.dir/align/suffix_array_test.cc.o.d"
+  "suffix_array_test"
+  "suffix_array_test.pdb"
+  "suffix_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suffix_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

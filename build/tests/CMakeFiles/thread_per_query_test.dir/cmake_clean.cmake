@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thread_per_query_test.dir/parallel/thread_per_query_test.cc.o"
+  "CMakeFiles/thread_per_query_test.dir/parallel/thread_per_query_test.cc.o.d"
+  "thread_per_query_test"
+  "thread_per_query_test.pdb"
+  "thread_per_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thread_per_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trie_serialization_test.dir/core/trie_serialization_test.cc.o"
+  "CMakeFiles/trie_serialization_test.dir/core/trie_serialization_test.cc.o.d"
+  "trie_serialization_test"
+  "trie_serialization_test.pdb"
+  "trie_serialization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trie_serialization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typo_model_test.dir/gen/typo_model_test.cc.o"
+  "CMakeFiles/typo_model_test.dir/gen/typo_model_test.cc.o.d"
+  "typo_model_test"
+  "typo_model_test.pdb"
+  "typo_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typo_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sss_cli.dir/sss_cli.cc.o"
+  "CMakeFiles/sss_cli.dir/sss_cli.cc.o.d"
+  "sss_cli"
+  "sss_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sss_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
