@@ -1,0 +1,115 @@
+// Ablation: sharded batch execution (plan once, shard the pool, reuse
+// per-worker arenas) vs. the paper's per-query strategies (§3.6).
+//
+// The sharded driver differs from the fixed pool in three ways, each
+// measurable here: (1) the BatchPlanner applies the length filter once per
+// (threshold × length-bucket) group instead of once per query; (2) work is
+// (shard × group) cells over a contiguous string-pool range, so a task
+// touches one cache-sized slice of the pool for many queries; (3) each
+// worker reuses one arena + match buffer across every task it steals, so
+// the hot path performs no allocation after warm-up.
+//
+// The macro batch (10k city queries) is the headline: batching is exactly
+// the regime where planning amortizes. Small batches bound the overhead.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/scan.h"
+#include "gen/query_generator.h"
+
+namespace sss::bench {
+namespace {
+
+constexpr gen::WorkloadKind kKind = gen::WorkloadKind::kCityNames;
+
+const SequentialScanSearcher& Engine() {
+  static const auto* engine =
+      new SequentialScanSearcher(SharedWorkload(kKind).dataset, ScanOptions{});
+  return *engine;
+}
+
+// The paper's batches stop at 1000; the sharded driver targets larger ones.
+// Built once, seeded like the shared batches so rows are reproducible.
+const QuerySet& MacroBatch() {
+  static const QuerySet* batch = [] {
+    const BenchWorkload& w = SharedWorkload(kKind);
+    gen::QueryGeneratorOptions q;
+    q.thresholds = gen::ThresholdsFor(kKind);
+    q.num_queries = w.config.BatchSize(10000);
+    return new QuerySet(
+        gen::MakeQuerySet(w.dataset, q, w.config.seed ^ 0x2710));
+  }();
+  return *batch;
+}
+
+void RunStrategy(benchmark::State& state, ExecutionStrategy strategy,
+                 const QuerySet& queries) {
+  ExecutionOptions exec;
+  exec.strategy = strategy;
+  exec.num_threads = static_cast<size_t>(state.range(0));
+  RunBatchBenchmark(state, Engine(), queries, exec);
+}
+
+// --- The headline: 10k-query macro batch, every strategy. ---
+
+void BM_Macro_Serial(benchmark::State& state) {
+  RunStrategy(state, ExecutionStrategy::kSerial, MacroBatch());
+}
+void BM_Macro_FixedPool(benchmark::State& state) {
+  RunStrategy(state, ExecutionStrategy::kFixedPool, MacroBatch());
+}
+void BM_Macro_Adaptive(benchmark::State& state) {
+  RunStrategy(state, ExecutionStrategy::kAdaptive, MacroBatch());
+}
+void BM_Macro_Sharded(benchmark::State& state) {
+  RunStrategy(state, ExecutionStrategy::kSharded, MacroBatch());
+}
+#define SSS_MACRO_BENCH(fn)                                       \
+  BENCHMARK(fn)                                                   \
+      ->ArgNames({"threads"})                                     \
+      ->Arg(1)->Arg(4)->Arg(8)                                    \
+      ->Unit(benchmark::kSecond)->UseRealTime()->Iterations(1)
+SSS_MACRO_BENCH(BM_Macro_Serial);
+SSS_MACRO_BENCH(BM_Macro_FixedPool);
+SSS_MACRO_BENCH(BM_Macro_Adaptive);
+SSS_MACRO_BENCH(BM_Macro_Sharded);
+#undef SSS_MACRO_BENCH
+
+// --- Small batches: the overhead bound (paper-scale 500-query batch). ---
+
+void BM_Small_FixedPool(benchmark::State& state) {
+  RunStrategy(state, ExecutionStrategy::kFixedPool,
+              SharedWorkload(kKind).Batch(500));
+}
+void BM_Small_Sharded(benchmark::State& state) {
+  RunStrategy(state, ExecutionStrategy::kSharded,
+              SharedWorkload(kKind).Batch(500));
+}
+BENCHMARK(BM_Small_FixedPool)
+    ->ArgNames({"threads"})
+    ->Arg(4)->Arg(8)
+    ->Unit(benchmark::kSecond)->UseRealTime()->Iterations(1);
+BENCHMARK(BM_Small_Sharded)
+    ->ArgNames({"threads"})
+    ->Arg(4)->Arg(8)
+    ->Unit(benchmark::kSecond)->UseRealTime()->Iterations(1);
+
+// --- Shard-size sweep: cache-slice granularity on the macro batch. ---
+
+void BM_Sharded_ShardSize(benchmark::State& state) {
+  ExecutionOptions exec;
+  exec.strategy = ExecutionStrategy::kSharded;
+  exec.num_threads = 4;
+  exec.shard_size = static_cast<size_t>(state.range(0));
+  RunBatchBenchmark(state, Engine(), MacroBatch(), exec);
+}
+BENCHMARK(BM_Sharded_ShardSize)
+    ->ArgNames({"shard_size"})
+    ->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384)
+    ->Unit(benchmark::kSecond)->UseRealTime()->Iterations(1);
+
+}  // namespace
+}  // namespace sss::bench
+
+SSS_BENCH_MAIN("Ablation: sharded batch execution vs per-query strategies",
+               sss::gen::WorkloadKind::kCityNames)

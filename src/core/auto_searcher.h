@@ -44,6 +44,7 @@ class AutoSearcher final : public Searcher {
   MatchList Search(const Query& query) const override;
   std::string name() const override { return "auto"; }
   size_t memory_bytes() const override;
+  const Dataset* SearchedDataset() const override { return &dataset_; }
 
   /// \brief True iff the trie is the dataset-level prediction (what a
   /// k-independent router would always use). Exposed for tests.

@@ -1,0 +1,74 @@
+#include "core/batch_planner.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace sss {
+
+BatchPlanner::BatchPlanner(BatchPlannerOptions options) : options_(options) {
+  if (options_.length_bucket_width == 0) options_.length_bucket_width = 1;
+}
+
+const BatchPlan& BatchPlanner::Plan(const QuerySet& queries,
+                                    size_t dataset_min_len,
+                                    size_t dataset_max_len) {
+  arena_.Rewind();
+  plan_.groups.clear();
+  plan_.num_queries = queries.size();
+  plan_.num_skipped_queries = 0;
+  if (queries.empty()) return plan_;
+
+  // Key = (threshold, length bucket). Sorting (key, index) pairs groups
+  // equal keys and keeps query indices ascending within a group, so plans
+  // are deterministic regardless of input order.
+  sort_buffer_.clear();
+  sort_buffer_.reserve(queries.size());
+  const uint64_t width = options_.length_bucket_width;
+  for (uint32_t i = 0; i < queries.size(); ++i) {
+    const uint64_t bucket = queries[i].text.size() / width;
+    const uint64_t k = static_cast<uint64_t>(
+        std::max(0, queries[i].max_distance));
+    sort_buffer_.emplace_back((k << 40) | bucket, i);
+  }
+  std::sort(sort_buffer_.begin(), sort_buffer_.end());
+
+  for (size_t run = 0; run < sort_buffer_.size();) {
+    const uint64_t key = sort_buffer_[run].first;
+    size_t end = run + 1;
+    while (end < sort_buffer_.size() && sort_buffer_[end].first == key) ++end;
+
+    QueryGroup group;
+    group.num_queries = static_cast<uint32_t>(end - run);
+    uint32_t* ids = arena_.NewArray<uint32_t>(group.num_queries);
+    uint32_t min_len = UINT32_MAX, max_len = 0;
+    for (size_t j = run; j < end; ++j) {
+      const uint32_t qi = sort_buffer_[j].second;
+      ids[j - run] = qi;
+      const auto len = static_cast<uint32_t>(queries[qi].text.size());
+      min_len = std::min(min_len, len);
+      max_len = std::max(max_len, len);
+    }
+    group.queries = ids;
+    group.max_distance = std::max(0, queries[sort_buffer_[run].second]
+                                         .max_distance);
+    group.min_query_len = min_len;
+    group.max_query_len = max_len;
+
+    // Length filter once per group (eq. 5): any match of any group member
+    // has length within k of that member's length.
+    const auto k = static_cast<uint32_t>(group.max_distance);
+    group.candidate_min_len = min_len > k ? min_len - k : 0;
+    group.candidate_max_len =
+        max_len > UINT32_MAX - k ? UINT32_MAX : max_len + k;
+    group.skip = dataset_max_len < group.candidate_min_len ||
+                 dataset_min_len > group.candidate_max_len;
+    if (group.skip) plan_.num_skipped_queries += group.num_queries;
+
+    plan_.groups.push_back(group);
+    run = end;
+  }
+  return plan_;
+}
+
+}  // namespace sss

@@ -1,0 +1,93 @@
+// BatchPlanner — the planning half of ExecutionStrategy::kSharded.
+//
+// The paper's execution-management chapters (§3.5/§3.6) argue that how a
+// batch is driven decides who wins, yet every strategy there still fires
+// Search(queries[i]) independently. This planner takes the next step the
+// related join literature motivates (PASS-JOIN's partition dispatch,
+// EmbedJoin's grouping by length/threshold): an incoming QuerySet is sorted
+// into *groups* of queries sharing a threshold and a length bucket, and the
+// paper's length filter (eq. 5) is applied once per group — the group's
+// candidate-length window [min_len − k, max_len + k] is intersected with the
+// dataset's observed length range, and a group whose window is empty is
+// marked `skip`: its queries are answered with empty results without
+// touching a single string.
+//
+// The planner owns an Arena that is rewound (not freed) between Plan()
+// calls, so steady-state planning performs no heap allocation: group index
+// arrays are bump-allocated, and the sort buffer is a reused vector.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "io/dataset.h"
+#include "util/arena.h"
+
+namespace sss {
+
+/// \brief Planner tuning knobs.
+struct BatchPlannerOptions {
+  /// Queries whose lengths land in the same bucket of this width (and share
+  /// a threshold) are planned as one group. Wider buckets mean fewer, larger
+  /// groups (better amortization, looser candidate windows).
+  size_t length_bucket_width = 8;
+};
+
+/// \brief A planned group: queries sharing a threshold and a length bucket.
+struct QueryGroup {
+  /// Indices into the planned QuerySet, ascending. Owned by the planner's
+  /// arena; valid until the next Plan() call.
+  const uint32_t* queries = nullptr;
+  uint32_t num_queries = 0;
+
+  int max_distance = 0;          ///< The group's common threshold k.
+  uint32_t min_query_len = 0;    ///< Shortest query text in the group.
+  uint32_t max_query_len = 0;    ///< Longest query text in the group.
+
+  /// The group-level length filter (eq. 5 applied once per group): only
+  /// dataset strings with length in [candidate_min_len, candidate_max_len]
+  /// can match any query of this group.
+  uint32_t candidate_min_len = 0;
+  uint32_t candidate_max_len = 0;
+
+  /// True when the candidate window misses the dataset's length range
+  /// entirely — every query in the group has an empty answer.
+  bool skip = false;
+
+  const uint32_t* begin() const noexcept { return queries; }
+  const uint32_t* end() const noexcept { return queries + num_queries; }
+};
+
+/// \brief The plan for one batch: groups covering every query exactly once.
+struct BatchPlan {
+  std::vector<QueryGroup> groups;
+  size_t num_queries = 0;
+  /// Queries answered at plan time (members of skipped groups).
+  size_t num_skipped_queries = 0;
+};
+
+/// \brief Groups a QuerySet for sharded execution. Reusable: each Plan()
+/// call rewinds the internal arena and overwrites the previous plan.
+class BatchPlanner {
+ public:
+  explicit BatchPlanner(BatchPlannerOptions options = {});
+
+  /// \brief Plans `queries` against a dataset whose string lengths span
+  /// [dataset_min_len, dataset_max_len]. The returned plan (and the group
+  /// spans inside it) stays valid until the next Plan() call or planner
+  /// destruction.
+  const BatchPlan& Plan(const QuerySet& queries, size_t dataset_min_len,
+                        size_t dataset_max_len);
+
+  const BatchPlannerOptions& options() const noexcept { return options_; }
+
+ private:
+  BatchPlannerOptions options_;
+  Arena arena_;
+  std::vector<std::pair<uint64_t, uint32_t>> sort_buffer_;  // (key, index)
+  BatchPlan plan_;
+};
+
+}  // namespace sss

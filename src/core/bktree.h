@@ -36,6 +36,7 @@ class BKTreeSearcher final : public Searcher {
   MatchList Search(const Query& query) const override;
   std::string name() const override { return "bk_tree"; }
   size_t memory_bytes() const override;
+  const Dataset* SearchedDataset() const override { return &dataset_; }
 
   /// \brief Node count (== number of distinct strings).
   size_t num_nodes() const noexcept { return nodes_.size(); }

@@ -32,6 +32,10 @@ class CachedSearcher final : public Searcher {
   }
   size_t memory_bytes() const override;
 
+  const Dataset* SearchedDataset() const override {
+    return inner_->SearchedDataset();
+  }
+
   /// \brief Cache statistics (racy snapshots, for tests and reporting).
   uint64_t hits() const noexcept { return hits_; }
   uint64_t misses() const noexcept { return misses_; }

@@ -40,6 +40,7 @@ class CompressedTrieSearcher final : public Searcher {
   MatchList Search(const Query& query) const override;
   std::string name() const override { return "compressed_trie_index"; }
   size_t memory_bytes() const override { return Stats().memory_bytes; }
+  const Dataset* SearchedDataset() const override { return &dataset_; }
 
   /// \brief Node counts and sizes (compare against TrieSearcher::Stats for
   /// the Fig. 4 compression ratio).

@@ -63,15 +63,20 @@ HammingScanSearcher::HammingScanSearcher(const Dataset& dataset)
 
 MatchList HammingScanSearcher::Search(const Query& query) const {
   MatchList out;
+  SearchRange(query, 0, static_cast<uint32_t>(dataset_.size()), &out);
+  return out;
+}
+
+void HammingScanSearcher::SearchRange(const Query& query, uint32_t begin,
+                                      uint32_t end, MatchList* out) const {
   const int k = query.max_distance;
   const std::string_view q = query.text;
-  for (uint32_t id = 0; id < dataset_.size(); ++id) {
+  for (uint32_t id = begin; id < end; ++id) {
     if (dataset_.Length(id) != q.size()) continue;
     if (BoundedHamming(q, dataset_.View(id), k) <= k) {
-      out.push_back(id);
+      out->push_back(id);
     }
   }
-  return out;
 }
 
 HammingTrieSearcher::HammingTrieSearcher(const Dataset& dataset)

@@ -45,6 +45,11 @@ class HammingScanSearcher final : public Searcher {
   MatchList Search(const Query& query) const override;
   std::string name() const override { return "hamming_scan"; }
 
+  const Dataset* SearchedDataset() const override { return &dataset_; }
+  bool SupportsRangeSearch() const override { return true; }
+  void SearchRange(const Query& query, uint32_t begin, uint32_t end,
+                   MatchList* out) const override;
+
  private:
   const Dataset& dataset_;
 };
@@ -60,6 +65,7 @@ class HammingTrieSearcher final : public Searcher {
   MatchList Search(const Query& query) const override;
   std::string name() const override { return "hamming_trie"; }
   size_t memory_bytes() const override;
+  const Dataset* SearchedDataset() const override { return &dataset_; }
 
  private:
   struct Node {

@@ -42,7 +42,9 @@ std::vector<JoinPair> TrieProbeJoin(const Dataset& dataset,
       for (size_t i = 0; i < dataset.size(); ++i) probe(i);
       break;
     case ExecutionStrategy::kFixedPool:
-    case ExecutionStrategy::kAdaptive: {
+    case ExecutionStrategy::kAdaptive:
+    case ExecutionStrategy::kSharded: {  // a join probe has no query batch
+                                         // to plan; pool semantics apply
       ThreadPool pool(options.exec.num_threads);
       pool.DynamicParallelFor(dataset.size(), probe, /*chunk=*/16);
       break;
@@ -102,7 +104,9 @@ std::vector<JoinPair> SimilaritySelfJoin(const Dataset& dataset,
       for (size_t i = 0; i < n; ++i) process(i);
       break;
     case ExecutionStrategy::kFixedPool:
-    case ExecutionStrategy::kAdaptive: {
+    case ExecutionStrategy::kAdaptive:
+    case ExecutionStrategy::kSharded: {  // row windows are already shards;
+                                         // dynamic pool scheduling fits
       ThreadPool pool(options.exec.num_threads);
       pool.DynamicParallelFor(n, process, /*chunk=*/16);
       break;

@@ -22,6 +22,12 @@ Result<std::unique_ptr<PackedDnaScanSearcher>> PackedDnaScanSearcher::Make(
 
 MatchList PackedDnaScanSearcher::Search(const Query& query) const {
   MatchList out;
+  SearchRange(query, 0, static_cast<uint32_t>(pool_.size()), &out);
+  return out;
+}
+
+void PackedDnaScanSearcher::SearchRange(const Query& query, uint32_t begin,
+                                        uint32_t end, MatchList* out) const {
   const int k = query.max_distance;
 
   // Encode the query once. Symbols outside the alphabet get a sentinel that
@@ -38,7 +44,7 @@ MatchList PackedDnaScanSearcher::Search(const Query& query) const {
 
   thread_local std::vector<uint8_t> candidate_codes;
   thread_local EditDistanceWorkspace ws;
-  for (uint32_t id = 0; id < pool_.size(); ++id) {
+  for (uint32_t id = begin; id < end; ++id) {
     if (!LengthFilterPasses(query.text.size(), pool_.Length(id), k)) {
       continue;
     }
@@ -47,10 +53,9 @@ MatchList PackedDnaScanSearcher::Search(const Query& query) const {
         reinterpret_cast<const char*>(candidate_codes.data()),
         candidate_codes.size());
     if (WithinDistance(q_view, c_view, k, &ws)) {
-      out.push_back(id);
+      out->push_back(id);
     }
   }
-  return out;
 }
 
 }  // namespace sss

@@ -28,6 +28,14 @@ class PackedDnaScanSearcher final : public Searcher {
   MatchList Search(const Query& query) const override;
   std::string name() const override { return "packed_dna_scan"; }
 
+  const Dataset* SearchedDataset() const override { return &dataset_; }
+
+  /// Like the byte scan, the packed pool is laid out in id order, so an id
+  /// shard is a sub-scan.
+  bool SupportsRangeSearch() const override { return true; }
+  void SearchRange(const Query& query, uint32_t begin, uint32_t end,
+                   MatchList* out) const override;
+
   /// \brief Packed bytes held — compare with dataset.pool().total_bytes().
   size_t memory_bytes() const override { return pool_.packed_bytes(); }
 

@@ -41,6 +41,7 @@ class PartitionIndexSearcher final : public Searcher {
   MatchList Search(const Query& query) const override;
   std::string name() const override { return "partition_index"; }
   size_t memory_bytes() const override;
+  const Dataset* SearchedDataset() const override { return &dataset_; }
 
   int max_k() const noexcept { return options_.max_k; }
 

@@ -40,6 +40,7 @@ class QGramIndexSearcher final : public Searcher {
   MatchList Search(const Query& query) const override;
   std::string name() const override { return "qgram_index"; }
   size_t memory_bytes() const override;
+  const Dataset* SearchedDataset() const override { return &dataset_; }
 
   int q() const noexcept { return options_.q; }
 

@@ -61,9 +61,10 @@ bool SequentialScanSearcher::Verify(std::string_view q, uint32_t id, int k,
   return false;
 }
 
-void SequentialScanSearcher::ScanAll(const Query& query,
-                                     EditDistanceWorkspace* ws,
-                                     MatchList* out) const {
+void SequentialScanSearcher::ScanIdRange(const Query& query,
+                                         EditDistanceWorkspace* ws,
+                                         uint32_t begin, uint32_t end,
+                                         MatchList* out) const {
   const std::string_view q = query.text;
   const int k = query.max_distance;
   const FrequencyVector qvec =
@@ -71,7 +72,7 @@ void SequentialScanSearcher::ScanAll(const Query& query,
   const std::vector<uint32_t> qprofile =
       qgram_filter_ ? qgram_filter_->Profile(q) : std::vector<uint32_t>{};
 
-  for (uint32_t id = 0; id < dataset_.size(); ++id) {
+  for (uint32_t id = begin; id < end; ++id) {
     if (!LengthFilterPasses(q.size(), dataset_.Length(id), k)) continue;
     if (frequency_filter_ && !frequency_filter_->MayMatch(qvec, id, k)) {
       continue;
@@ -132,9 +133,22 @@ MatchList SequentialScanSearcher::Search(const Query& query) const {
   if (options_.sort_by_length) {
     ScanByLength(query, &ws, &out);
   } else {
-    ScanAll(query, &ws, &out);
+    ScanIdRange(query, &ws, 0, static_cast<uint32_t>(dataset_.size()), &out);
   }
   return out;
+}
+
+void SequentialScanSearcher::SearchRange(const Query& query, uint32_t begin,
+                                         uint32_t end, MatchList* out) const {
+  if (options_.step != LadderStep::kSimpleTypes) {
+    Searcher::SearchRange(query, begin, end, out);
+    return;
+  }
+  thread_local EditDistanceWorkspace ws;
+  // Sub-scans always walk the pool in id order: the by-length permutation
+  // does not decompose into contiguous id shards, and ascending appends are
+  // what lets the sharded driver concatenate shards allocation-free.
+  ScanIdRange(query, &ws, begin, end, out);
 }
 
 }  // namespace sss

@@ -66,6 +66,17 @@ class SequentialScanSearcher final : public Searcher {
   std::string name() const override { return "sequential_scan"; }
   size_t memory_bytes() const override;
 
+  const Dataset* SearchedDataset() const override { return &dataset_; }
+
+  /// The scan's data layout is the id order itself, so an id shard is just
+  /// a sub-scan. Historical ladder rungs (step != kSimpleTypes) run their
+  /// own full-collection loops and keep the base fallback.
+  bool SupportsRangeSearch() const override {
+    return options_.step == LadderStep::kSimpleTypes;
+  }
+  void SearchRange(const Query& query, uint32_t begin, uint32_t end,
+                   MatchList* out) const override;
+
   const ScanOptions& options() const noexcept { return options_; }
 
  private:
@@ -73,9 +84,9 @@ class SequentialScanSearcher final : public Searcher {
   bool Verify(std::string_view q, uint32_t id, int k,
               EditDistanceWorkspace* ws) const;
 
-  /// Scan over every id (default layout).
-  void ScanAll(const Query& query, EditDistanceWorkspace* ws,
-               MatchList* out) const;
+  /// Scan over ids in [begin, end) (default layout).
+  void ScanIdRange(const Query& query, EditDistanceWorkspace* ws,
+                   uint32_t begin, uint32_t end, MatchList* out) const;
 
   /// Scan restricted to matching lengths via the sorted-by-length order.
   void ScanByLength(const Query& query, EditDistanceWorkspace* ws,

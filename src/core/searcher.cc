@@ -1,5 +1,9 @@
 #include "core/searcher.h"
 
+#include <algorithm>
+#include <cstring>
+
+#include "core/batch_planner.h"
 #include "core/bktree.h"
 #include "core/compressed_trie.h"
 #include "core/packed_scan.h"
@@ -8,6 +12,8 @@
 #include "core/scan.h"
 #include "core/trie.h"
 #include "parallel/adaptive_pool.h"
+#include "parallel/partitioner.h"
+#include "parallel/sharded_executor.h"
 #include "parallel/thread_per_query.h"
 #include "parallel/thread_pool.h"
 
@@ -47,6 +53,156 @@ SearchResults Searcher::RunBatch(const QuerySet& queries,
       AdaptivePool pool(options);
       pool.ParallelFor(queries.size(), run_one, /*chunk=*/1);
       break;
+    }
+    case ExecutionStrategy::kSharded: {
+      return RunShardedBatch(queries, exec);
+    }
+  }
+  return results;
+}
+
+void Searcher::SearchRange(const Query& query, uint32_t begin, uint32_t end,
+                           MatchList* out) const {
+  const MatchList all = Search(query);
+  for (uint32_t id : all) {
+    if (id >= begin && id < end) out->push_back(id);
+  }
+}
+
+namespace {
+
+// One task of the sharded driver: a query sub-range of one plan group,
+// scanned over one contiguous id shard of the collection.
+struct ShardTask {
+  uint32_t group = 0;
+  Range ids;      // dataset shard (whole collection for non-range engines)
+  Range queries;  // sub-range of the group's query-index array
+};
+
+// Matches one task produced for one query: a span into a worker arena.
+struct MatchSpan {
+  uint32_t query = 0;  // index into the original QuerySet
+  uint32_t count = 0;
+  const uint32_t* data = nullptr;
+};
+
+}  // namespace
+
+SearchResults Searcher::RunShardedBatch(const QuerySet& queries,
+                                        const ExecutionOptions& exec) const {
+  SearchResults results(queries.size());
+  if (queries.empty()) return results;
+
+  const Dataset* dataset = SearchedDataset();
+  if (dataset != nullptr && dataset->empty()) return results;
+
+  // Plan: group by (threshold, length bucket), length-filter once per group.
+  // Without a dataset the bounds are unbounded — nothing skips, everything
+  // else still holds.
+  BatchPlannerOptions planner_options;
+  planner_options.length_bucket_width = exec.length_bucket_width;
+  BatchPlanner planner(planner_options);
+  const size_t ds_min = dataset ? dataset->pool().min_length() : 0;
+  const size_t ds_max = dataset ? dataset->pool().max_length() : SIZE_MAX;
+  const BatchPlan& plan = planner.Plan(queries, ds_min, ds_max);
+
+  size_t active_groups = 0;
+  for (const QueryGroup& g : plan.groups) active_groups += g.skip ? 0 : 1;
+  if (active_groups == 0) return results;
+
+  ShardedExecutorOptions executor_options;
+  executor_options.num_threads = exec.num_threads;
+  ShardedExecutor executor(executor_options);
+  const size_t workers = executor.num_threads();
+
+  // Task geometry. Range-capable engines split the collection into
+  // contiguous id shards; the rest split each group's query list. Either
+  // way we aim for enough tasks that the dynamic scheduler can rebalance
+  // skewed cells (~4 per worker), but no finer.
+  const bool shard_dataset = SupportsRangeSearch() && dataset != nullptr;
+  const size_t target_tasks = std::max(workers * 4, active_groups);
+  std::vector<ShardTask> tasks;
+  if (shard_dataset) {
+    size_t num_shards;
+    if (exec.shard_size > 0) {
+      num_shards = (dataset->size() + exec.shard_size - 1) / exec.shard_size;
+    } else {
+      num_shards = (target_tasks + active_groups - 1) / active_groups;
+      // Shards below ~1k strings pay more in bookkeeping than they win in
+      // balance.
+      const size_t max_shards =
+          std::max<size_t>(1, dataset->size() / 1024);
+      num_shards = std::min(num_shards, max_shards);
+    }
+    num_shards = std::max<size_t>(1, std::min(num_shards, dataset->size()));
+    const std::vector<Range> shards =
+        PartitionEvenly(dataset->size(), num_shards);
+    tasks.reserve(active_groups * num_shards);
+    for (uint32_t g = 0; g < plan.groups.size(); ++g) {
+      if (plan.groups[g].skip) continue;
+      for (const Range& shard : shards) {
+        if (shard.empty()) continue;
+        tasks.push_back(
+            {g, shard, Range{0, plan.groups[g].num_queries}});
+      }
+    }
+  } else {
+    const size_t full = dataset ? dataset->size() : 0;
+    for (uint32_t g = 0; g < plan.groups.size(); ++g) {
+      const QueryGroup& group = plan.groups[g];
+      if (group.skip) continue;
+      const size_t chunks = std::min<size_t>(
+          group.num_queries,
+          std::max<size_t>(1, target_tasks / active_groups));
+      for (const Range& r : PartitionEvenly(group.num_queries, chunks)) {
+        if (r.empty()) continue;
+        tasks.push_back({g, Range{0, full}, r});
+      }
+    }
+  }
+
+  // Execute. Each task appends its per-query match spans (arena-backed) to
+  // its own slot, so tasks never synchronize with each other.
+  std::vector<std::vector<MatchSpan>> task_spans(tasks.size());
+  executor.Run(tasks.size(), [&](size_t t, ShardScratch* scratch) {
+    const ShardTask& task = tasks[t];
+    const QueryGroup& group = plan.groups[task.group];
+    std::vector<MatchSpan>& spans = task_spans[t];
+    spans.reserve(task.queries.size());
+    for (size_t qi = task.queries.begin; qi < task.queries.end; ++qi) {
+      const uint32_t query_index = group.queries[qi];
+      const Query& query = queries[query_index];
+      MatchList& buffer = scratch->match_buffer;
+      buffer.clear();
+      if (shard_dataset) {
+        SearchRange(query, static_cast<uint32_t>(task.ids.begin),
+                    static_cast<uint32_t>(task.ids.end), &buffer);
+      } else {
+        // Whole-collection task: one task owns this query outright.
+        Search(query).swap(buffer);
+      }
+      if (buffer.empty()) continue;
+      auto* copy = scratch->arena.NewArray<uint32_t>(buffer.size());
+      std::memcpy(copy, buffer.data(), buffer.size() * sizeof(uint32_t));
+      spans.push_back({query_index, static_cast<uint32_t>(buffer.size()),
+                       copy});
+    }
+  });
+
+  // Merge. Tasks were built group-major with ascending shards, and each
+  // query lives in exactly one group, so appending spans in task order
+  // yields ascending ids — byte-identical to the serial answer.
+  std::vector<uint32_t> totals(queries.size(), 0);
+  for (const auto& spans : task_spans) {
+    for (const MatchSpan& s : spans) totals[s.query] += s.count;
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    results[i].reserve(totals[i]);
+  }
+  for (const auto& spans : task_spans) {
+    for (const MatchSpan& s : spans) {
+      results[s.query].insert(results[s.query].end(), s.data,
+                              s.data + s.count);
     }
   }
   return results;

@@ -13,20 +13,29 @@
 
 namespace sss {
 
-/// \brief How a batch of queries is executed (§3.5/§3.6).
+/// \brief How a batch of queries is executed (§3.5/§3.6, plus the sharded
+/// batch engine that goes beyond the paper).
 enum class ExecutionStrategy {
   kSerial,          // no parallelism
   kThreadPerQuery,  // strategy 1: one thread per query
   kFixedPool,       // strategy 2: fixed worker count
   kAdaptive,        // strategy 3: master/slave adaptive management
+  kSharded,         // planner-grouped (shard × query-group) execution
 };
 
 /// \brief Parallel execution parameters shared by all engines.
 struct ExecutionOptions {
   ExecutionStrategy strategy = ExecutionStrategy::kSerial;
-  /// Worker count for kFixedPool (0 = hardware concurrency); the max worker
-  /// bound for kAdaptive.
+  /// Worker count for kFixedPool and kSharded (0 = hardware concurrency);
+  /// the max worker bound for kAdaptive.
   size_t num_threads = 0;
+  /// kSharded: target dataset strings per shard (0 = auto-sized from the
+  /// worker count and group count). Only range-capable engines shard the
+  /// collection; others fall back to query-chunk tasks.
+  size_t shard_size = 0;
+  /// kSharded: queries whose text lengths land in the same bucket of this
+  /// width (and share a threshold) are planned as one group.
+  size_t length_bucket_width = 8;
 };
 
 /// \brief A built engine answering string similarity queries over one
@@ -51,11 +60,37 @@ class Searcher {
   /// filter tables; excludes the dataset itself).
   virtual size_t memory_bytes() const { return 0; }
 
+  /// \brief The collection this engine answers over, used by the kSharded
+  /// planner for its group-level length filter and shard geometry. Engines
+  /// return their backing dataset; decorators forward to the inner engine.
+  /// nullptr (the default) disables plan-time skipping and dataset sharding
+  /// but keeps grouped execution correct.
+  virtual const Dataset* SearchedDataset() const { return nullptr; }
+
+  /// \brief True iff SearchRange answers a query restricted to an id range
+  /// at proportional cost — the scans, whose data layout *is* the id order.
+  /// The sharded driver only splits the collection for such engines; index
+  /// engines keep the default and get query-chunk parallelism instead.
+  virtual bool SupportsRangeSearch() const { return false; }
+
+  /// \brief Appends every match with begin <= id < end to `out`, ascending.
+  /// Base implementation: full Search() filtered to the range — correct for
+  /// any engine but pays the whole search per call, so the sharded driver
+  /// never uses it for engines that do not claim SupportsRangeSearch().
+  virtual void SearchRange(const Query& query, uint32_t begin, uint32_t end,
+                           MatchList* out) const;
+
  protected:
   /// \brief Shared batch driver: runs Search(queries[i]) under the chosen
   /// strategy. Engines whose Search is thread-safe get parallelism for free.
   SearchResults RunBatch(const QuerySet& queries,
                          const ExecutionOptions& exec) const;
+
+ private:
+  /// \brief The kSharded driver: plan (BatchPlanner) → (shard × group)
+  /// tasks (ShardedExecutor) → in-order merge. Byte-identical to kSerial.
+  SearchResults RunShardedBatch(const QuerySet& queries,
+                                const ExecutionOptions& exec) const;
 };
 
 /// \brief Which engine to construct.

@@ -53,6 +53,7 @@ class TrieSearcher final : public Searcher {
   MatchList Search(const Query& query) const override;
   std::string name() const override { return "trie_index"; }
   size_t memory_bytes() const override { return Stats().memory_bytes; }
+  const Dataset* SearchedDataset() const override { return &dataset_; }
 
   /// \brief Node counts and sizes.
   TrieStats Stats() const;

@@ -91,11 +91,22 @@ void AdaptivePool::MasterLoop() {
     // The watermark rules. Only the master applies them, so two threads can
     // never decide "open" and "close" simultaneously — the paper's
     // master/slave answer to the locking problem.
-    const size_t live = live_threads_.load();
+    //
+    // `workers_.size()` (not the live_threads_ atomic) is the worker count
+    // the rules run on: the atomic still includes retired workers that have
+    // not exited yet, and counting those once let the master close its last
+    // real worker — after which a short queue (pressure below the high
+    // watermark) could never trigger a reopen and the batch hung forever.
+    const size_t live = workers_.size();
     const double pressure = static_cast<double>(tasks_.size()) /
                             static_cast<double>(std::max<size_t>(1, live));
-    if (pressure > options_.high_watermark &&
-        live < options_.max_threads) {
+    if (workers_.empty() && !tasks_.empty()) {
+      // Never strand a queue: pending work with no worker overrides the
+      // watermarks (defense in depth; the min bound below should already
+      // make this unreachable).
+      OpenWorkerLocked();
+    } else if (pressure > options_.high_watermark &&
+               live < options_.max_threads) {
       OpenWorkerLocked();
     } else if (pressure < options_.low_watermark &&
                live > options_.min_threads && !workers_.empty()) {

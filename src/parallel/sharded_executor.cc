@@ -1,0 +1,54 @@
+#include "parallel/sharded_executor.h"
+
+#include <atomic>
+#include <thread>
+
+namespace sss {
+
+ShardedExecutor::ShardedExecutor(ShardedExecutorOptions options) {
+  size_t n = options.num_threads;
+  if (n == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    n = hw == 0 ? 4 : hw;
+  }
+  scratches_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    scratches_.push_back(std::make_unique<ShardScratch>());
+    scratches_.back()->worker_index = i;
+  }
+}
+
+void ShardedExecutor::Run(size_t num_tasks, const TaskFn& fn) {
+  if (num_tasks == 0) return;
+
+  std::atomic<size_t> cursor{0};
+  const auto drain = [&](ShardScratch* scratch) {
+    for (;;) {
+      const size_t task = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (task >= num_tasks) return;
+      fn(task, scratch);
+      ++scratch->tasks_run;
+    }
+  };
+
+  // Never more threads than tasks; the calling thread is worker 0, so a
+  // single-worker run (or a single-task batch) spawns nothing.
+  const size_t workers = std::min(num_threads(), num_tasks);
+  std::vector<std::thread> helpers;
+  helpers.reserve(workers - 1);
+  for (size_t w = 1; w < workers; ++w) {
+    helpers.emplace_back(drain, scratches_[w].get());
+  }
+  drain(scratches_[0].get());
+  for (std::thread& t : helpers) t.join();
+}
+
+void ShardedExecutor::ResetScratch() {
+  for (auto& s : scratches_) {
+    s->arena.Rewind();
+    s->match_buffer.clear();
+    s->tasks_run = 0;
+  }
+}
+
+}  // namespace sss

@@ -1,0 +1,82 @@
+// ShardedExecutor — the execution half of ExecutionStrategy::kSharded: a
+// dynamic self-scheduling pool whose workers carry persistent scratch (an
+// arena plus reusable index buffers) across every task they claim.
+//
+// The paper's strategies (§3.6) differ only in how threads come and go; the
+// task shape stays "one query, full collection". This executor changes the
+// task shape instead: callers enumerate (shard × query-group) cells as flat
+// task indices, workers claim them from a shared atomic cursor (idle workers
+// drain whatever is left — the work-stealing effect without per-worker
+// deques), and every worker reuses one ShardScratch for its whole lifetime,
+// so the hot path performs no per-query allocation.
+//
+// This layer is deliberately core-agnostic: it schedules opaque task indices
+// and owns only the scratch lifecycle, so src/parallel keeps not depending
+// on src/core. The (planner → tasks → merge) orchestration lives with
+// Searcher::RunBatch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "util/arena.h"
+#include "util/macros.h"
+
+namespace sss {
+
+/// \brief Executor tuning knobs.
+struct ShardedExecutorOptions {
+  /// Worker count (0 = hardware concurrency). The calling thread doubles as
+  /// worker 0, so `1` means "run inline, no thread is ever spawned".
+  size_t num_threads = 0;
+};
+
+/// \brief Per-worker scratch handed to every task a worker runs. Lives as
+/// long as the executor, so arena-backed task output stays valid after Run()
+/// returns (until ResetScratch() or destruction).
+struct ShardScratch {
+  /// Bump allocator for task output (match spans). Workers append only;
+  /// the owner decides when to rewind via ResetScratch().
+  Arena arena{size_t{1} << 16};
+  /// Reusable per-query match buffer (cleared, never shrunk, between
+  /// queries).
+  std::vector<uint32_t> match_buffer;
+  /// Which worker this scratch belongs to (stable across Run() calls).
+  size_t worker_index = 0;
+  /// Tasks this worker has executed (stats; proves scratch reuse in tests).
+  uint64_t tasks_run = 0;
+};
+
+/// \brief A reusable pool of workers with persistent scratch.
+class ShardedExecutor {
+ public:
+  explicit ShardedExecutor(ShardedExecutorOptions options = {});
+
+  SSS_DISALLOW_COPY_AND_ASSIGN(ShardedExecutor);
+
+  using TaskFn = std::function<void(size_t task, ShardScratch* scratch)>;
+
+  /// \brief Runs fn(task, scratch) for every task in [0, num_tasks), each
+  /// exactly once, across the workers. Blocks until all tasks finished.
+  /// fn must be safe to call concurrently for distinct tasks. May be called
+  /// repeatedly; scratch (arena contents included) persists across calls.
+  void Run(size_t num_tasks, const TaskFn& fn);
+
+  /// \brief Rewinds every worker arena (invalidating prior task output) and
+  /// clears stats. Call between batches once output has been merged.
+  void ResetScratch();
+
+  /// \brief Configured worker count (≥ 1).
+  size_t num_threads() const noexcept { return scratches_.size(); }
+
+  /// \brief Worker `i`'s scratch, for tests and post-run accounting.
+  const ShardScratch& scratch(size_t i) const { return *scratches_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<ShardScratch>> scratches_;
+};
+
+}  // namespace sss

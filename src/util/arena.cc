@@ -42,6 +42,20 @@ void Arena::AddBlock(size_t min_bytes) {
   next_block_bytes_ = std::min(next_block_bytes_ * 2, kMaxBlockBytes);
 }
 
+void Arena::Rewind() {
+  bytes_allocated_ = 0;
+  if (blocks_.empty()) return;
+  // The newest block is the largest (blocks grow geometrically), so it is
+  // the one worth keeping.
+  std::unique_ptr<char[]> keep = std::move(blocks_.back());
+  const size_t keep_bytes = static_cast<size_t>(limit_ - keep.get());
+  blocks_.clear();
+  blocks_.push_back(std::move(keep));
+  cursor_ = blocks_.back().get();
+  limit_ = cursor_ + keep_bytes;
+  bytes_reserved_ = keep_bytes;
+}
+
 void Arena::Reset() {
   blocks_.clear();
   cursor_ = limit_ = nullptr;

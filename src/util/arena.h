@@ -71,6 +71,13 @@ class Arena {
   /// Invalidates all previously returned pointers.
   void Reset();
 
+  /// \brief Invalidates all previously returned pointers like Reset(), but
+  /// keeps the newest (largest) block for reuse, so a caller that allocates
+  /// a similar amount every round reaches a steady state with no block
+  /// allocation at all. This is what batch planners and per-worker scratch
+  /// buffers call between batches.
+  void Rewind();
+
  private:
   static constexpr size_t kMaxBlockBytes = size_t{4} << 20;  // 4 MiB
 

@@ -1,0 +1,135 @@
+#include "core/batch_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sss {
+namespace {
+
+QuerySet MakeQueries(std::initializer_list<Query> qs) { return QuerySet(qs); }
+
+// Every query index must appear in exactly one group.
+void ExpectCoversAllQueries(const BatchPlan& plan, size_t n) {
+  std::set<uint32_t> seen;
+  for (const QueryGroup& g : plan.groups) {
+    for (uint32_t qi : g) {
+      EXPECT_TRUE(seen.insert(qi).second) << "query " << qi << " planned twice";
+      EXPECT_LT(qi, n);
+    }
+  }
+  EXPECT_EQ(seen.size(), n);
+}
+
+TEST(BatchPlannerTest, EmptyBatchYieldsEmptyPlan) {
+  BatchPlanner planner;
+  const BatchPlan& plan = planner.Plan({}, 0, 100);
+  EXPECT_TRUE(plan.groups.empty());
+  EXPECT_EQ(plan.num_queries, 0u);
+}
+
+TEST(BatchPlannerTest, GroupsByThresholdAndLengthBucket) {
+  BatchPlannerOptions options;
+  options.length_bucket_width = 4;
+  BatchPlanner planner(options);
+  const QuerySet queries = MakeQueries({
+      {"abc", 1},       // bucket 0, k=1
+      {"abd", 1},       // bucket 0, k=1 → same group
+      {"abcdefgh", 1},  // bucket 2, k=1 → different group
+      {"abc", 2},       // bucket 0, k=2 → different group
+  });
+  const BatchPlan& plan = planner.Plan(queries, 0, 100);
+  EXPECT_EQ(plan.groups.size(), 3u);
+  ExpectCoversAllQueries(plan, queries.size());
+
+  // The (k=1, bucket 0) group holds queries 0 and 1, ascending.
+  const auto it = std::find_if(
+      plan.groups.begin(), plan.groups.end(),
+      [](const QueryGroup& g) { return g.num_queries == 2; });
+  ASSERT_NE(it, plan.groups.end());
+  EXPECT_EQ(it->queries[0], 0u);
+  EXPECT_EQ(it->queries[1], 1u);
+  EXPECT_EQ(it->max_distance, 1);
+  EXPECT_EQ(it->min_query_len, 3u);
+  EXPECT_EQ(it->max_query_len, 3u);
+}
+
+TEST(BatchPlannerTest, CandidateWindowIsLengthFilterOverTheGroup) {
+  BatchPlanner planner;
+  const QuerySet queries = MakeQueries({{"abcd", 2}, {"abcdefg", 2}});
+  const BatchPlan& plan = planner.Plan(queries, 0, 100);
+  ASSERT_EQ(plan.groups.size(), 1u);
+  const QueryGroup& g = plan.groups[0];
+  EXPECT_EQ(g.candidate_min_len, 2u);  // 4 - 2
+  EXPECT_EQ(g.candidate_max_len, 9u);  // 7 + 2
+  EXPECT_FALSE(g.skip);
+}
+
+TEST(BatchPlannerTest, WindowClampsAtZero) {
+  BatchPlanner planner;
+  const QuerySet queries = MakeQueries({{"ab", 5}});
+  const BatchPlan& plan = planner.Plan(queries, 0, 100);
+  ASSERT_EQ(plan.groups.size(), 1u);
+  EXPECT_EQ(plan.groups[0].candidate_min_len, 0u);
+  EXPECT_EQ(plan.groups[0].candidate_max_len, 7u);
+}
+
+TEST(BatchPlannerTest, SkipsGroupsOutsideDatasetLengths) {
+  BatchPlanner planner;
+  const QuerySet queries = MakeQueries({
+      {"a", 1},                      // window [0,2] — misses lengths [10,20]
+      {"abcdefghijklm", 2},          // window [11,15] — overlaps
+      {"abcdefghijklmnopqrstuvwxyz", 1},  // window [25,27] — misses
+  });
+  const BatchPlan& plan = planner.Plan(queries, 10, 20);
+  ASSERT_EQ(plan.groups.size(), 3u);
+  size_t skipped = 0;
+  for (const QueryGroup& g : plan.groups) {
+    if (g.skip) ++skipped;
+  }
+  EXPECT_EQ(skipped, 2u);
+  EXPECT_EQ(plan.num_skipped_queries, 2u);
+}
+
+TEST(BatchPlannerTest, ReplanningReusesThePlannerWithoutLeaks) {
+  BatchPlanner planner;
+  for (int round = 0; round < 100; ++round) {
+    QuerySet queries;
+    for (int i = 0; i < 64; ++i) {
+      queries.push_back({std::string(1 + (i % 13), 'x'), i % 4});
+    }
+    const BatchPlan& plan = planner.Plan(queries, 1, 13);
+    ExpectCoversAllQueries(plan, queries.size());
+    for (const QueryGroup& g : plan.groups) EXPECT_FALSE(g.skip);
+  }
+}
+
+TEST(BatchPlannerTest, DeterministicAcrossInputPermutations) {
+  // The same multiset of queries must produce the same groups regardless of
+  // arrival order (indices differ; the grouped (text, k) multisets do not).
+  const QuerySet a = MakeQueries(
+      {{"aa", 1}, {"bbbbbbbbbb", 1}, {"cc", 1}, {"dddddddddd", 1}});
+  const QuerySet b = MakeQueries(
+      {{"dddddddddd", 1}, {"cc", 1}, {"bbbbbbbbbb", 1}, {"aa", 1}});
+  BatchPlanner planner;
+  std::vector<std::vector<std::pair<std::string, int>>> grouped_a, grouped_b;
+  for (const QueryGroup& g : planner.Plan(a, 0, 100).groups) {
+    std::vector<std::pair<std::string, int>> members;
+    for (uint32_t qi : g) members.emplace_back(a[qi].text, a[qi].max_distance);
+    std::sort(members.begin(), members.end());
+    grouped_a.push_back(std::move(members));
+  }
+  for (const QueryGroup& g : planner.Plan(b, 0, 100).groups) {
+    std::vector<std::pair<std::string, int>> members;
+    for (uint32_t qi : g) members.emplace_back(b[qi].text, b[qi].max_distance);
+    std::sort(members.begin(), members.end());
+    grouped_b.push_back(std::move(members));
+  }
+  EXPECT_EQ(grouped_a, grouped_b);
+}
+
+}  // namespace
+}  // namespace sss

@@ -89,5 +89,100 @@ TEST_P(DifferentialTest, AllEnginesAgreeOnRandomWorkload) {
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
                          ::testing::Range<uint64_t>(1, 17));
 
+// Batch-vs-serial equivalence as a fuzzed invariant: every ExecutionStrategy
+// must return byte-identical SearchResults on the same random workload, for
+// every engine. A strategy is only an execution plan — any divergence
+// (ordering, duplication, a dropped shard) is a bug, and the seed in the
+// test name reproduces it.
+class CrossStrategyDifferentialTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CrossStrategyDifferentialTest, AllStrategiesAgreeOnRandomWorkload) {
+  Xoshiro256 rng(GetParam());
+
+  static constexpr const char* kAlphabets[] = {
+      "ab", "ACGNT", "abcdefghijklmnop", "aA -.'",
+  };
+  const std::string_view alphabet = kAlphabets[rng.Uniform(4)];
+  const size_t n = 100 + rng.Uniform(400);
+  const size_t min_len = rng.Uniform(4);
+  const size_t max_len = min_len + 1 + rng.Uniform(30);
+
+  Dataset d("fuzz", alphabet == std::string_view("ACGNT")
+                        ? AlphabetKind::kDna
+                        : AlphabetKind::kGeneric);
+  for (size_t i = 0; i < n; ++i) {
+    d.Add(RandomString(&rng, alphabet, min_len, max_len));
+  }
+
+  std::vector<std::unique_ptr<Searcher>> engines;
+  for (EngineKind kind :
+       {EngineKind::kSequentialScan, EngineKind::kTrieIndex,
+        EngineKind::kCompressedTrieIndex, EngineKind::kQGramIndex,
+        EngineKind::kPartitionIndex, EngineKind::kBKTree}) {
+    engines.push_back(std::move(MakeSearcher(kind, d)).ValueOrDie());
+  }
+  if (d.alphabet() == AlphabetKind::kDna) {
+    auto packed = MakeSearcher(EngineKind::kPackedDnaScan, d);
+    ASSERT_TRUE(packed.ok());
+    engines.push_back(std::move(packed).ValueUnsafe());
+  }
+
+  // A batch whose shape stresses the planner: mixed thresholds, mixed
+  // lengths (including out-of-range ones that plan into skipped groups).
+  QuerySet queries;
+  const size_t batch = 20 + rng.Uniform(30);
+  for (size_t i = 0; i < batch; ++i) {
+    const int k = static_cast<int>(rng.Uniform(6));
+    std::string text;
+    switch (rng.Uniform(3)) {
+      case 0:
+        text = std::string(d.View(rng.Uniform(d.size())));
+        for (int e = 0; e < k && !text.empty(); ++e) {
+          text[rng.Uniform(text.size())] =
+              alphabet[rng.Uniform(alphabet.size())];
+        }
+        break;
+      case 1:
+        text = RandomString(&rng, alphabet, min_len, max_len);
+        break;
+      default:
+        text = RandomString(&rng, alphabet, 0,
+                            rng.Bernoulli(0.5) ? 1 : max_len + 8);
+        break;
+    }
+    queries.push_back({std::move(text), k});
+  }
+
+  const ExecutionStrategy strategies[] = {
+      ExecutionStrategy::kSerial, ExecutionStrategy::kThreadPerQuery,
+      ExecutionStrategy::kFixedPool, ExecutionStrategy::kAdaptive,
+      ExecutionStrategy::kSharded};
+
+  for (const auto& engine : engines) {
+    ExecutionOptions serial;
+    serial.strategy = ExecutionStrategy::kSerial;
+    const SearchResults expected = engine->SearchBatch(queries, serial);
+    ASSERT_EQ(expected.size(), queries.size());
+
+    for (const ExecutionStrategy strategy : strategies) {
+      ExecutionOptions exec;
+      exec.strategy = strategy;
+      exec.num_threads = 1 + rng.Uniform(4);
+      // Tiny shards + narrow buckets maximize (shard × group) cells, the
+      // hardest merge the sharded driver faces.
+      exec.shard_size = 1 + rng.Uniform(64);
+      exec.length_bucket_width = 1 + rng.Uniform(8);
+      const SearchResults got = engine->SearchBatch(queries, exec);
+      ASSERT_EQ(got, expected)
+          << "engine " << engine->name() << " strategy "
+          << static_cast<int>(strategy) << " seed " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossStrategyDifferentialTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
 }  // namespace
 }  // namespace sss

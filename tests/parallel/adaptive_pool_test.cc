@@ -128,5 +128,68 @@ TEST(AdaptivePoolTest, WaitWithNoTasksReturns) {
   pool.Wait();
 }
 
+// Soak tests: the seed suite hung intermittently because the master counted
+// retired-but-not-yet-exited workers as live, closed its last real worker at
+// the tail of a batch, and a short residual queue (pressure below the high
+// watermark) could then never reopen one. Thousands of tiny batches with an
+// aggressive master and oversubscribed workers reproduce that window
+// reliably enough that a regression shows up as a test timeout.
+
+TEST(AdaptivePoolSoakTest, ThousandsOfTinyBatchesSurviveCloseChurn) {
+  AdaptivePoolOptions options;
+  options.master_interval = std::chrono::microseconds(50);
+  options.initial_threads = 4;
+  options.min_threads = 1;
+  options.max_threads = 8;  // oversubscribed on small containers
+  // Aggressive watermarks: almost every master tick opens or closes, so
+  // batch tails constantly race retirement against the last few tasks.
+  options.high_watermark = 1.0;
+  options.low_watermark = 0.9;
+  AdaptivePool pool(options);
+  std::atomic<size_t> counter{0};
+  for (int batch = 0; batch < 2000; ++batch) {
+    pool.ParallelFor(3, [&](size_t) { counter.fetch_add(1); }, 1);
+  }
+  EXPECT_EQ(counter.load(), 6000u);
+  EXPECT_LE(pool.peak_threads(), 8u);
+}
+
+TEST(AdaptivePoolSoakTest, TrickledSingleTasksNeverStrand) {
+  // One task at a time is the worst case for the reopen rule: queue
+  // pressure never exceeds 1, so recovery cannot rely on bulk submits.
+  AdaptivePoolOptions options;
+  options.master_interval = std::chrono::microseconds(50);
+  options.initial_threads = 2;
+  options.min_threads = 1;
+  options.max_threads = 4;
+  options.low_watermark = 0.99;
+  AdaptivePool pool(options);
+  std::atomic<size_t> counter{0};
+  for (int i = 0; i < 3000; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+    if (i % 16 == 0) pool.Wait();
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 3000u);
+}
+
+TEST(AdaptivePoolSoakTest, RapidConstructDestroyWithPendingWork) {
+  std::atomic<size_t> counter{0};
+  for (int round = 0; round < 200; ++round) {
+    AdaptivePoolOptions options;
+    options.master_interval = std::chrono::microseconds(50);
+    options.initial_threads = 3;
+    options.max_threads = 6;
+    AdaptivePool pool(options);
+    for (int i = 0; i < 16; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    if (round % 2 == 0) pool.Wait();
+    // Odd rounds destruct with work possibly queued: the destructor must
+    // drain, not drop or deadlock.
+  }
+  EXPECT_EQ(counter.load(), 200u * 16u);
+}
+
 }  // namespace
 }  // namespace sss

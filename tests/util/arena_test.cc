@@ -102,6 +102,36 @@ TEST(ArenaTest, ResetReleasesEverything) {
   std::memset(p, 0, 16);
 }
 
+TEST(ArenaTest, RewindKeepsTheLargestBlock) {
+  Arena arena(64);
+  for (int i = 0; i < 50; ++i) (void)arena.Allocate(100);
+  EXPECT_GT(arena.num_blocks(), 1u);
+  const size_t reserved_before = arena.bytes_reserved();
+  arena.Rewind();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  EXPECT_EQ(arena.num_blocks(), 1u);
+  EXPECT_GT(arena.bytes_reserved(), 0u);
+  EXPECT_LE(arena.bytes_reserved(), reserved_before);
+  // The kept block's full capacity is reusable: filling it exactly must not
+  // reserve anything new, across many rewind cycles (steady-state reuse).
+  const size_t kept = arena.bytes_reserved();
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    auto* p = static_cast<char*>(arena.Allocate(kept, 1));
+    std::memset(p, cycle, kept);
+    EXPECT_EQ(arena.bytes_reserved(), kept);
+    EXPECT_EQ(arena.num_blocks(), 1u);
+    arena.Rewind();
+  }
+}
+
+TEST(ArenaTest, RewindOnFreshArenaIsSafe) {
+  Arena arena;
+  arena.Rewind();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  auto* p = static_cast<char*>(arena.Allocate(16));
+  std::memset(p, 0, 16);
+}
+
 TEST(ArenaTest, TracksBytesAllocated) {
   Arena arena;
   (void)arena.Allocate(10, 1);

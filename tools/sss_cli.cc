@@ -50,8 +50,9 @@ int Usage() {
                "           --out FILE [--queries N --queries-out FILE]\n"
                "  search   --data FILE --queries FILE [--default-k K]\n"
                "           [--engine scan|trie|ctrie|qgram|partition|packed|bktree]\n"
-               "           [--strategy serial|tpq|pool|adaptive]\n"
-               "           [--threads N] [--out FILE] [--dna] [--latency]\n"
+               "           [--strategy serial|tpq|pool|adaptive|sharded]\n"
+               "           [--threads N] [--shard-size N] [--bucket-width N]\n"
+               "           [--out FILE] [--dna] [--latency]\n"
                "  join     --data FILE --k K [--out FILE] [--threads N] [--dna]\n"
                "  stats    --data FILE [--dna]\n");
   return 2;
@@ -78,6 +79,7 @@ Result<ExecutionStrategy> ParseStrategy(const std::string& name) {
   if (name == "tpq") return ExecutionStrategy::kThreadPerQuery;
   if (name == "pool") return ExecutionStrategy::kFixedPool;
   if (name == "adaptive") return ExecutionStrategy::kAdaptive;
+  if (name == "sharded") return ExecutionStrategy::kSharded;
   return Status::Invalid("unknown strategy '" + name + "'");
 }
 
@@ -164,16 +166,25 @@ int RunSearch(const FlagSet& flags) {
   auto strategy = ParseStrategy(flags.GetString("strategy", "pool"));
   if (!strategy.ok()) return Fail(strategy.status());
   SSS_ASSIGN_OR_RETURN_CLI(int64_t threads, flags.GetInt("threads", 0));
+  SSS_ASSIGN_OR_RETURN_CLI(int64_t shard_size, flags.GetInt("shard-size", 0));
+  SSS_ASSIGN_OR_RETURN_CLI(int64_t bucket_width,
+                           flags.GetInt("bucket-width", 8));
 
   Stopwatch build_timer;
   auto searcher = MakeSearcher(*engine_kind, *dataset);
   if (!searcher.ok()) return Fail(searcher.status());
   const double build_seconds = build_timer.ElapsedSeconds();
 
+  ExecutionOptions exec;
+  exec.strategy = *strategy;
+  exec.num_threads = static_cast<size_t>(threads);
+  exec.shard_size = static_cast<size_t>(shard_size);
+  exec.length_bucket_width =
+      bucket_width > 0 ? static_cast<size_t>(bucket_width) : 8;
+
   // The paper's measurement (§5.2): only the result computation is timed.
   Stopwatch query_timer;
-  const SearchResults results = (*searcher)->SearchBatch(
-      *queries, {*strategy, static_cast<size_t>(threads)});
+  const SearchResults results = (*searcher)->SearchBatch(*queries, exec);
   const double query_seconds = query_timer.ElapsedSeconds();
 
   size_t total_matches = 0;
