@@ -42,10 +42,38 @@ std::string_view AutoSearcher::RouteFor(int k) const noexcept {
   return "trie";
 }
 
-MatchList AutoSearcher::Search(const Query& query) const {
-  return RouteFor(query.max_distance) == std::string_view("trie")
-             ? Trie().Search(query)
-             : Scan().Search(query);
+Status AutoSearcher::Search(const Query& query, const SearchContext& ctx,
+                            MatchList* out) const {
+  if (RouteFor(query.max_distance) != std::string_view("trie")) {
+    return Scan().Search(query, ctx, out);
+  }
+
+  // With no deadline (or the split disabled) the trie gets the full budget.
+  if (ctx.deadline.IsInfinite() || options_.probe_fraction >= 1.0) {
+    return Trie().Search(query, ctx, out);
+  }
+
+  // Index probe under a sub-deadline: the trie's worst case (wide band on
+  // adversarial data) is a scan with traversal overhead, so cap the time we
+  // bet on it and keep the rest for the dependable scan.
+  SearchContext probe_ctx = ctx;
+  probe_ctx.deadline = Deadline::After(
+      std::chrono::duration_cast<Deadline::Clock::duration>(
+          ctx.deadline.Remaining() * options_.probe_fraction));
+  const Status probe = Trie().Search(query, probe_ctx, out);
+  if (probe.ok()) return Status::OK();
+  if (!probe.IsCancelled() || ctx.StopRequested()) {
+    // A real error, an outer cancellation, or an expired overall deadline:
+    // nothing is gained by retrying on the scan.
+    out->clear();
+    return probe.IsCancelled() ? ctx.StopStatus() : probe;
+  }
+
+  // The probe budget ran out but the overall deadline has slack: degrade to
+  // the sequential scan, whose per-candidate cost is flat and predictable.
+  degraded_probes_.fetch_add(1, std::memory_order_relaxed);
+  out->clear();
+  return Scan().Search(query, ctx, out);
 }
 
 size_t AutoSearcher::memory_bytes() const {

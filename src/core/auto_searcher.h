@@ -11,6 +11,8 @@
 // the scan even on long strings).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -33,6 +35,11 @@ struct AutoSearcherOptions {
   /// the scan wins regardless (the banded trie degrades toward a scan with
   /// overhead).
   double high_k_ratio = 0.5;
+  /// When a deadline is set and the router picks the trie, the trie probe
+  /// only gets this fraction of the remaining budget; if it times out while
+  /// the overall deadline still has slack, the query degrades to the scan
+  /// for the rest. ≥ 1 disables the split (the trie gets the full budget).
+  double probe_fraction = 0.5;
 };
 
 /// \brief Engine that picks scan or trie per the paper's findings.
@@ -41,7 +48,9 @@ class AutoSearcher final : public Searcher {
   explicit AutoSearcher(const Dataset& dataset,
                         AutoSearcherOptions options = {});
 
-  MatchList Search(const Query& query) const override;
+  using Searcher::Search;
+  Status Search(const Query& query, const SearchContext& ctx,
+                MatchList* out) const override;
   std::string name() const override { return "auto"; }
   size_t memory_bytes() const override;
   const Dataset* SearchedDataset() const override { return &dataset_; }
@@ -49,6 +58,11 @@ class AutoSearcher final : public Searcher {
   /// \brief True iff the trie is the dataset-level prediction (what a
   /// k-independent router would always use). Exposed for tests.
   bool PrefersIndex() const noexcept { return prefers_index_; }
+
+  /// \brief How many trie probes timed out and were retried on the scan.
+  uint64_t degraded_probes() const noexcept {
+    return degraded_probes_.load(std::memory_order_relaxed);
+  }
 
   /// \brief The engine a query with threshold k routes to ("scan"/"trie").
   std::string_view RouteFor(int k) const noexcept;
@@ -65,6 +79,7 @@ class AutoSearcher final : public Searcher {
   mutable std::mutex build_mu_;
   mutable std::unique_ptr<SequentialScanSearcher> scan_;
   mutable std::unique_ptr<CompressedTrieSearcher> trie_;
+  mutable std::atomic<uint64_t> degraded_probes_{0};
 };
 
 }  // namespace sss

@@ -66,22 +66,27 @@ void BKTreeSearcher::Insert(uint32_t id) {
   }
 }
 
-MatchList BKTreeSearcher::Search(const Query& query) const {
-  MatchList out;
-  if (nodes_.empty()) return out;
+Status BKTreeSearcher::Search(const Query& query, const SearchContext& ctx,
+                              MatchList* out) const {
+  if (nodes_.empty()) return Status::OK();
   const int k = query.max_distance;
   thread_local EditDistanceWorkspace ws;
 
+  StopChecker stopper(ctx);
   std::vector<uint32_t> stack;
   stack.push_back(0);
   while (!stack.empty()) {
+    if (SSS_PREDICT_FALSE(stopper.ShouldStop())) {
+      out->clear();
+      return ctx.StopStatus();
+    }
     const Node& node = nodes_[stack.back()];
     stack.pop_back();
     const int d =
         ExactDistance(query.text, dataset_.View(node.pivot_id), &ws);
     if (d <= k) {
-      out.push_back(node.pivot_id);
-      out.insert(out.end(), node.dup_ids.begin(), node.dup_ids.end());
+      out->push_back(node.pivot_id);
+      out->insert(out->end(), node.dup_ids.begin(), node.dup_ids.end());
     }
     // Triangle inequality: a match at distance ≤ k from q lies at distance
     // within [d − k, d + k] of the pivot.
@@ -97,8 +102,8 @@ MatchList BKTreeSearcher::Search(const Query& query) const {
       stack.push_back(it->second);
     }
   }
-  std::sort(out.begin(), out.end());
-  return out;
+  std::sort(out->begin(), out->end());
+  return Status::OK();
 }
 
 size_t BKTreeSearcher::memory_bytes() const {

@@ -33,7 +33,9 @@ class BKTreeSearcher final : public Searcher {
   /// representable, so duplicates are stored in the node's id list).
   explicit BKTreeSearcher(const Dataset& dataset);
 
-  MatchList Search(const Query& query) const override;
+  using Searcher::Search;
+  Status Search(const Query& query, const SearchContext& ctx,
+                MatchList* out) const override;
   std::string name() const override { return "bk_tree"; }
   size_t memory_bytes() const override;
   const Dataset* SearchedDataset() const override { return &dataset_; }

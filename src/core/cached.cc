@@ -11,7 +11,8 @@ CachedSearcher::CachedSearcher(const Searcher* inner, size_t capacity)
   SSS_CHECK(inner != nullptr);
 }
 
-MatchList CachedSearcher::Search(const Query& query) const {
+Status CachedSearcher::Search(const Query& query, const SearchContext& ctx,
+                              MatchList* out) const {
   Key key{query.text, query.max_distance};
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -20,19 +21,26 @@ MatchList CachedSearcher::Search(const Query& query) const {
       ++hits_;
       // Refresh recency.
       lru_.splice(lru_.begin(), lru_, it->second.lru_slot);
-      return it->second.results;
+      *out = it->second.results;
+      return Status::OK();
     }
     ++misses_;
   }
 
   // Miss: compute outside the lock so concurrent distinct queries overlap.
-  MatchList results = inner_->Search(query);
+  out->clear();
+  const Status st = inner_->Search(query, ctx, out);
+  if (!st.ok()) {
+    // Incomplete answers must not poison the cache.
+    out->clear();
+    return st;
+  }
 
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (cache_.find(key) == cache_.end()) {
       lru_.push_front(key);
-      cache_[std::move(key)] = Entry{results, lru_.begin()};
+      cache_[std::move(key)] = Entry{*out, lru_.begin()};
       if (cache_.size() > capacity_) {
         const Key& victim = lru_.back();
         cache_.erase(victim);
@@ -40,7 +48,7 @@ MatchList CachedSearcher::Search(const Query& query) const {
       }
     }
   }
-  return results;
+  return Status::OK();
 }
 
 size_t CachedSearcher::entries() const noexcept {

@@ -26,7 +26,12 @@ class CachedSearcher final : public Searcher {
   /// \param capacity maximum cached queries (≥ 1).
   CachedSearcher(const Searcher* inner, size_t capacity);
 
-  MatchList Search(const Query& query) const override;
+  using Searcher::Search;
+  /// Cancelled searches are never cached: only a completed answer is worth
+  /// serving to a later caller, and a stopped inner search returns an empty
+  /// list by contract.
+  Status Search(const Query& query, const SearchContext& ctx,
+                MatchList* out) const override;
   std::string name() const override {
     return inner_->name() + "+cache";
   }

@@ -139,12 +139,17 @@ TrieStats CompressedTrieSearcher::Stats() const {
   return stats;
 }
 
-MatchList CompressedTrieSearcher::Search(const Query& query) const {
-  return pruning_ == TriePruning::kBandedRows ? SearchBanded(query)
-                                              : SearchPaperRule(query);
+Status CompressedTrieSearcher::Search(const Query& query,
+                                      const SearchContext& ctx,
+                                      MatchList* out) const {
+  return pruning_ == TriePruning::kBandedRows
+             ? SearchBanded(query, ctx, out)
+             : SearchPaperRule(query, ctx, out);
 }
 
-MatchList CompressedTrieSearcher::SearchBanded(const Query& query) const {
+Status CompressedTrieSearcher::SearchBanded(const Query& query,
+                                            const SearchContext& ctx,
+                                            MatchList* out) const {
   const int k = query.max_distance;
   const int lq = static_cast<int>(query.text.size());
 
@@ -152,8 +157,6 @@ MatchList CompressedTrieSearcher::SearchBanded(const Query& query) const {
   rows.Init(query.text, k);
   const FrequencyVector qv =
       frequency_bounds_ ? buckets_.Compute(query.text) : FrequencyVector{};
-
-  MatchList out;
 
   // DFS frames: `consumed` label bytes of this node's edge already applied
   // to the rows, `depth` the total prefix length at that point.
@@ -167,7 +170,12 @@ MatchList CompressedTrieSearcher::SearchBanded(const Query& query) const {
   std::vector<Frame> stack;
   stack.push_back(Frame{0, 0, 0, 0, false});
 
+  StopChecker stopper(ctx);
   while (!stack.empty()) {
+    if (SSS_PREDICT_FALSE(stopper.ShouldStop())) {
+      out->clear();
+      return ctx.StopStatus();
+    }
     Frame& frame = stack.back();
     const Node& node = nodes_[frame.node];
 
@@ -189,8 +197,8 @@ MatchList CompressedTrieSearcher::SearchBanded(const Query& query) const {
         continue;
       }
       if (!node.terminal_ids.empty() && rows.TerminalWithin(frame.depth)) {
-        out.insert(out.end(), node.terminal_ids.begin(),
-                   node.terminal_ids.end());
+        out->insert(out->end(), node.terminal_ids.begin(),
+                    node.terminal_ids.end());
       }
     }
 
@@ -212,11 +220,13 @@ MatchList CompressedTrieSearcher::SearchBanded(const Query& query) const {
     if (!descended) stack.pop_back();
   }
 
-  std::sort(out.begin(), out.end());
-  return out;
+  std::sort(out->begin(), out->end());
+  return Status::OK();
 }
 
-MatchList CompressedTrieSearcher::SearchPaperRule(const Query& query) const {
+Status CompressedTrieSearcher::SearchPaperRule(const Query& query,
+                                               const SearchContext& ctx,
+                                               MatchList* out) const {
   const int k = query.max_distance;
   const int lq = static_cast<int>(query.text.size());
 
@@ -225,7 +235,6 @@ MatchList CompressedTrieSearcher::SearchPaperRule(const Query& query) const {
   const FrequencyVector qv =
       frequency_bounds_ ? buckets_.Compute(query.text) : FrequencyVector{};
 
-  MatchList out;
   struct Frame {
     uint32_t node;
     int depth;
@@ -236,7 +245,12 @@ MatchList CompressedTrieSearcher::SearchPaperRule(const Query& query) const {
   std::vector<Frame> stack;
   stack.push_back(Frame{0, 0, 0, 0, false});
 
+  StopChecker stopper(ctx);
   while (!stack.empty()) {
+    if (SSS_PREDICT_FALSE(stopper.ShouldStop())) {
+      out->clear();
+      return ctx.StopStatus();
+    }
     Frame& frame = stack.back();
     const Node& node = nodes_[frame.node];
 
@@ -262,8 +276,8 @@ MatchList CompressedTrieSearcher::SearchPaperRule(const Query& query) const {
         continue;
       }
       if (!node.terminal_ids.empty() && rows.TerminalWithin(frame.depth)) {
-        out.insert(out.end(), node.terminal_ids.begin(),
-                   node.terminal_ids.end());
+        out->insert(out->end(), node.terminal_ids.begin(),
+                    node.terminal_ids.end());
       }
     }
 
@@ -281,8 +295,8 @@ MatchList CompressedTrieSearcher::SearchPaperRule(const Query& query) const {
     if (!descended) stack.pop_back();
   }
 
-  std::sort(out.begin(), out.end());
-  return out;
+  std::sort(out->begin(), out->end());
+  return Status::OK();
 }
 
 }  // namespace sss

@@ -37,7 +37,9 @@ class CompressedTrieSearcher final : public Searcher {
       TriePruning pruning = TriePruning::kBandedRows,
       bool frequency_bounds = false);
 
-  MatchList Search(const Query& query) const override;
+  using Searcher::Search;
+  Status Search(const Query& query, const SearchContext& ctx,
+                MatchList* out) const override;
   std::string name() const override { return "compressed_trie_index"; }
   size_t memory_bytes() const override { return Stats().memory_bytes; }
   const Dataset* SearchedDataset() const override { return &dataset_; }
@@ -68,8 +70,10 @@ class CompressedTrieSearcher final : public Searcher {
         frequency_bounds_(frequency_bounds),
         buckets_(dataset.alphabet()) {}
 
-  MatchList SearchBanded(const Query& query) const;
-  MatchList SearchPaperRule(const Query& query) const;
+  Status SearchBanded(const Query& query, const SearchContext& ctx,
+                      MatchList* out) const;
+  Status SearchPaperRule(const Query& query, const SearchContext& ctx,
+                         MatchList* out) const;
 
   struct Node {
     // The multi-character edge label leading *into* this node (empty for

@@ -61,22 +61,30 @@ int BoundedHamming(std::string_view x, std::string_view y, int k) {
 HammingScanSearcher::HammingScanSearcher(const Dataset& dataset)
     : dataset_(dataset) {}
 
-MatchList HammingScanSearcher::Search(const Query& query) const {
-  MatchList out;
-  SearchRange(query, 0, static_cast<uint32_t>(dataset_.size()), &out);
-  return out;
+Status HammingScanSearcher::Search(const Query& query,
+                                   const SearchContext& ctx,
+                                   MatchList* out) const {
+  return SearchRange(query, 0, static_cast<uint32_t>(dataset_.size()), ctx,
+                     out);
 }
 
-void HammingScanSearcher::SearchRange(const Query& query, uint32_t begin,
-                                      uint32_t end, MatchList* out) const {
+Status HammingScanSearcher::SearchRange(const Query& query, uint32_t begin,
+                                        uint32_t end, const SearchContext& ctx,
+                                        MatchList* out) const {
   const int k = query.max_distance;
   const std::string_view q = query.text;
+  StopChecker stopper(ctx);
   for (uint32_t id = begin; id < end; ++id) {
+    if (SSS_PREDICT_FALSE(stopper.ShouldStop())) {
+      out->clear();
+      return ctx.StopStatus();
+    }
     if (dataset_.Length(id) != q.size()) continue;
     if (BoundedHamming(q, dataset_.View(id), k) <= k) {
       out->push_back(id);
     }
   }
+  return Status::OK();
 }
 
 HammingTrieSearcher::HammingTrieSearcher(const Dataset& dataset)
@@ -114,8 +122,9 @@ void HammingTrieSearcher::Insert(std::string_view s, uint32_t id) {
   nodes_[cur].terminal_ids.push_back(id);
 }
 
-MatchList HammingTrieSearcher::Search(const Query& query) const {
-  MatchList out;
+Status HammingTrieSearcher::Search(const Query& query,
+                                   const SearchContext& ctx,
+                                   MatchList* out) const {
   const int k = query.max_distance;
   const std::string_view q = query.text;
   const auto lq = static_cast<uint16_t>(q.size());
@@ -131,15 +140,20 @@ MatchList HammingTrieSearcher::Search(const Query& query) const {
   std::vector<Frame> stack;
   stack.push_back(Frame{0, 0, 0, 0});
 
+  StopChecker stopper(ctx);
   while (!stack.empty()) {
+    if (SSS_PREDICT_FALSE(stopper.ShouldStop())) {
+      out->clear();
+      return ctx.StopStatus();
+    }
     Frame& frame = stack.back();
     const Node& node = nodes_[frame.node];
 
     if (frame.next_child == 0 && frame.depth == lq &&
         !node.terminal_ids.empty()) {
       // Hamming matches end exactly at the query's length.
-      out.insert(out.end(), node.terminal_ids.begin(),
-                 node.terminal_ids.end());
+      out->insert(out->end(), node.terminal_ids.begin(),
+                  node.terminal_ids.end());
     }
 
     bool descended = false;
@@ -162,8 +176,8 @@ MatchList HammingTrieSearcher::Search(const Query& query) const {
     if (!descended) stack.pop_back();
   }
 
-  std::sort(out.begin(), out.end());
-  return out;
+  std::sort(out->begin(), out->end());
+  return Status::OK();
 }
 
 size_t HammingTrieSearcher::memory_bytes() const {

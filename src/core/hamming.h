@@ -42,13 +42,15 @@ class HammingScanSearcher final : public Searcher {
  public:
   explicit HammingScanSearcher(const Dataset& dataset);
 
-  MatchList Search(const Query& query) const override;
+  using Searcher::Search;
+  Status Search(const Query& query, const SearchContext& ctx,
+                MatchList* out) const override;
   std::string name() const override { return "hamming_scan"; }
 
   const Dataset* SearchedDataset() const override { return &dataset_; }
   bool SupportsRangeSearch() const override { return true; }
-  void SearchRange(const Query& query, uint32_t begin, uint32_t end,
-                   MatchList* out) const override;
+  Status SearchRange(const Query& query, uint32_t begin, uint32_t end,
+                     const SearchContext& ctx, MatchList* out) const override;
 
  private:
   const Dataset& dataset_;
@@ -62,7 +64,9 @@ class HammingTrieSearcher final : public Searcher {
  public:
   explicit HammingTrieSearcher(const Dataset& dataset);
 
-  MatchList Search(const Query& query) const override;
+  using Searcher::Search;
+  Status Search(const Query& query, const SearchContext& ctx,
+                MatchList* out) const override;
   std::string name() const override { return "hamming_trie"; }
   size_t memory_bytes() const override;
   const Dataset* SearchedDataset() const override { return &dataset_; }

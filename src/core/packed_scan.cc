@@ -20,14 +20,16 @@ Result<std::unique_ptr<PackedDnaScanSearcher>> PackedDnaScanSearcher::Make(
   return searcher;
 }
 
-MatchList PackedDnaScanSearcher::Search(const Query& query) const {
-  MatchList out;
-  SearchRange(query, 0, static_cast<uint32_t>(pool_.size()), &out);
-  return out;
+Status PackedDnaScanSearcher::Search(const Query& query,
+                                     const SearchContext& ctx,
+                                     MatchList* out) const {
+  return SearchRange(query, 0, static_cast<uint32_t>(pool_.size()), ctx, out);
 }
 
-void PackedDnaScanSearcher::SearchRange(const Query& query, uint32_t begin,
-                                        uint32_t end, MatchList* out) const {
+Status PackedDnaScanSearcher::SearchRange(const Query& query, uint32_t begin,
+                                          uint32_t end,
+                                          const SearchContext& ctx,
+                                          MatchList* out) const {
   const int k = query.max_distance;
 
   // Encode the query once. Symbols outside the alphabet get a sentinel that
@@ -44,7 +46,12 @@ void PackedDnaScanSearcher::SearchRange(const Query& query, uint32_t begin,
 
   thread_local std::vector<uint8_t> candidate_codes;
   thread_local EditDistanceWorkspace ws;
+  StopChecker stopper(ctx);
   for (uint32_t id = begin; id < end; ++id) {
+    if (SSS_PREDICT_FALSE(stopper.ShouldStop())) {
+      out->clear();
+      return ctx.StopStatus();
+    }
     if (!LengthFilterPasses(query.text.size(), pool_.Length(id), k)) {
       continue;
     }
@@ -56,6 +63,7 @@ void PackedDnaScanSearcher::SearchRange(const Query& query, uint32_t begin,
       out->push_back(id);
     }
   }
+  return Status::OK();
 }
 
 }  // namespace sss

@@ -25,7 +25,9 @@ class PackedDnaScanSearcher final : public Searcher {
   static Result<std::unique_ptr<PackedDnaScanSearcher>> Make(
       const Dataset& dataset);
 
-  MatchList Search(const Query& query) const override;
+  using Searcher::Search;
+  Status Search(const Query& query, const SearchContext& ctx,
+                MatchList* out) const override;
   std::string name() const override { return "packed_dna_scan"; }
 
   const Dataset* SearchedDataset() const override { return &dataset_; }
@@ -33,8 +35,8 @@ class PackedDnaScanSearcher final : public Searcher {
   /// Like the byte scan, the packed pool is laid out in id order, so an id
   /// shard is a sub-scan.
   bool SupportsRangeSearch() const override { return true; }
-  void SearchRange(const Query& query, uint32_t begin, uint32_t end,
-                   MatchList* out) const override;
+  Status SearchRange(const Query& query, uint32_t begin, uint32_t end,
+                     const SearchContext& ctx, MatchList* out) const override;
 
   /// \brief Packed bytes held — compare with dataset.pool().total_bytes().
   size_t memory_bytes() const override { return pool_.packed_bytes(); }

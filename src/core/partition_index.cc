@@ -81,11 +81,17 @@ size_t PartitionIndexSearcher::memory_bytes() const {
   return entries_.size() * sizeof(Entry);
 }
 
-void PartitionIndexSearcher::ScanFallback(const Query& query,
-                                          MatchList* out) const {
+Status PartitionIndexSearcher::ScanFallback(const Query& query,
+                                            const SearchContext& ctx,
+                                            MatchList* out) const {
   thread_local EditDistanceWorkspace ws;
   const int k = query.max_distance;
+  StopChecker stopper(ctx);
   for (uint32_t id = 0; id < dataset_.size(); ++id) {
+    if (SSS_PREDICT_FALSE(stopper.ShouldStop())) {
+      out->clear();
+      return ctx.StopStatus();
+    }
     if (!LengthFilterPasses(query.text.size(), dataset_.Length(id), k)) {
       continue;
     }
@@ -93,22 +99,24 @@ void PartitionIndexSearcher::ScanFallback(const Query& query,
       out->push_back(id);
     }
   }
+  return Status::OK();
 }
 
-MatchList PartitionIndexSearcher::Search(const Query& query) const {
-  MatchList out;
+Status PartitionIndexSearcher::Search(const Query& query,
+                                      const SearchContext& ctx,
+                                      MatchList* out) const {
   const int k = query.max_distance;
   if (k > options_.max_k) {
     // The pigeonhole argument needs ≥ k+1 pieces; beyond the build-time
     // budget we degrade gracefully rather than answer wrongly.
-    ScanFallback(query, &out);
-    return out;
+    return ScanFallback(query, ctx, out);
   }
 
   const std::string_view q = query.text;
   const int pieces = options_.max_k + 1;
   thread_local std::vector<uint32_t> candidates;
   candidates.clear();
+  StopChecker stopper(ctx);
 
   // Probe every compatible data length, piece, and shift.
   const size_t min_len = q.size() > static_cast<size_t>(k)
@@ -128,6 +136,10 @@ MatchList PartitionIndexSearcher::Search(const Query& query) const {
       const size_t hi =
           std::min(q.size() - piece_len, piece_begin + static_cast<size_t>(k));
       for (size_t pos = lo; pos <= hi && pos + piece_len <= q.size(); ++pos) {
+        if (SSS_PREDICT_FALSE(stopper.ShouldStop())) {
+          out->clear();
+          return ctx.StopStatus();
+        }
         const uint64_t key =
             MakeKey(q.substr(pos, piece_len), len, j);
         auto range = std::equal_range(
@@ -149,12 +161,16 @@ MatchList PartitionIndexSearcher::Search(const Query& query) const {
 
   thread_local EditDistanceWorkspace ws;
   for (uint32_t id : candidates) {
+    if (SSS_PREDICT_FALSE(stopper.ShouldStop())) {
+      out->clear();
+      return ctx.StopStatus();
+    }
     if (!LengthFilterPasses(q.size(), dataset_.Length(id), k)) continue;
     if (WithinDistance(q, dataset_.View(id), k, &ws)) {
-      out.push_back(id);
+      out->push_back(id);
     }
   }
-  return out;
+  return Status::OK();
 }
 
 }  // namespace sss

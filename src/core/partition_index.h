@@ -38,7 +38,9 @@ class PartitionIndexSearcher final : public Searcher {
   PartitionIndexSearcher(const Dataset& dataset,
                          PartitionIndexOptions options = {});
 
-  MatchList Search(const Query& query) const override;
+  using Searcher::Search;
+  Status Search(const Query& query, const SearchContext& ctx,
+                MatchList* out) const override;
   std::string name() const override { return "partition_index"; }
   size_t memory_bytes() const override;
   const Dataset* SearchedDataset() const override { return &dataset_; }
@@ -61,7 +63,8 @@ class PartitionIndexSearcher final : public Searcher {
 
   static uint64_t MakeKey(std::string_view piece, size_t len, int piece_idx);
 
-  void ScanFallback(const Query& query, MatchList* out) const;
+  Status ScanFallback(const Query& query, const SearchContext& ctx,
+                      MatchList* out) const;
 
   const Dataset& dataset_;
   PartitionIndexOptions options_;

@@ -71,11 +71,17 @@ size_t QGramIndexSearcher::memory_bytes() const {
          bucket_offsets_.size() * sizeof(uint64_t);
 }
 
-void QGramIndexSearcher::ScanFallback(const Query& query,
-                                      MatchList* out) const {
+Status QGramIndexSearcher::ScanFallback(const Query& query,
+                                        const SearchContext& ctx,
+                                        MatchList* out) const {
   thread_local EditDistanceWorkspace ws;
   const int k = query.max_distance;
+  StopChecker stopper(ctx);
   for (uint32_t id = 0; id < dataset_.size(); ++id) {
+    if (SSS_PREDICT_FALSE(stopper.ShouldStop())) {
+      out->clear();
+      return ctx.StopStatus();
+    }
     if (!LengthFilterPasses(query.text.size(), dataset_.Length(id), k)) {
       continue;
     }
@@ -83,14 +89,20 @@ void QGramIndexSearcher::ScanFallback(const Query& query,
       out->push_back(id);
     }
   }
+  return Status::OK();
 }
 
-void QGramIndexSearcher::VerifyCandidates(
-    const Query& query, const std::vector<uint32_t>& candidates,
-    MatchList* out) const {
+Status QGramIndexSearcher::VerifyCandidates(
+    const Query& query, const SearchContext& ctx,
+    const std::vector<uint32_t>& candidates, MatchList* out) const {
   thread_local EditDistanceWorkspace ws;
   const int k = query.max_distance;
+  StopChecker stopper(ctx);
   for (uint32_t id : candidates) {
+    if (SSS_PREDICT_FALSE(stopper.ShouldStop())) {
+      out->clear();
+      return ctx.StopStatus();
+    }
     if (!LengthFilterPasses(query.text.size(), dataset_.Length(id), k)) {
       continue;
     }
@@ -98,10 +110,11 @@ void QGramIndexSearcher::VerifyCandidates(
       out->push_back(id);
     }
   }
+  return Status::OK();
 }
 
-MatchList QGramIndexSearcher::Search(const Query& query) const {
-  MatchList out;
+Status QGramIndexSearcher::Search(const Query& query, const SearchContext& ctx,
+                                  MatchList* out) const {
   const int k = query.max_distance;
   const int q = options_.q;
   const int64_t lq = static_cast<int64_t>(query.text.size());
@@ -109,8 +122,7 @@ MatchList QGramIndexSearcher::Search(const Query& query) const {
 
   if (threshold <= 0) {
     // The count bound is vacuous: every id is a candidate.
-    ScanFallback(query, &out);
-    return out;
+    return ScanFallback(query, ctx, out);
   }
 
   // Gather posting hits per candidate. Collect all postings for the query's
@@ -137,8 +149,7 @@ MatchList QGramIndexSearcher::Search(const Query& query) const {
     }
     i = j;
   }
-  VerifyCandidates(query, candidates, &out);
-  return out;
+  return VerifyCandidates(query, ctx, candidates, out);
 }
 
 }  // namespace sss

@@ -37,7 +37,9 @@ class QGramIndexSearcher final : public Searcher {
   /// searcher).
   QGramIndexSearcher(const Dataset& dataset, QGramIndexOptions options = {});
 
-  MatchList Search(const Query& query) const override;
+  using Searcher::Search;
+  Status Search(const Query& query, const SearchContext& ctx,
+                MatchList* out) const override;
   std::string name() const override { return "qgram_index"; }
   size_t memory_bytes() const override;
   const Dataset* SearchedDataset() const override { return &dataset_; }
@@ -54,13 +56,14 @@ class QGramIndexSearcher final : public Searcher {
   }
 
   /// Verifies candidates whose shared-gram count reaches the threshold.
-  void VerifyCandidates(const Query& query,
-                        const std::vector<uint32_t>& candidates,
-                        MatchList* out) const;
+  Status VerifyCandidates(const Query& query, const SearchContext& ctx,
+                          const std::vector<uint32_t>& candidates,
+                          MatchList* out) const;
 
   /// Fallback when the count bound is vacuous: verify every id that passes
   /// the length filter.
-  void ScanFallback(const Query& query, MatchList* out) const;
+  Status ScanFallback(const Query& query, const SearchContext& ctx,
+                      MatchList* out) const;
 
   const Dataset& dataset_;
   QGramIndexOptions options_;

@@ -61,10 +61,11 @@ bool SequentialScanSearcher::Verify(std::string_view q, uint32_t id, int k,
   return false;
 }
 
-void SequentialScanSearcher::ScanIdRange(const Query& query,
-                                         EditDistanceWorkspace* ws,
-                                         uint32_t begin, uint32_t end,
-                                         MatchList* out) const {
+Status SequentialScanSearcher::ScanIdRange(const Query& query,
+                                           const SearchContext& ctx,
+                                           EditDistanceWorkspace* ws,
+                                           uint32_t begin, uint32_t end,
+                                           MatchList* out) const {
   const std::string_view q = query.text;
   const int k = query.max_distance;
   const FrequencyVector qvec =
@@ -72,7 +73,12 @@ void SequentialScanSearcher::ScanIdRange(const Query& query,
   const std::vector<uint32_t> qprofile =
       qgram_filter_ ? qgram_filter_->Profile(q) : std::vector<uint32_t>{};
 
+  StopChecker stopper(ctx);
   for (uint32_t id = begin; id < end; ++id) {
+    if (SSS_PREDICT_FALSE(stopper.ShouldStop())) {
+      out->clear();
+      return ctx.StopStatus();
+    }
     if (!LengthFilterPasses(q.size(), dataset_.Length(id), k)) continue;
     if (frequency_filter_ && !frequency_filter_->MayMatch(qvec, id, k)) {
       continue;
@@ -83,26 +89,33 @@ void SequentialScanSearcher::ScanIdRange(const Query& query,
     }
     if (Verify(q, id, k, ws)) out->push_back(id);
   }
+  return Status::OK();
 }
 
-void SequentialScanSearcher::ScanByLength(const Query& query,
-                                          EditDistanceWorkspace* ws,
-                                          MatchList* out) const {
+Status SequentialScanSearcher::ScanByLength(const Query& query,
+                                            const SearchContext& ctx,
+                                            EditDistanceWorkspace* ws,
+                                            MatchList* out) const {
   const std::string_view q = query.text;
   const int k = query.max_distance;
   const size_t max_len = dataset_.pool().max_length();
   const size_t lo =
       q.size() > static_cast<size_t>(k) ? q.size() - k : 0;
   const size_t hi = std::min(max_len, q.size() + static_cast<size_t>(k));
-  if (lo > max_len) return;
+  if (lo > max_len) return Status::OK();
 
   const FrequencyVector qvec =
       frequency_filter_ ? frequency_filter_->Compute(q) : FrequencyVector{};
   const std::vector<uint32_t> qprofile =
       qgram_filter_ ? qgram_filter_->Profile(q) : std::vector<uint32_t>{};
 
+  StopChecker stopper(ctx);
   for (uint32_t pos = length_starts_[lo]; pos < length_starts_[hi + 1];
        ++pos) {
+    if (SSS_PREDICT_FALSE(stopper.ShouldStop())) {
+      out->clear();
+      return ctx.StopStatus();
+    }
     const uint32_t id = ids_by_length_[pos];
     if (frequency_filter_ && !frequency_filter_->MayMatch(qvec, id, k)) {
       continue;
@@ -115,40 +128,45 @@ void SequentialScanSearcher::ScanByLength(const Query& query,
   }
   // The by-length walk visits ids out of order; results must be ascending.
   std::sort(out->begin(), out->end());
+  return Status::OK();
 }
 
-MatchList SequentialScanSearcher::Search(const Query& query) const {
+Status SequentialScanSearcher::Search(const Query& query,
+                                      const SearchContext& ctx,
+                                      MatchList* out) const {
   // One workspace per thread: Search must be thread-safe under every
   // ExecutionStrategy, and per-call allocation would undo the step-3/4
   // optimizations this engine exists to demonstrate.
   thread_local EditDistanceWorkspace ws;
-  MatchList out;
 
   if (options_.step != LadderStep::kSimpleTypes) {
     // Historical rungs run their own full-dataset loop (they are the
-    // benchmark subjects, not composable fast paths).
-    return RunLadderKernel(dataset_, query, options_.step, &ws);
+    // benchmark subjects, not composable fast paths). They predate
+    // cancellation, so honor the context between queries only.
+    if (ctx.CanStop() && ctx.StopRequested()) return ctx.StopStatus();
+    *out = RunLadderKernel(dataset_, query, options_.step, &ws);
+    return Status::OK();
   }
 
   if (options_.sort_by_length) {
-    ScanByLength(query, &ws, &out);
-  } else {
-    ScanIdRange(query, &ws, 0, static_cast<uint32_t>(dataset_.size()), &out);
+    return ScanByLength(query, ctx, &ws, out);
   }
-  return out;
+  return ScanIdRange(query, ctx, &ws, 0,
+                     static_cast<uint32_t>(dataset_.size()), out);
 }
 
-void SequentialScanSearcher::SearchRange(const Query& query, uint32_t begin,
-                                         uint32_t end, MatchList* out) const {
+Status SequentialScanSearcher::SearchRange(const Query& query, uint32_t begin,
+                                           uint32_t end,
+                                           const SearchContext& ctx,
+                                           MatchList* out) const {
   if (options_.step != LadderStep::kSimpleTypes) {
-    Searcher::SearchRange(query, begin, end, out);
-    return;
+    return Searcher::SearchRange(query, begin, end, ctx, out);
   }
   thread_local EditDistanceWorkspace ws;
   // Sub-scans always walk the pool in id order: the by-length permutation
   // does not decompose into contiguous id shards, and ascending appends are
   // what lets the sharded driver concatenate shards allocation-free.
-  ScanIdRange(query, &ws, begin, end, out);
+  return ScanIdRange(query, ctx, &ws, begin, end, out);
 }
 
 }  // namespace sss

@@ -62,7 +62,9 @@ class SequentialScanSearcher final : public Searcher {
   /// outlive this searcher.
   SequentialScanSearcher(const Dataset& dataset, ScanOptions options);
 
-  MatchList Search(const Query& query) const override;
+  using Searcher::Search;
+  Status Search(const Query& query, const SearchContext& ctx,
+                MatchList* out) const override;
   std::string name() const override { return "sequential_scan"; }
   size_t memory_bytes() const override;
 
@@ -74,8 +76,8 @@ class SequentialScanSearcher final : public Searcher {
   bool SupportsRangeSearch() const override {
     return options_.step == LadderStep::kSimpleTypes;
   }
-  void SearchRange(const Query& query, uint32_t begin, uint32_t end,
-                   MatchList* out) const override;
+  Status SearchRange(const Query& query, uint32_t begin, uint32_t end,
+                     const SearchContext& ctx, MatchList* out) const override;
 
   const ScanOptions& options() const noexcept { return options_; }
 
@@ -84,13 +86,15 @@ class SequentialScanSearcher final : public Searcher {
   bool Verify(std::string_view q, uint32_t id, int k,
               EditDistanceWorkspace* ws) const;
 
-  /// Scan over ids in [begin, end) (default layout).
-  void ScanIdRange(const Query& query, EditDistanceWorkspace* ws,
-                   uint32_t begin, uint32_t end, MatchList* out) const;
+  /// Scan over ids in [begin, end) (default layout). Returns kCancelled
+  /// (with `out` cleared) if `ctx` stops the scan.
+  Status ScanIdRange(const Query& query, const SearchContext& ctx,
+                     EditDistanceWorkspace* ws, uint32_t begin, uint32_t end,
+                     MatchList* out) const;
 
   /// Scan restricted to matching lengths via the sorted-by-length order.
-  void ScanByLength(const Query& query, EditDistanceWorkspace* ws,
-                    MatchList* out) const;
+  Status ScanByLength(const Query& query, const SearchContext& ctx,
+                      EditDistanceWorkspace* ws, MatchList* out) const;
 
   const Dataset& dataset_;
   ScanOptions options_;

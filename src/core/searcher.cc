@@ -16,57 +16,99 @@
 #include "parallel/sharded_executor.h"
 #include "parallel/thread_per_query.h"
 #include "parallel/thread_pool.h"
+#include "util/failpoint.h"
 
 namespace sss {
 
-SearchResults Searcher::SearchBatch(const QuerySet& queries,
-                                    const ExecutionOptions& exec) const {
-  return RunBatch(queries, exec);
+MatchList Searcher::Search(const Query& query) const {
+  MatchList out;
+  const Status st = Search(query, SearchContext{}, &out);
+  // An inactive context can never stop a search.
+  SSS_DCHECK(st.ok());
+  (void)st;
+  return out;
 }
 
-SearchResults Searcher::RunBatch(const QuerySet& queries,
-                                 const ExecutionOptions& exec) const {
-  SearchResults results(queries.size());
+BatchResult Searcher::SearchBatch(const QuerySet& queries,
+                                  const ExecutionOptions& exec,
+                                  const SearchContext& ctx) const {
+  return RunBatch(queries, exec, ctx);
+}
+
+SearchResults Searcher::SearchBatch(const QuerySet& queries,
+                                    const ExecutionOptions& exec) const {
+  return SearchBatch(queries, exec, SearchContext{}).matches;
+}
+
+BatchResult Searcher::RunBatch(const QuerySet& queries,
+                               const ExecutionOptions& exec,
+                               const SearchContext& ctx) const {
+  if (exec.strategy == ExecutionStrategy::kSharded) {
+    return RunShardedBatch(queries, exec, ctx);
+  }
+
+  BatchResult result;
+  result.matches.resize(queries.size());
+  // Pre-mark every query as "never ran"; run_one overwrites with the real
+  // outcome. Work an executor skips after a stop is thereby already tagged.
+  result.statuses.assign(queries.size(), ctx.StopStatus());
+
+  const bool active = ctx.CanStop();
+  const SearchContext* stop = active ? &ctx : nullptr;
   const auto run_one = [&](size_t i) {
-    results[i] = Search(queries[i]);
+    SSS_FAILPOINT("searcher:run_query");
+    Status st = Search(queries[i], ctx, &result.matches[i]);
+    if (!st.ok()) result.matches[i].clear();
+    result.statuses[i] = std::move(st);
   };
 
   switch (exec.strategy) {
     case ExecutionStrategy::kSerial: {
-      for (size_t i = 0; i < queries.size(); ++i) run_one(i);
+      for (size_t i = 0; i < queries.size(); ++i) {
+        if (active && ctx.StopRequested()) break;
+        run_one(i);
+      }
       break;
     }
     case ExecutionStrategy::kThreadPerQuery: {
-      RunThreadPerItem(queries.size(), run_one);
+      RunThreadPerItem(queries.size(), run_one, /*max_live=*/0, stop);
       break;
     }
     case ExecutionStrategy::kFixedPool: {
       ThreadPool pool(exec.num_threads);
       // Dynamic scheduling: query costs are highly skewed (they depend on k
       // and result size), so static partitioning would leave cores idle.
-      pool.DynamicParallelFor(queries.size(), run_one);
+      pool.DynamicParallelFor(queries.size(), run_one, /*chunk=*/1, stop);
       break;
     }
     case ExecutionStrategy::kAdaptive: {
       AdaptivePoolOptions options;
       options.max_threads = exec.num_threads;
       AdaptivePool pool(options);
-      pool.ParallelFor(queries.size(), run_one, /*chunk=*/1);
+      pool.ParallelFor(queries.size(), run_one, /*chunk=*/1, stop);
       break;
     }
-    case ExecutionStrategy::kSharded: {
-      return RunShardedBatch(queries, exec);
-    }
+    case ExecutionStrategy::kSharded:
+      break;  // handled above
   }
-  return results;
+
+  for (const Status& st : result.statuses) result.completed += st.ok();
+  result.truncated = result.completed < queries.size();
+  return result;
 }
 
-void Searcher::SearchRange(const Query& query, uint32_t begin, uint32_t end,
-                           MatchList* out) const {
-  const MatchList all = Search(query);
+Status Searcher::SearchRange(const Query& query, uint32_t begin, uint32_t end,
+                             const SearchContext& ctx, MatchList* out) const {
+  MatchList all;
+  const Status st = Search(query, ctx, &all);
+  if (!st.ok()) {
+    out->clear();
+    return st;
+  }
   for (uint32_t id : all) {
     if (id >= begin && id < end) out->push_back(id);
   }
+  return Status::OK();
 }
 
 namespace {
@@ -88,13 +130,29 @@ struct MatchSpan {
 
 }  // namespace
 
-SearchResults Searcher::RunShardedBatch(const QuerySet& queries,
-                                        const ExecutionOptions& exec) const {
-  SearchResults results(queries.size());
-  if (queries.empty()) return results;
+BatchResult Searcher::RunShardedBatch(const QuerySet& queries,
+                                      const ExecutionOptions& exec,
+                                      const SearchContext& ctx) const {
+  BatchResult result;
+  result.matches.resize(queries.size());
+  result.statuses.assign(queries.size(), Status::OK());
+  result.completed = queries.size();
+  if (queries.empty()) return result;
+
+  const bool active = ctx.CanStop();
+  const auto mark_all_cancelled = [&] {
+    const Status st = ctx.StopStatus();
+    for (Status& s : result.statuses) s = st;
+    result.completed = 0;
+    result.truncated = true;
+  };
+  if (active && ctx.StopRequested()) {
+    mark_all_cancelled();
+    return result;
+  }
 
   const Dataset* dataset = SearchedDataset();
-  if (dataset != nullptr && dataset->empty()) return results;
+  if (dataset != nullptr && dataset->empty()) return result;
 
   // Plan: group by (threshold, length bucket), length-filter once per group.
   // Without a dataset the bounds are unbounded — nothing skips, everything
@@ -108,7 +166,7 @@ SearchResults Searcher::RunShardedBatch(const QuerySet& queries,
 
   size_t active_groups = 0;
   for (const QueryGroup& g : plan.groups) active_groups += g.skip ? 0 : 1;
-  if (active_groups == 0) return results;
+  if (active_groups == 0) return result;
 
   ShardedExecutorOptions executor_options;
   executor_options.num_threads = exec.num_threads;
@@ -162,50 +220,88 @@ SearchResults Searcher::RunShardedBatch(const QuerySet& queries,
   }
 
   // Execute. Each task appends its per-query match spans (arena-backed) to
-  // its own slot, so tasks never synchronize with each other.
+  // its own slot, so tasks never synchronize with each other. Per-task
+  // completion marks the prefix of its query sub-range it fully answered;
+  // a stop leaves the suffix (and every unclaimed task's whole range)
+  // unanswered, which the merge below turns into per-query kCancelled.
   std::vector<std::vector<MatchSpan>> task_spans(tasks.size());
-  executor.Run(tasks.size(), [&](size_t t, ShardScratch* scratch) {
-    const ShardTask& task = tasks[t];
-    const QueryGroup& group = plan.groups[task.group];
-    std::vector<MatchSpan>& spans = task_spans[t];
-    spans.reserve(task.queries.size());
-    for (size_t qi = task.queries.begin; qi < task.queries.end; ++qi) {
-      const uint32_t query_index = group.queries[qi];
-      const Query& query = queries[query_index];
-      MatchList& buffer = scratch->match_buffer;
-      buffer.clear();
-      if (shard_dataset) {
-        SearchRange(query, static_cast<uint32_t>(task.ids.begin),
-                    static_cast<uint32_t>(task.ids.end), &buffer);
-      } else {
-        // Whole-collection task: one task owns this query outright.
-        Search(query).swap(buffer);
-      }
-      if (buffer.empty()) continue;
-      auto* copy = scratch->arena.NewArray<uint32_t>(buffer.size());
-      std::memcpy(copy, buffer.data(), buffer.size() * sizeof(uint32_t));
-      spans.push_back({query_index, static_cast<uint32_t>(buffer.size()),
-                       copy});
+  std::vector<size_t> task_done(tasks.size());
+  for (size_t t = 0; t < tasks.size(); ++t) task_done[t] = tasks[t].queries.begin;
+  executor.Run(
+      tasks.size(),
+      [&](size_t t, ShardScratch* scratch) {
+        const ShardTask& task = tasks[t];
+        const QueryGroup& group = plan.groups[task.group];
+        std::vector<MatchSpan>& spans = task_spans[t];
+        spans.reserve(task.queries.size());
+        for (size_t qi = task.queries.begin; qi < task.queries.end; ++qi) {
+          if (active && ctx.StopRequested()) break;
+          SSS_FAILPOINT("searcher:run_query");
+          const uint32_t query_index = group.queries[qi];
+          const Query& query = queries[query_index];
+          MatchList& buffer = scratch->match_buffer;
+          buffer.clear();
+          Status st;
+          if (shard_dataset) {
+            st = SearchRange(query, static_cast<uint32_t>(task.ids.begin),
+                             static_cast<uint32_t>(task.ids.end), ctx,
+                             &buffer);
+          } else {
+            // Whole-collection task: one task owns this query outright.
+            st = Search(query, ctx, &buffer);
+          }
+          if (!st.ok()) break;
+          task_done[t] = qi + 1;
+          if (buffer.empty()) continue;
+          auto* copy = scratch->arena.NewArray<uint32_t>(buffer.size());
+          std::memcpy(copy, buffer.data(), buffer.size() * sizeof(uint32_t));
+          spans.push_back({query_index, static_cast<uint32_t>(buffer.size()),
+                           copy});
+        }
+      },
+      active ? &ctx : nullptr);
+
+  // A query's answer is complete iff every task covering it got through it.
+  // Queries in skipped groups are covered by no task and stay complete
+  // (their correct answer is empty).
+  std::vector<char> query_ok(queries.size(), 1);
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    const QueryGroup& group = plan.groups[tasks[t].group];
+    for (size_t qi = task_done[t]; qi < tasks[t].queries.end; ++qi) {
+      query_ok[group.queries[qi]] = 0;
     }
-  });
+  }
 
   // Merge. Tasks were built group-major with ascending shards, and each
   // query lives in exactly one group, so appending spans in task order
-  // yields ascending ids — byte-identical to the serial answer.
+  // yields ascending ids — byte-identical to the serial answer. Spans of
+  // cut-off queries (complete in one shard, stopped in another) are
+  // dropped: a returned answer is always a whole answer.
   std::vector<uint32_t> totals(queries.size(), 0);
   for (const auto& spans : task_spans) {
     for (const MatchSpan& s : spans) totals[s.query] += s.count;
   }
   for (size_t i = 0; i < queries.size(); ++i) {
-    results[i].reserve(totals[i]);
+    if (query_ok[i]) result.matches[i].reserve(totals[i]);
   }
   for (const auto& spans : task_spans) {
     for (const MatchSpan& s : spans) {
-      results[s.query].insert(results[s.query].end(), s.data,
-                              s.data + s.count);
+      if (!query_ok[s.query]) continue;
+      result.matches[s.query].insert(result.matches[s.query].end(), s.data,
+                                     s.data + s.count);
     }
   }
-  return results;
+
+  result.completed = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (query_ok[i]) {
+      ++result.completed;
+    } else {
+      result.statuses[i] = ctx.StopStatus();
+    }
+  }
+  result.truncated = result.completed < queries.size();
+  return result;
 }
 
 std::string ToString(EngineKind kind) {

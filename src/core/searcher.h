@@ -2,12 +2,20 @@
 // prefix-trie index) implement Searcher, so benches, tests and examples can
 // swap them freely. Mirrors the paper's setup where both solutions answer
 // the same query batches and only the result-computation time is compared.
+//
+// Every entry point takes a SearchContext carrying optional cancellation and
+// deadline conditions (see util/cancellation.h). Engines poll the context at
+// a bounded candidate interval; a stopped search returns kCancelled with its
+// output cleared, so callers never see a silently partial MatchList. The
+// context-free overloads are conveniences wiring in an inactive context.
 #pragma once
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "io/dataset.h"
+#include "util/cancellation.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -38,20 +46,50 @@ struct ExecutionOptions {
   size_t length_bucket_width = 8;
 };
 
+/// \brief The outcome of a cancellable batch: graceful degradation instead
+/// of all-or-nothing. Queries the batch finished carry their full answers
+/// and an OK status; queries cut off by the deadline/token have kCancelled
+/// statuses and empty match lists (partial per-query results are discarded —
+/// a present answer is always a complete answer).
+struct BatchResult {
+  /// Positionally parallel to the input queries.
+  SearchResults matches;
+  /// Per-query outcome; statuses[i].ok() iff matches[i] is trustworthy.
+  std::vector<Status> statuses;
+  /// Number of queries with OK status.
+  size_t completed = 0;
+  /// True iff any query was cut off (completed < queries.size()).
+  bool truncated = false;
+};
+
 /// \brief A built engine answering string similarity queries over one
 /// dataset.
 class Searcher {
  public:
   virtual ~Searcher() = default;
 
-  /// \brief All dataset ids within query.max_distance of query.text,
-  /// ascending.
-  virtual MatchList Search(const Query& query) const = 0;
+  /// \brief Appends all dataset ids within query.max_distance of query.text
+  /// to `out`, ascending. Returns kCancelled (with `out` cleared) if `ctx`
+  /// stopped the search before it finished; `out` holds the complete answer
+  /// otherwise. `out` must be empty on entry.
+  virtual Status Search(const Query& query, const SearchContext& ctx,
+                        MatchList* out) const = 0;
 
-  /// \brief Answers a whole batch, parallelized per `exec`. Results are
-  /// positionally parallel to `queries`.
-  virtual SearchResults SearchBatch(const QuerySet& queries,
-                                    const ExecutionOptions& exec) const;
+  /// \brief Convenience: Search with no stop conditions (cannot fail).
+  MatchList Search(const Query& query) const;
+
+  /// \brief Answers a whole batch, parallelized per `exec`, honoring `ctx`
+  /// across queries and executors: when the deadline passes (or the token
+  /// cancels), in-flight queries stop cooperatively, queued work is skipped,
+  /// and the completed subset comes back tagged per query.
+  virtual BatchResult SearchBatch(const QuerySet& queries,
+                                  const ExecutionOptions& exec,
+                                  const SearchContext& ctx) const;
+
+  /// \brief Convenience: batch with no stop conditions; every query
+  /// completes, so only the match lists are interesting.
+  SearchResults SearchBatch(const QuerySet& queries,
+                            const ExecutionOptions& exec) const;
 
   /// \brief Engine name for reports ("sequential_scan", "trie_index", ...).
   virtual std::string name() const = 0;
@@ -74,23 +112,25 @@ class Searcher {
   virtual bool SupportsRangeSearch() const { return false; }
 
   /// \brief Appends every match with begin <= id < end to `out`, ascending.
-  /// Base implementation: full Search() filtered to the range — correct for
-  /// any engine but pays the whole search per call, so the sharded driver
-  /// never uses it for engines that do not claim SupportsRangeSearch().
-  virtual void SearchRange(const Query& query, uint32_t begin, uint32_t end,
-                           MatchList* out) const;
+  /// Stop semantics match Search. Base implementation: full Search()
+  /// filtered to the range — correct for any engine but pays the whole
+  /// search per call, so the sharded driver never uses it for engines that
+  /// do not claim SupportsRangeSearch().
+  virtual Status SearchRange(const Query& query, uint32_t begin, uint32_t end,
+                             const SearchContext& ctx, MatchList* out) const;
 
  protected:
   /// \brief Shared batch driver: runs Search(queries[i]) under the chosen
   /// strategy. Engines whose Search is thread-safe get parallelism for free.
-  SearchResults RunBatch(const QuerySet& queries,
-                         const ExecutionOptions& exec) const;
+  BatchResult RunBatch(const QuerySet& queries, const ExecutionOptions& exec,
+                       const SearchContext& ctx) const;
 
  private:
   /// \brief The kSharded driver: plan (BatchPlanner) → (shard × group)
   /// tasks (ShardedExecutor) → in-order merge. Byte-identical to kSerial.
-  SearchResults RunShardedBatch(const QuerySet& queries,
-                                const ExecutionOptions& exec) const;
+  BatchResult RunShardedBatch(const QuerySet& queries,
+                              const ExecutionOptions& exec,
+                              const SearchContext& ctx) const;
 };
 
 /// \brief Which engine to construct.

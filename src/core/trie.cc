@@ -61,19 +61,20 @@ TrieStats TrieSearcher::Stats() const {
   return stats;
 }
 
-MatchList TrieSearcher::Search(const Query& query) const {
-  return pruning_ == TriePruning::kBandedRows ? SearchBanded(query)
-                                              : SearchPaperRule(query);
+Status TrieSearcher::Search(const Query& query, const SearchContext& ctx,
+                            MatchList* out) const {
+  return pruning_ == TriePruning::kBandedRows
+             ? SearchBanded(query, ctx, out)
+             : SearchPaperRule(query, ctx, out);
 }
 
-MatchList TrieSearcher::SearchBanded(const Query& query) const {
+Status TrieSearcher::SearchBanded(const Query& query, const SearchContext& ctx,
+                                  MatchList* out) const {
   const int k = query.max_distance;
   const int lq = static_cast<int>(query.text.size());
 
   thread_local internal::BandedRows rows;
   rows.Init(query.text, k);
-
-  MatchList out;
 
   // Iterative DFS; each frame remembers which child to try next so a node's
   // row (indexed by depth) stays valid while its subtree is explored.
@@ -85,14 +86,19 @@ MatchList TrieSearcher::SearchBanded(const Query& query) const {
   std::vector<Frame> stack;
   stack.push_back(Frame{0, 0, 0});
 
+  StopChecker stopper(ctx);
   while (!stack.empty()) {
+    if (SSS_PREDICT_FALSE(stopper.ShouldStop())) {
+      out->clear();
+      return ctx.StopStatus();
+    }
     Frame& frame = stack.back();
     const Node& node = nodes_[frame.node];
 
     if (frame.next_child == 0 && !node.terminal_ids.empty() &&
         rows.TerminalWithin(frame.depth)) {
-      out.insert(out.end(), node.terminal_ids.begin(),
-                 node.terminal_ids.end());
+      out->insert(out->end(), node.terminal_ids.begin(),
+                  node.terminal_ids.end());
     }
 
     bool descended = false;
@@ -115,18 +121,19 @@ MatchList TrieSearcher::SearchBanded(const Query& query) const {
     if (!descended) stack.pop_back();
   }
 
-  std::sort(out.begin(), out.end());
-  return out;
+  std::sort(out->begin(), out->end());
+  return Status::OK();
 }
 
-MatchList TrieSearcher::SearchPaperRule(const Query& query) const {
+Status TrieSearcher::SearchPaperRule(const Query& query,
+                                     const SearchContext& ctx,
+                                     MatchList* out) const {
   const int k = query.max_distance;
   const int lq = static_cast<int>(query.text.size());
 
   thread_local internal::FullRows rows;
   rows.Init(query.text, k, nodes_[0].max_len);
 
-  MatchList out;
   struct Frame {
     uint32_t node;
     int depth;
@@ -135,14 +142,19 @@ MatchList TrieSearcher::SearchPaperRule(const Query& query) const {
   std::vector<Frame> stack;
   stack.push_back(Frame{0, 0, 0});
 
+  StopChecker stopper(ctx);
   while (!stack.empty()) {
+    if (SSS_PREDICT_FALSE(stopper.ShouldStop())) {
+      out->clear();
+      return ctx.StopStatus();
+    }
     Frame& frame = stack.back();
     const Node& node = nodes_[frame.node];
 
     if (frame.next_child == 0 && !node.terminal_ids.empty() &&
         rows.TerminalWithin(frame.depth)) {
-      out.insert(out.end(), node.terminal_ids.begin(),
-                 node.terminal_ids.end());
+      out->insert(out->end(), node.terminal_ids.begin(),
+                  node.terminal_ids.end());
     }
 
     bool descended = false;
@@ -169,8 +181,8 @@ MatchList TrieSearcher::SearchPaperRule(const Query& query) const {
     if (!descended) stack.pop_back();
   }
 
-  std::sort(out.begin(), out.end());
-  return out;
+  std::sort(out->begin(), out->end());
+  return Status::OK();
 }
 
 }  // namespace sss

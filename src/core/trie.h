@@ -50,7 +50,9 @@ class TrieSearcher final : public Searcher {
   explicit TrieSearcher(const Dataset& dataset,
                         TriePruning pruning = TriePruning::kBandedRows);
 
-  MatchList Search(const Query& query) const override;
+  using Searcher::Search;
+  Status Search(const Query& query, const SearchContext& ctx,
+                MatchList* out) const override;
   std::string name() const override { return "trie_index"; }
   size_t memory_bytes() const override { return Stats().memory_bytes; }
   const Dataset* SearchedDataset() const override { return &dataset_; }
@@ -61,8 +63,10 @@ class TrieSearcher final : public Searcher {
   TriePruning pruning() const noexcept { return pruning_; }
 
  private:
-  MatchList SearchBanded(const Query& query) const;
-  MatchList SearchPaperRule(const Query& query) const;
+  Status SearchBanded(const Query& query, const SearchContext& ctx,
+                      MatchList* out) const;
+  Status SearchPaperRule(const Query& query, const SearchContext& ctx,
+                         MatchList* out) const;
 
   struct Node {
     // Sorted (label byte → node index) edges.

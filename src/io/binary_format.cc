@@ -5,6 +5,8 @@
 #include <memory>
 #include <vector>
 
+#include "util/failpoint.h"
+
 namespace sss {
 
 namespace {
@@ -59,7 +61,7 @@ class ChecksummingReader {
 
   Status Read(void* out, size_t len) {
     if (pos_ + len > contents_.size()) {
-      return Status::Invalid("binary dataset truncated");
+      return Status::Corruption("binary dataset truncated");
     }
     std::memcpy(out, contents_.data() + pos_, len);
     checksum_ = Fnv1a(contents_.data() + pos_, len, checksum_);
@@ -78,7 +80,7 @@ class ChecksummingReader {
   size_t Remaining() const { return contents_.size() - pos_; }
   Status Skip(size_t len) {
     if (pos_ + len > contents_.size()) {
-      return Status::Invalid("binary dataset truncated");
+      return Status::Corruption("binary dataset truncated");
     }
     checksum_ = Fnv1a(contents_.data() + pos_, len, checksum_);
     pos_ += len;
@@ -131,6 +133,7 @@ Status WriteBinaryDataset(const std::string& path, const Dataset& dataset) {
 }
 
 Result<Dataset> ReadBinaryDataset(const std::string& path) {
+  SSS_FAILPOINT_STATUS("binary_format:read");
   // Slurp whole file (the format is designed for one read).
   FileHandle f(std::fopen(path.c_str(), "rb"));
   if (f == nullptr) {
@@ -148,7 +151,7 @@ Result<Dataset> ReadBinaryDataset(const std::string& path) {
   }
 
   if (contents.size() < sizeof(kMagic) + sizeof(uint64_t)) {
-    return Status::Invalid("binary dataset too small to be valid");
+    return Status::Corruption("binary dataset too small to be valid");
   }
   // Body excludes the trailing checksum.
   const std::string body =
@@ -158,16 +161,16 @@ Result<Dataset> ReadBinaryDataset(const std::string& path) {
   char magic[sizeof(kMagic)];
   SSS_RETURN_NOT_OK(reader.Read(magic, sizeof(magic)));
   if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::Invalid("bad magic: not an sss binary dataset");
+    return Status::Corruption("bad magic: not an sss binary dataset");
   }
 
   SSS_ASSIGN_OR_RETURN(uint32_t alphabet_raw, reader.ReadScalar<uint32_t>());
   if (alphabet_raw > 1) {
-    return Status::Invalid("unknown alphabet tag in binary dataset");
+    return Status::Corruption("unknown alphabet tag in binary dataset");
   }
   SSS_ASSIGN_OR_RETURN(uint32_t name_len, reader.ReadScalar<uint32_t>());
   if (name_len > reader.Remaining()) {
-    return Status::Invalid("binary dataset truncated (name)");
+    return Status::Corruption("binary dataset truncated (name)");
   }
   std::string name(name_len, '\0');
   SSS_RETURN_NOT_OK(reader.Read(name.data(), name_len));
@@ -175,18 +178,18 @@ Result<Dataset> ReadBinaryDataset(const std::string& path) {
   SSS_ASSIGN_OR_RETURN(uint64_t count, reader.ReadScalar<uint64_t>());
   // Overflow-safe bound check on the offsets table.
   if (count >= reader.Remaining() / sizeof(uint64_t)) {
-    return Status::Invalid("binary dataset truncated (offsets)");
+    return Status::Corruption("binary dataset truncated (offsets)");
   }
   std::vector<uint64_t> offsets(count + 1);
   SSS_RETURN_NOT_OK(
       reader.Read(offsets.data(), offsets.size() * sizeof(uint64_t)));
   for (size_t i = 0; i < count; ++i) {
     if (offsets[i] > offsets[i + 1]) {
-      return Status::Invalid("binary dataset has non-monotone offsets");
+      return Status::Corruption("binary dataset has non-monotone offsets");
     }
   }
   if (offsets[count] != reader.Remaining()) {
-    return Status::Invalid("binary dataset truncated (string bytes)");
+    return Status::Corruption("binary dataset truncated (string bytes)");
   }
 
   Dataset dataset(std::move(name), alphabet_raw == 1 ? AlphabetKind::kDna
@@ -204,7 +207,7 @@ Result<Dataset> ReadBinaryDataset(const std::string& path) {
               contents.data() + contents.size() - sizeof(uint64_t),
               sizeof(uint64_t));
   if (stored_checksum != reader.checksum()) {
-    return Status::Invalid("binary dataset checksum mismatch (corrupt file)");
+    return Status::Corruption("binary dataset checksum mismatch (corrupt file)");
   }
   return dataset;
 }

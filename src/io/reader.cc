@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <vector>
 
+#include "util/failpoint.h"
+
 namespace sss {
 
 namespace {
@@ -11,7 +13,9 @@ namespace {
 // Reads an entire file into `out`. Uses stdio rather than ifstream to avoid
 // per-read locale machinery; dataset files are hundreds of megabytes at the
 // paper's full scale.
-Status SlurpFile(const std::string& path, std::string* out) {
+Status SlurpFile(const std::string& path, std::string* out,
+                 const ReaderLimits& limits) {
+  SSS_FAILPOINT_STATUS("reader:open");
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return Status::IOError("cannot open '" + path + "' for reading");
@@ -22,6 +26,13 @@ Status SlurpFile(const std::string& path, std::string* out) {
     std::fclose(f);
     return Status::IOError("cannot determine size of '" + path + "'");
   }
+  if (static_cast<unsigned long>(size) > limits.max_file_bytes) {
+    std::fclose(f);
+    return Status::Invalid("'" + path + "' is " + std::to_string(size) +
+                           " bytes, over the " +
+                           std::to_string(limits.max_file_bytes) +
+                           "-byte limit");
+  }
   std::fseek(f, 0, SEEK_SET);
   out->resize(static_cast<size_t>(size));
   const size_t read = size == 0 ? 0 : std::fread(out->data(), 1, out->size(), f);
@@ -29,40 +40,67 @@ Status SlurpFile(const std::string& path, std::string* out) {
   if (read != out->size()) {
     return Status::IOError("short read from '" + path + "'");
   }
+  SSS_FAILPOINT_STATUS("reader:read");
   return Status::OK();
 }
 
-// Invokes fn(line) for each '\n'-separated line, with trailing '\r' removed.
+// Invokes fn(line_number, line) for each '\n'-separated line, with trailing
+// '\r' removed. Lines are byte spans: embedded NUL bytes are preserved and
+// do not terminate a line. Returns the first non-OK status from fn.
 template <typename Fn>
-void ForEachLine(std::string_view contents, Fn&& fn) {
+Status ForEachLine(std::string_view contents, Fn&& fn) {
   size_t begin = 0;
+  size_t line_number = 1;
   while (begin <= contents.size()) {
     size_t end = contents.find('\n', begin);
     if (end == std::string_view::npos) end = contents.size();
     std::string_view line = contents.substr(begin, end - begin);
     if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-    fn(line);
+    SSS_RETURN_NOT_OK(fn(line_number, line));
     if (end == contents.size()) break;
     begin = end + 1;
+    ++line_number;
   }
+  return Status::OK();
+}
+
+Status LineTooLong(const std::string& path, size_t line_number, size_t size,
+                   const ReaderLimits& limits) {
+  return Status::Invalid("line " + std::to_string(line_number) + " of '" +
+                         path + "' is " + std::to_string(size) +
+                         " bytes, over the " +
+                         std::to_string(limits.max_line_bytes) +
+                         "-byte limit");
 }
 
 }  // namespace
 
 Result<Dataset> ReadDatasetFile(const std::string& path, std::string name,
-                                AlphabetKind alphabet) {
+                                AlphabetKind alphabet,
+                                const ReaderLimits& limits) {
   std::string contents;
-  SSS_RETURN_NOT_OK(SlurpFile(path, &contents));
+  SSS_RETURN_NOT_OK(SlurpFile(path, &contents, limits));
   Dataset dataset(std::move(name), alphabet);
-  ForEachLine(contents, [&](std::string_view line) {
-    if (!line.empty()) dataset.Add(line);
-  });
+  SSS_RETURN_NOT_OK(ForEachLine(
+      contents, [&](size_t line_number, std::string_view line) -> Status {
+        if (line.size() > limits.max_line_bytes) {
+          return LineTooLong(path, line_number, line.size(), limits);
+        }
+        if (!line.empty()) dataset.Add(line);
+        return Status::OK();
+      }));
   return dataset;
 }
 
-Result<Query> ParseQueryLine(std::string_view line, int default_k) {
+Result<Query> ParseQueryLine(std::string_view line, int default_k,
+                             const ReaderLimits& limits) {
   const size_t tab = line.find('\t');
   if (tab == std::string_view::npos) {
+    if (default_k < 0 || default_k > limits.max_threshold) {
+      return Status::Invalid("default threshold " + std::to_string(default_k) +
+                             " outside [0, " +
+                             std::to_string(limits.max_threshold) + "]");
+    }
     return Query{std::string(line), default_k};
   }
   const std::string_view k_field = line.substr(0, tab);
@@ -73,24 +111,33 @@ Result<Query> ParseQueryLine(std::string_view line, int default_k) {
     return Status::Invalid("bad threshold field '" + std::string(k_field) +
                            "' in query line");
   }
+  if (k > limits.max_threshold) {
+    return Status::Invalid("threshold " + std::to_string(k) + " over the " +
+                           std::to_string(limits.max_threshold) + " limit");
+  }
   return Query{std::string(line.substr(tab + 1)), k};
 }
 
-Result<QuerySet> ReadQueryFile(const std::string& path, int default_k) {
+Result<QuerySet> ReadQueryFile(const std::string& path, int default_k,
+                               const ReaderLimits& limits) {
   std::string contents;
-  SSS_RETURN_NOT_OK(SlurpFile(path, &contents));
+  SSS_RETURN_NOT_OK(SlurpFile(path, &contents, limits));
   QuerySet queries;
-  Status first_error;
-  ForEachLine(contents, [&](std::string_view line) {
-    if (line.empty() || !first_error.ok()) return;
-    Result<Query> q = ParseQueryLine(line, default_k);
-    if (!q.ok()) {
-      first_error = q.status();
-      return;
-    }
-    queries.push_back(std::move(q).ValueUnsafe());
-  });
-  if (!first_error.ok()) return first_error;
+  SSS_RETURN_NOT_OK(ForEachLine(
+      contents, [&](size_t line_number, std::string_view line) -> Status {
+        if (line.empty()) return Status::OK();
+        if (line.size() > limits.max_line_bytes) {
+          return LineTooLong(path, line_number, line.size(), limits);
+        }
+        Result<Query> q = ParseQueryLine(line, default_k, limits);
+        if (!q.ok()) {
+          return Status::Invalid("line " + std::to_string(line_number) +
+                                 " of '" + path + "': " +
+                                 std::string(q.status().message()));
+        }
+        queries.push_back(std::move(q).ValueUnsafe());
+        return Status::OK();
+      }));
   return queries;
 }
 

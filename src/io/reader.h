@@ -4,8 +4,14 @@
 //                 CRLF files is stripped; empty lines are skipped)
 //   query file:   either "k<TAB>string" per line, or plain strings combined
 //                 with a default threshold passed by the caller
+//
+// Both readers enforce ReaderLimits so hostile or corrupted inputs (a 100 GB
+// "dataset", a single line with no newlines, a query with k = 2^31-1) fail
+// with a descriptive Status instead of exhausting memory or driving an
+// engine into a multi-hour verification.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 
@@ -14,15 +20,33 @@
 
 namespace sss {
 
+/// \brief Resource limits applied while parsing text inputs. The defaults
+/// comfortably cover the paper's full-scale datasets; callers facing
+/// untrusted input can tighten them (sss_cli exposes --max-line-bytes).
+struct ReaderLimits {
+  /// Largest file SlurpFile will load (2 GiB).
+  size_t max_file_bytes = size_t{1} << 31;
+  /// Longest single line, after '\r' stripping (1 MiB).
+  size_t max_line_bytes = size_t{1} << 20;
+  /// Largest accepted edit-distance threshold, for both per-line k fields
+  /// and the caller-supplied default. Distances beyond string length are
+  /// meaningless, and huge k turns every engine into a full verification
+  /// pass over the dataset.
+  int max_threshold = 1024;
+};
+
 /// \brief Reads a dataset file. `name`/`alphabet` tag the returned Dataset.
 Result<Dataset> ReadDatasetFile(const std::string& path, std::string name,
-                                AlphabetKind alphabet);
+                                AlphabetKind alphabet,
+                                const ReaderLimits& limits = ReaderLimits());
 
 /// \brief Reads a query file. Lines of the form "k<TAB>string" carry their
 /// own threshold; bare lines use `default_k`.
-Result<QuerySet> ReadQueryFile(const std::string& path, int default_k);
+Result<QuerySet> ReadQueryFile(const std::string& path, int default_k,
+                               const ReaderLimits& limits = ReaderLimits());
 
 /// \brief Parses one query line (exposed for tests).
-Result<Query> ParseQueryLine(std::string_view line, int default_k);
+Result<Query> ParseQueryLine(std::string_view line, int default_k,
+                             const ReaderLimits& limits = ReaderLimits());
 
 }  // namespace sss

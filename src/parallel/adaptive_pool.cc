@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/failpoint.h"
+
 namespace sss {
 
 AdaptivePool::AdaptivePool(AdaptivePoolOptions options) : options_(options) {
@@ -46,15 +48,28 @@ void AdaptivePool::Wait() {
 }
 
 void AdaptivePool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
-                               size_t chunk) {
+                               size_t chunk, const SearchContext* stop) {
   if (chunk == 0) chunk = 1;
   for (size_t begin = 0; begin < n; begin += chunk) {
     const size_t end = std::min(n, begin + chunk);
-    Submit([&fn, begin, end] {
+    Submit([&fn, begin, end, stop] {
+      if (stop != nullptr && stop->StopRequested()) return;
       for (size_t i = begin; i < end; ++i) fn(i);
     });
   }
   Wait();
+}
+
+size_t AdaptivePool::CancelPending() {
+  size_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dropped = tasks_.size();
+    tasks_.clear();
+    in_flight_ -= dropped;
+    if (in_flight_ == 0) all_done_.notify_all();
+  }
+  return dropped;
 }
 
 void AdaptivePool::OpenWorkerLocked() {
@@ -157,6 +172,7 @@ void AdaptivePool::WorkerLoop(std::shared_ptr<WorkerState> state) {
       task = std::move(tasks_.front());
       tasks_.pop_front();
     }
+    SSS_FAILPOINT("adaptive_pool:task");
     task();
     {
       std::lock_guard<std::mutex> lock(mu_);

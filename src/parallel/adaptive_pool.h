@@ -23,6 +23,7 @@
 #include <mutex>
 #include <thread>
 
+#include "util/cancellation.h"
 #include "util/macros.h"
 
 namespace sss {
@@ -59,8 +60,15 @@ class AdaptivePool {
   void Wait();
 
   /// \brief Convenience: submit fn(i) for i in [0, n) in chunks and Wait().
+  /// When `stop` requests a stop, chunks not yet started complete
+  /// immediately without invoking fn.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
-                   size_t chunk = 8);
+                   size_t chunk = 8, const SearchContext* stop = nullptr);
+
+  /// \brief Discards every queued-but-not-started task and returns how many
+  /// were dropped. Running tasks are unaffected. Wakes Wait() callers once
+  /// in-flight work reaches zero.
+  size_t CancelPending();
 
   /// \brief Current live worker count (racy snapshot, for tests/stats).
   size_t live_threads() const noexcept { return live_threads_.load(); }

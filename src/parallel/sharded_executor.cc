@@ -3,6 +3,8 @@
 #include <atomic>
 #include <thread>
 
+#include "util/failpoint.h"
+
 namespace sss {
 
 ShardedExecutor::ShardedExecutor(ShardedExecutorOptions options) {
@@ -18,14 +20,17 @@ ShardedExecutor::ShardedExecutor(ShardedExecutorOptions options) {
   }
 }
 
-void ShardedExecutor::Run(size_t num_tasks, const TaskFn& fn) {
+void ShardedExecutor::Run(size_t num_tasks, const TaskFn& fn,
+                          const SearchContext* stop) {
   if (num_tasks == 0) return;
 
   std::atomic<size_t> cursor{0};
   const auto drain = [&](ShardScratch* scratch) {
     for (;;) {
+      if (stop != nullptr && stop->StopRequested()) return;
       const size_t task = cursor.fetch_add(1, std::memory_order_relaxed);
       if (task >= num_tasks) return;
+      SSS_FAILPOINT("sharded_executor:task");
       fn(task, scratch);
       ++scratch->tasks_run;
     }

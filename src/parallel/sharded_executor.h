@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "util/arena.h"
+#include "util/cancellation.h"
 #include "util/macros.h"
 
 namespace sss {
@@ -60,10 +61,13 @@ class ShardedExecutor {
   using TaskFn = std::function<void(size_t task, ShardScratch* scratch)>;
 
   /// \brief Runs fn(task, scratch) for every task in [0, num_tasks), each
-  /// exactly once, across the workers. Blocks until all tasks finished.
-  /// fn must be safe to call concurrently for distinct tasks. May be called
-  /// repeatedly; scratch (arena contents included) persists across calls.
-  void Run(size_t num_tasks, const TaskFn& fn);
+  /// at most once, across the workers. Blocks until all claimed tasks
+  /// finished. fn must be safe to call concurrently for distinct tasks. May
+  /// be called repeatedly; scratch (arena contents included) persists across
+  /// calls. When `stop` requests a stop, workers stop claiming: unclaimed
+  /// tasks are never invoked, and all workers still join before Run returns.
+  void Run(size_t num_tasks, const TaskFn& fn,
+           const SearchContext* stop = nullptr);
 
   /// \brief Rewinds every worker arena (invalidating prior task output) and
   /// clears stats. Call between batches once output has been merged.

@@ -3,18 +3,25 @@
 #include <thread>
 #include <vector>
 
+#include "util/failpoint.h"
+
 namespace sss {
 
 void RunThreadPerItem(size_t n, const std::function<void(size_t)>& fn,
-                      size_t max_live) {
+                      size_t max_live, const SearchContext* stop) {
   if (max_live == 0) max_live = n;
   std::vector<std::thread> live;
   live.reserve(max_live);
   size_t next = 0;
   while (next < n) {
+    if (stop != nullptr && stop->StopRequested()) break;
     while (live.size() < max_live && next < n) {
+      if (stop != nullptr && stop->StopRequested()) break;
       const size_t i = next++;
-      live.emplace_back([&fn, i] { fn(i); });
+      live.emplace_back([&fn, i] {
+        SSS_FAILPOINT("thread_per_query:task");
+        fn(i);
+      });
     }
     // Strategy 1 joins in spawn order — deliberately naive, as in the paper.
     for (std::thread& t : live) t.join();

@@ -8,6 +8,8 @@
 #include <cstddef>
 #include <functional>
 
+#include "util/cancellation.h"
+
 namespace sss {
 
 /// \brief Runs fn(i) for i in [0, n), one dedicated std::thread per item.
@@ -16,7 +18,11 @@ namespace sss {
 /// paper's literal strategy). The bound exists so full-scale runs cannot
 /// exhaust thread limits in constrained containers; the default of 0 keeps
 /// the paper's behaviour.
+///
+/// When `stop` requests a stop, no further threads are spawned; already
+/// spawned threads are joined as usual (in-progress work stops
+/// cooperatively, via the SearchContext the items themselves observe).
 void RunThreadPerItem(size_t n, const std::function<void(size_t)>& fn,
-                      size_t max_live = 0);
+                      size_t max_live = 0, const SearchContext* stop = nullptr);
 
 }  // namespace sss

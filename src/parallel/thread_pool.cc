@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "parallel/partitioner.h"
+#include "util/failpoint.h"
 
 namespace sss {
 
@@ -53,6 +54,7 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    SSS_FAILPOINT("thread_pool:task");
     task();
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -61,13 +63,29 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+size_t ThreadPool::CancelPending() {
+  size_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dropped = tasks_.size();
+    while (!tasks_.empty()) tasks_.pop();
+    in_flight_ -= dropped;
+    if (in_flight_ == 0) all_done_.notify_all();
+  }
+  return dropped;
+}
+
 void ThreadPool::StaticParallelFor(size_t n,
-                                   const std::function<void(size_t)>& fn) {
+                                   const std::function<void(size_t)>& fn,
+                                   const SearchContext* stop) {
   const std::vector<Range> ranges = PartitionEvenly(n, num_threads());
   for (const Range& r : ranges) {
     if (r.empty()) continue;
-    Submit([&fn, r] {
-      for (size_t i = r.begin; i < r.end; ++i) fn(i);
+    Submit([&fn, r, stop] {
+      for (size_t i = r.begin; i < r.end; ++i) {
+        if (stop != nullptr && stop->StopRequested()) return;
+        fn(i);
+      }
     });
   }
   Wait();
@@ -75,12 +93,13 @@ void ThreadPool::StaticParallelFor(size_t n,
 
 void ThreadPool::DynamicParallelFor(size_t n,
                                     const std::function<void(size_t)>& fn,
-                                    size_t chunk) {
+                                    size_t chunk, const SearchContext* stop) {
   if (chunk == 0) chunk = 1;
   auto cursor = std::make_shared<std::atomic<size_t>>(0);
   for (size_t w = 0; w < num_threads(); ++w) {
-    Submit([cursor, n, chunk, &fn] {
+    Submit([cursor, n, chunk, &fn, stop] {
       for (;;) {
+        if (stop != nullptr && stop->StopRequested()) return;
         const size_t begin = cursor->fetch_add(chunk);
         if (begin >= n) return;
         const size_t end = begin + chunk < n ? begin + chunk : n;

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/cancellation.h"
 #include "util/macros.h"
 
 namespace sss {
@@ -32,14 +33,25 @@ class ThreadPool {
 
   /// \brief Runs fn(i) for all i in [0, n), statically partitioned into one
   /// contiguous chunk per worker (the paper's "simple partitioning"), and
-  /// blocks until done. fn must be safe to call concurrently.
-  void StaticParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  /// blocks until done. fn must be safe to call concurrently. When `stop`
+  /// requests a stop, workers finish their current item and skip the rest of
+  /// their range; unreached items are simply never invoked.
+  void StaticParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                         const SearchContext* stop = nullptr);
 
   /// \brief Like StaticParallelFor but with dynamic (work-stealing-ish)
   /// chunked scheduling via a shared atomic cursor — better when per-item
-  /// cost is skewed, as it is across similarity queries.
+  /// cost is skewed, as it is across similarity queries. Stop conditions are
+  /// checked once per chunk claim.
   void DynamicParallelFor(size_t n, const std::function<void(size_t)>& fn,
-                          size_t chunk = 1);
+                          size_t chunk = 1,
+                          const SearchContext* stop = nullptr);
+
+  /// \brief Discards every queued-but-not-started task and returns how many
+  /// were dropped. Running tasks are unaffected (cancellation of in-progress
+  /// work is cooperative, via SearchContext). Wakes any Wait() callers once
+  /// the drop brings in-flight work to zero.
+  size_t CancelPending();
 
   size_t num_threads() const noexcept { return workers_.size(); }
 

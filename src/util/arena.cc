@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/failpoint.h"
+
 namespace sss {
 
 Arena::Arena(size_t initial_block_bytes)
@@ -34,6 +36,10 @@ const char* Arena::CopyString(const char* data, size_t len) {
 }
 
 void Arena::AddBlock(size_t min_bytes) {
+  // Block acquisition is the arena's only interaction with the system
+  // allocator; tests inject delays/callbacks here to exercise allocation
+  // pressure mid-batch.
+  SSS_FAILPOINT("arena:add_block");
   size_t block_bytes = std::max(next_block_bytes_, min_bytes);
   blocks_.push_back(std::make_unique<char[]>(block_bytes));
   cursor_ = blocks_.back().get();

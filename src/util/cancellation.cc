@@ -1,0 +1,16 @@
+#include "util/cancellation.h"
+
+namespace sss {
+
+Status SearchContext::StopStatus() const {
+  if (cancellation != nullptr && cancellation->IsCancelled()) {
+    return Status::Cancelled("search cancelled");
+  }
+  if (deadline.Expired()) {
+    return Status::Cancelled("search deadline exceeded");
+  }
+  // Used to pre-mark work that a stopped batch never reached.
+  return Status::Cancelled("search stopped before this work ran");
+}
+
+}  // namespace sss

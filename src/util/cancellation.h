@@ -1,0 +1,165 @@
+// Cooperative cancellation and deadlines. Exact similarity search has
+// unbounded cost (a huge k degrades every engine toward a full scan), so a
+// production batch needs a way to bound work explicitly: callers attach a
+// SearchContext carrying an optional CancellationToken and an optional
+// Deadline, and every engine hot loop polls it at a bounded candidate
+// interval via StopChecker. Nothing here blocks or signals — cancellation is
+// purely cooperative, so the cost on the never-cancelled fast path is one
+// predictable branch per candidate.
+//
+// This lives in util (not core) so the executors in src/parallel can honor
+// the same stop conditions without depending on the engine layer.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "util/macros.h"
+#include "util/status.h"
+
+namespace sss {
+
+/// \brief A sticky thread-safe cancel flag shared between a controller and
+/// any number of workers. The controller calls Cancel(); workers poll
+/// IsCancelled(). Tokens are typically stack-owned by the caller driving a
+/// batch and outlive every search that references them.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  SSS_DISALLOW_COPY_AND_ASSIGN(CancellationToken);
+
+  /// \brief Requests cancellation. Idempotent; safe from any thread.
+  void Cancel() noexcept { cancelled_.store(true, std::memory_order_release); }
+
+  /// \brief True iff Cancel() has been called.
+  bool IsCancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// \brief Re-arms the token for reuse across batches. Only call while no
+  /// search references it.
+  void Reset() noexcept { cancelled_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// \brief A point on the steady clock after which work should stop. The
+/// default-constructed Deadline is infinite (never expires), so plumbing one
+/// through unconditionally costs nothing on the common no-deadline path.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Constructs an infinite deadline.
+  constexpr Deadline() = default;
+
+  static constexpr Deadline Infinite() { return Deadline(); }
+
+  /// \brief A deadline `d` from now. Non-positive durations are already
+  /// expired.
+  static Deadline After(Clock::duration d) { return Deadline(Clock::now() + d); }
+  static Deadline AfterMillis(int64_t ms) {
+    return After(std::chrono::milliseconds(ms));
+  }
+  static Deadline At(Clock::time_point when) { return Deadline(when); }
+
+  bool IsInfinite() const noexcept { return infinite_; }
+
+  /// \brief True iff the deadline has passed. Always false when infinite.
+  bool Expired() const noexcept {
+    return !infinite_ && Clock::now() >= when_;
+  }
+
+  /// \brief Time left before expiry; Clock::duration::max() when infinite,
+  /// zero when already expired.
+  Clock::duration Remaining() const noexcept {
+    if (infinite_) return Clock::duration::max();
+    const Clock::time_point now = Clock::now();
+    return now >= when_ ? Clock::duration::zero() : when_ - now;
+  }
+
+  /// \brief The raw expiry instant; meaningless when IsInfinite().
+  Clock::time_point when() const noexcept { return when_; }
+
+ private:
+  constexpr explicit Deadline(Clock::time_point when)
+      : when_(when), infinite_(false) {}
+
+  Clock::time_point when_{};
+  bool infinite_ = true;
+};
+
+/// \brief Per-operation stop conditions carried through Searcher::Search,
+/// SearchBatch and the executors. Cheap to copy; the token is borrowed (the
+/// caller keeps it alive for the duration of the operation).
+struct SearchContext {
+  /// Optional external cancel signal (nullptr = not cancellable).
+  const CancellationToken* cancellation = nullptr;
+  /// Optional time budget (infinite by default).
+  Deadline deadline;
+  /// Hot loops re-check the stop conditions every `check_interval` units of
+  /// work (candidates, trie nodes, ...). Clock reads dominate the check
+  /// cost, so the interval trades responsiveness for throughput; the
+  /// default keeps serial scans within noise of an uncancellable build.
+  uint32_t check_interval = 1024;
+
+  /// \brief True iff this context can ever request a stop. Loops with an
+  /// inactive context skip stop polling entirely.
+  bool CanStop() const noexcept {
+    return cancellation != nullptr || !deadline.IsInfinite();
+  }
+
+  /// \brief Immediate (unamortized) stop poll: token first (one atomic
+  /// load), clock only when a deadline is set.
+  bool StopRequested() const noexcept {
+    if (cancellation != nullptr && cancellation->IsCancelled()) return true;
+    return deadline.Expired();
+  }
+
+  /// \brief The kCancelled status describing why a stopped operation ended:
+  /// "cancelled" for token cancellation, "deadline exceeded" otherwise.
+  Status StopStatus() const;
+};
+
+/// \brief Amortizes SearchContext polling over a hot loop: call ShouldStop()
+/// once per candidate; it touches the token/clock only every
+/// ctx.check_interval calls (and never, when the context is inactive).
+class StopChecker {
+ public:
+  explicit StopChecker(const SearchContext& ctx) noexcept
+      : ctx_(&ctx),
+        interval_(ctx.CanStop()
+                      ? (ctx.check_interval == 0 ? 1 : ctx.check_interval)
+                      : 0),
+        countdown_(interval_) {}
+
+  /// \brief True when the loop should abandon work and return kCancelled.
+  /// Sticky once it has returned true.
+  SSS_FORCE_INLINE bool ShouldStop() noexcept {
+    // interval_ is 0 for an inactive context (stopped_ stays false) and
+    // after a stop was observed (stopped_ is true) — both skip the poll.
+    if (SSS_PREDICT_TRUE(interval_ == 0)) return stopped_;
+    if (SSS_PREDICT_TRUE(--countdown_ != 0)) return false;
+    countdown_ = interval_;
+    if (SSS_PREDICT_FALSE(ctx_->StopRequested())) {
+      interval_ = 0;
+      stopped_ = true;
+    }
+    return stopped_;
+  }
+
+  /// \brief Whether a previous ShouldStop() returned true.
+  bool stopped() const noexcept { return stopped_; }
+
+  const SearchContext& context() const noexcept { return *ctx_; }
+
+ private:
+  const SearchContext* ctx_;
+  uint32_t interval_;
+  uint32_t countdown_;
+  bool stopped_ = false;
+};
+
+}  // namespace sss

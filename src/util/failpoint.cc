@@ -1,0 +1,86 @@
+#include "util/failpoint.h"
+
+#if defined(SSS_FAILPOINTS)
+
+#include <thread>
+
+namespace sss {
+
+FailPoints& FailPoints::Instance() {
+  static FailPoints* instance = new FailPoints();  // never destroyed
+  return *instance;
+}
+
+void FailPoints::Sleep(std::string_view name,
+                       std::chrono::milliseconds duration, int times) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Action& a = actions_[std::string(name)];
+  a.sleep = duration;
+  a.remaining = times;
+}
+
+void FailPoints::Fail(std::string_view name, Status error, int times) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Action& a = actions_[std::string(name)];
+  a.error = std::move(error);
+  a.remaining = times;
+}
+
+void FailPoints::Callback(std::string_view name, std::function<void()> fn,
+                          int times) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Action& a = actions_[std::string(name)];
+  a.callback = std::move(fn);
+  a.remaining = times;
+}
+
+void FailPoints::Disable(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = actions_.find(name);
+  if (it != actions_.end()) actions_.erase(it);
+}
+
+void FailPoints::DisableAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  actions_.clear();
+  hits_.clear();
+}
+
+uint64_t FailPoints::HitCount(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = hits_.find(name);
+  return it == hits_.end() ? 0 : it->second;
+}
+
+void FailPoints::ClearCounts() {
+  std::lock_guard<std::mutex> lock(mu_);
+  hits_.clear();
+}
+
+Status FailPoints::Evaluate(const char* name) {
+  // Copy the action out under the lock, then run its effects unlocked so a
+  // sleeping failpoint cannot serialize unrelated hooks (or deadlock with a
+  // callback that re-enters the registry).
+  std::chrono::milliseconds sleep{0};
+  std::function<void()> callback;
+  Status error;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++hits_[name];
+    const auto it = actions_.find(std::string_view(name));
+    if (it == actions_.end()) return Status::OK();
+    Action& a = it->second;
+    if (a.remaining == 0) return Status::OK();
+    if (a.remaining > 0) --a.remaining;
+    sleep = a.sleep;
+    callback = a.callback;
+    error = a.error;
+  }
+  if (sleep.count() > 0) std::this_thread::sleep_for(sleep);
+  if (callback) callback();
+  return error;
+}
+
+}  // namespace sss
+
+#endif  // SSS_FAILPOINTS

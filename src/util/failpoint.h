@@ -1,0 +1,108 @@
+// FailPoints — deterministic fault injection, modeled on the LevelDB /
+// RocksDB sync-point technique: named hooks compiled into executors, readers
+// and allocators let tests inject delays, errors and callbacks exactly where
+// production failures would occur, without mocking whole subsystems.
+//
+// The framework is compiled only when the build defines SSS_FAILPOINTS
+// (cmake -DSSS_FAILPOINTS=ON); in normal builds both macros expand to
+// nothing, so production binaries carry zero overhead and zero attack
+// surface.
+//
+// Usage in library code:
+//   SSS_FAILPOINT("thread_pool:task");            // side effects only
+//   SSS_FAILPOINT_STATUS("reader:read");          // may inject an error
+//
+// Usage in tests:
+//   FailPoints::Instance().Sleep("thread_pool:task",
+//                                std::chrono::milliseconds(50));
+//   FailPoints::Instance().Fail("reader:read", Status::IOError("injected"));
+//   FailPoints::Instance().DisableAll();          // always in teardown
+#pragma once
+
+#include "util/status.h"
+
+#if defined(SSS_FAILPOINTS)
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace sss {
+
+/// \brief Global registry of named failure-injection points. Thread-safe;
+/// only exists in SSS_FAILPOINTS builds.
+class FailPoints {
+ public:
+  static FailPoints& Instance();
+
+  SSS_DISALLOW_COPY_AND_ASSIGN(FailPoints);
+
+  /// \brief Makes `name` sleep for `duration` on each of its next `times`
+  /// evaluations (-1 = every evaluation until disabled).
+  void Sleep(std::string_view name, std::chrono::milliseconds duration,
+             int times = -1);
+
+  /// \brief Makes `name` return `error` from SSS_FAILPOINT_STATUS sites
+  /// (plain SSS_FAILPOINT sites run the action but ignore the status).
+  void Fail(std::string_view name, Status error, int times = -1);
+
+  /// \brief Runs `fn` each time `name` is evaluated. `fn` must be
+  /// thread-safe: failpoints in executors fire concurrently.
+  void Callback(std::string_view name, std::function<void()> fn,
+                int times = -1);
+
+  void Disable(std::string_view name);
+  void DisableAll();
+
+  /// \brief How many times `name` was evaluated (enabled or not) since the
+  /// last DisableAll()/ClearCounts. Proves a hook is actually on the path
+  /// under test.
+  uint64_t HitCount(std::string_view name) const;
+  void ClearCounts();
+
+  /// \brief Called by the macros; applies the configured action for `name`
+  /// and returns the injected status (OK unless a Fail action is armed).
+  Status Evaluate(const char* name);
+
+ private:
+  FailPoints() = default;
+
+  struct Action {
+    std::chrono::milliseconds sleep{0};
+    Status error;                  // OK = no error injection
+    std::function<void()> callback;
+    int remaining = -1;            // -1 = unlimited
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Action, std::less<>> actions_;
+  std::map<std::string, uint64_t, std::less<>> hits_;
+};
+
+}  // namespace sss
+
+#define SSS_FAILPOINT(name) \
+  do {                      \
+    (void)::sss::FailPoints::Instance().Evaluate(name); \
+  } while (false)
+
+#define SSS_FAILPOINT_STATUS(name)                                    \
+  do {                                                                \
+    ::sss::Status _sss_fp = ::sss::FailPoints::Instance().Evaluate(name); \
+    if (SSS_PREDICT_FALSE(!_sss_fp.ok())) return _sss_fp;             \
+  } while (false)
+
+#else  // !SSS_FAILPOINTS
+
+#define SSS_FAILPOINT(name) \
+  do {                      \
+  } while (false)
+#define SSS_FAILPOINT_STATUS(name) \
+  do {                             \
+  } while (false)
+
+#endif  // SSS_FAILPOINTS

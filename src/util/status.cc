@@ -23,6 +23,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Cancelled";
     case StatusCode::kUnknownError:
       return "UnknownError";
+    case StatusCode::kCorruption:
+      return "Corruption";
   }
   return "UnknownError";
 }

@@ -22,6 +22,7 @@ enum class StatusCode : char {
   kNotImplemented = 5, // feature intentionally absent
   kCancelled = 6,      // cooperative cancellation
   kUnknownError = 7,
+  kCorruption = 8,     // stored data failed integrity checks
 };
 
 /// \brief Returns a human-readable name for a StatusCode ("Invalid", ...).
@@ -73,6 +74,9 @@ class Status {
   static Status UnknownError(std::string msg) {
     return Status(StatusCode::kUnknownError, std::move(msg));
   }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
 
   /// \brief True iff the operation succeeded.
   bool ok() const noexcept { return state_ == nullptr; }
@@ -91,6 +95,9 @@ class Status {
     return code() == StatusCode::kNotImplemented;
   }
   bool IsCancelled() const noexcept { return code() == StatusCode::kCancelled; }
+  bool IsCorruption() const noexcept {
+    return code() == StatusCode::kCorruption;
+  }
 
   /// \brief The error message; empty for OK.
   const std::string& message() const noexcept {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 
 #include "core/auto_searcher.h"
@@ -68,9 +69,81 @@ TEST(AutoSearcherTest, LazyBuildOnlyWhatIsUsed) {
   EXPECT_EQ(after_scan, 0u);
 }
 
+TEST(AutoSearcherTest, DegradesTimedOutTrieProbeToScan) {
+  Xoshiro256 rng(0xA071);
+  // Long narrow-alphabet strings: the router prefers the trie.
+  Dataset d = RandomDataset(&rng, "ACGT", 200, 60, 80, AlphabetKind::kDna);
+  AutoSearcherOptions options;
+  options.probe_fraction = 0.0;  // zero probe budget: the probe always
+                                 // expires, forcing the degradation path
+  AutoSearcher engine(d, options);
+  ASSERT_TRUE(engine.PrefersIndex());
+
+  SearchContext ctx;
+  ctx.deadline = Deadline::After(std::chrono::hours(1));
+  ctx.check_interval = 1;
+  const Query q{RandomString(&rng, "ACGT", 60, 80), 3};
+  MatchList out;
+  const Status st = engine.Search(q, ctx, &out);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(out, BruteForceSearch(d, q));
+  EXPECT_GE(engine.degraded_probes(), 1u);
+}
+
+TEST(AutoSearcherTest, NoDeadlineNeverDegrades) {
+  Xoshiro256 rng(0xA072);
+  Dataset d = RandomDataset(&rng, "ACGT", 100, 60, 80, AlphabetKind::kDna);
+  AutoSearcherOptions options;
+  options.probe_fraction = 0.0;
+  AutoSearcher engine(d, options);
+  const Query q{RandomString(&rng, "ACGT", 60, 80), 2};
+  EXPECT_EQ(engine.Search(q), BruteForceSearch(d, q));
+  EXPECT_EQ(engine.degraded_probes(), 0u);
+}
+
+TEST(AutoSearcherTest, ExpiredOverallDeadlineStillCancels) {
+  Xoshiro256 rng(0xA073);
+  Dataset d = RandomDataset(&rng, "ACGT", 100, 60, 80, AlphabetKind::kDna);
+  AutoSearcher engine(d);
+  SearchContext ctx;
+  ctx.deadline = Deadline::AfterMillis(-1);
+  ctx.check_interval = 1;
+  MatchList out;
+  const Status st = engine.Search({RandomString(&rng, "ACGT", 60, 80), 2},
+                                  ctx, &out);
+  EXPECT_TRUE(st.IsCancelled());
+  EXPECT_TRUE(out.empty());
+}
+
 // --------------------------------------------------------------------------
 // CachedSearcher
 // --------------------------------------------------------------------------
+
+TEST(CachedSearcherTest, CancelledSearchesAreNotCached) {
+  Xoshiro256 rng(0xCAC4);
+  Dataset d = RandomDataset(&rng, "abcd", 100, 2, 10);
+  auto inner =
+      std::move(MakeSearcher(EngineKind::kSequentialScan, d)).ValueOrDie();
+  CachedSearcher cached(inner.get(), 4);
+
+  SearchContext expired;
+  expired.deadline = Deadline::AfterMillis(-1);
+  expired.check_interval = 1;
+  MatchList out;
+  const Query q{"abca", 1};
+  const Status st = cached.Search(q, expired, &out);
+  EXPECT_TRUE(st.IsCancelled());
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(cached.entries(), 0u);
+
+  // Once conditions clear, the same query computes, caches, and then hits.
+  const MatchList good = cached.Search(q);
+  EXPECT_EQ(good, BruteForceSearch(d, q));
+  EXPECT_EQ(cached.entries(), 1u);
+  const uint64_t hits_before = cached.hits();
+  EXPECT_EQ(cached.Search(q), good);
+  EXPECT_EQ(cached.hits(), hits_before + 1);
+}
 
 TEST(CachedSearcherTest, HitsAndMissesAreCounted) {
   Xoshiro256 rng(0xCAC0);

@@ -1,0 +1,288 @@
+// End-to-end fault injection through the SSS_FAILPOINTS framework: injected
+// reader I/O errors surface as Status, injected stalls and deadlines
+// truncate batches gracefully on every execution strategy, and nothing
+// hangs or leaks work. This test only builds with -DSSS_FAILPOINTS=ON (see
+// tests/CMakeLists.txt).
+#include "util/failpoint.h"
+
+#ifndef SSS_FAILPOINTS
+#error "fault_injection_test requires -DSSS_FAILPOINTS=ON"
+#endif
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "core/searcher.h"
+#include "io/binary_format.h"
+#include "io/reader.h"
+#include "parallel/thread_pool.h"
+#include "test_util.h"
+#include "util/arena.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace sss {
+namespace {
+
+using sss::testing::RandomDataset;
+using sss::testing::RandomString;
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FailPoints::Instance().DisableAll();
+    dir_ = std::filesystem::temp_directory_path() /
+           ("sss_fault_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    FailPoints::Instance().DisableAll();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::string WriteLines(const std::string& name,
+                         const std::vector<std::string>& lines) {
+    const std::string path = Path(name);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    for (const std::string& line : lines) out << line << '\n';
+    return path;
+  }
+
+  std::filesystem::path dir_;
+};
+
+// ---------------------------------------------------------------------------
+// Framework mechanics
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultInjectionTest, HitCountsRecordEvaluations) {
+  FailPoints::Instance().ClearCounts();
+  EXPECT_EQ(FailPoints::Instance().HitCount("reader:open"), 0u);
+  const std::string path = WriteLines("d.txt", {"abc", "def"});
+  ASSERT_TRUE(ReadDatasetFile(path, "d", AlphabetKind::kGeneric).ok());
+  EXPECT_GE(FailPoints::Instance().HitCount("reader:open"), 1u);
+  EXPECT_GE(FailPoints::Instance().HitCount("reader:read"), 1u);
+}
+
+TEST_F(FaultInjectionTest, TimesBudgetExpires) {
+  const std::string path = WriteLines("d.txt", {"abc"});
+  FailPoints::Instance().Fail("reader:open", Status::IOError("injected"),
+                              /*times=*/1);
+  auto first = ReadDatasetFile(path, "d", AlphabetKind::kGeneric);
+  ASSERT_FALSE(first.ok());
+  EXPECT_TRUE(first.status().IsIOError());
+  // The budget is spent: the next read goes through untouched.
+  EXPECT_TRUE(ReadDatasetFile(path, "d", AlphabetKind::kGeneric).ok());
+}
+
+TEST_F(FaultInjectionTest, DisableRestoresNormalBehavior) {
+  const std::string path = WriteLines("d.txt", {"abc"});
+  FailPoints::Instance().Fail("reader:open", Status::IOError("injected"));
+  ASSERT_FALSE(ReadDatasetFile(path, "d", AlphabetKind::kGeneric).ok());
+  FailPoints::Instance().Disable("reader:open");
+  EXPECT_TRUE(ReadDatasetFile(path, "d", AlphabetKind::kGeneric).ok());
+}
+
+TEST_F(FaultInjectionTest, CallbacksFireOnEvaluation) {
+  std::atomic<int> fired{0};
+  FailPoints::Instance().Callback("reader:open", [&fired] { ++fired; });
+  const std::string path = WriteLines("d.txt", {"abc"});
+  ASSERT_TRUE(ReadDatasetFile(path, "d", AlphabetKind::kGeneric).ok());
+  EXPECT_GE(fired.load(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Injected I/O failures surface as Status, never crashes
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultInjectionTest, ReaderReadErrorSurfacesAsStatus) {
+  const std::string path = WriteLines("d.txt", {"abc", "def"});
+  FailPoints::Instance().Fail("reader:read",
+                              Status::IOError("injected mid-read failure"));
+  auto loaded = ReadDatasetFile(path, "d", AlphabetKind::kGeneric);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsIOError());
+  EXPECT_NE(loaded.status().message().find("injected"), std::string::npos);
+}
+
+TEST_F(FaultInjectionTest, QueryReaderErrorSurfacesAsStatus) {
+  const std::string path = WriteLines("q.txt", {"1\tabc", "2\tdef"});
+  FailPoints::Instance().Fail("reader:open", Status::IOError("injected"));
+  auto queries = ReadQueryFile(path, 0);
+  ASSERT_FALSE(queries.ok());
+  EXPECT_TRUE(queries.status().IsIOError());
+}
+
+TEST_F(FaultInjectionTest, BinaryReadErrorSurfacesAsStatus) {
+  Dataset d("bin", AlphabetKind::kGeneric);
+  d.Add("hello");
+  ASSERT_TRUE(WriteBinaryDataset(Path("d.bin"), d).ok());
+  FailPoints::Instance().Fail("binary_format:read",
+                              Status::IOError("injected"));
+  auto loaded = ReadBinaryDataset(Path("d.bin"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsIOError());
+  FailPoints::Instance().Disable("binary_format:read");
+  EXPECT_TRUE(ReadBinaryDataset(Path("d.bin")).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Deadline mid-batch: graceful truncation on every strategy
+// ---------------------------------------------------------------------------
+
+constexpr ExecutionStrategy kAllStrategies[] = {
+    ExecutionStrategy::kSerial, ExecutionStrategy::kThreadPerQuery,
+    ExecutionStrategy::kFixedPool, ExecutionStrategy::kAdaptive,
+    ExecutionStrategy::kSharded};
+
+TEST_F(FaultInjectionTest, DeadlineMidBatchTruncatesEveryStrategy) {
+  Xoshiro256 rng(0xFA01);
+  Dataset d = RandomDataset(&rng, "abcd", 300, 1, 12);
+  auto searcher =
+      std::move(MakeSearcher(EngineKind::kSequentialScan, d)).ValueOrDie();
+  QuerySet queries;
+  for (int i = 0; i < 32; ++i) {
+    queries.push_back({RandomString(&rng, "abcd", 1, 12), 1});
+  }
+  // Every query stalls 10 ms at the run_query hook while the whole batch
+  // has a 5 ms budget: whichever queries start must observe the expired
+  // deadline right after their stall, the rest are skipped outright.
+  FailPoints::Instance().Sleep("searcher:run_query",
+                               std::chrono::milliseconds(10));
+  SearchContext ctx;
+  ctx.deadline = Deadline::AfterMillis(5);
+  ctx.check_interval = 1;
+  for (ExecutionStrategy strategy : kAllStrategies) {
+    ctx.deadline = Deadline::AfterMillis(5);
+    const Stopwatch timer;
+    const BatchResult batch =
+        searcher->SearchBatch(queries, {strategy, 4}, ctx);
+    EXPECT_TRUE(batch.truncated) << static_cast<int>(strategy);
+    EXPECT_LT(batch.completed, queries.size()) << static_cast<int>(strategy);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (!batch.statuses[i].ok()) {
+        EXPECT_TRUE(batch.statuses[i].IsCancelled());
+        EXPECT_TRUE(batch.matches[i].empty());
+      }
+    }
+    // Nothing hangs: even thread-per-query (32 concurrent 10 ms stalls)
+    // finishes orders of magnitude inside this bound.
+    EXPECT_LT(timer.ElapsedSeconds(), 30.0) << static_cast<int>(strategy);
+  }
+}
+
+TEST_F(FaultInjectionTest, SerialDeadlinePreservesCompletedPrefix) {
+  Xoshiro256 rng(0xFA02);
+  Dataset d = RandomDataset(&rng, "abcd", 200, 1, 12);
+  auto searcher =
+      std::move(MakeSearcher(EngineKind::kSequentialScan, d)).ValueOrDie();
+  QuerySet queries;
+  for (int i = 0; i < 64; ++i) {
+    queries.push_back({RandomString(&rng, "abcd", 1, 12), 1});
+  }
+  const SearchResults reference =
+      searcher->SearchBatch(queries, {ExecutionStrategy::kSerial, 0});
+
+  FailPoints::Instance().Sleep("searcher:run_query",
+                               std::chrono::milliseconds(2));
+  SearchContext ctx;
+  ctx.deadline = Deadline::AfterMillis(25);
+  const BatchResult batch =
+      searcher->SearchBatch(queries, {ExecutionStrategy::kSerial, 0}, ctx);
+  // 64 queries x 2 ms stall >> 25 ms budget: the batch cannot finish, and
+  // whatever did finish must match the undisturbed serial reference.
+  EXPECT_TRUE(batch.truncated);
+  EXPECT_LT(batch.completed, queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (batch.statuses[i].ok()) {
+      EXPECT_EQ(batch.matches[i], reference[i]) << "query " << i;
+    } else {
+      EXPECT_TRUE(batch.matches[i].empty()) << "query " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Worker stalls: recovered, never stranded
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultInjectionTest, StalledPoolWorkersRecoverWithoutHang) {
+  Xoshiro256 rng(0xFA03);
+  Dataset d = RandomDataset(&rng, "abcd", 100, 1, 10);
+  auto searcher =
+      std::move(MakeSearcher(EngineKind::kSequentialScan, d)).ValueOrDie();
+  QuerySet queries;
+  for (int i = 0; i < 32; ++i) {
+    queries.push_back({RandomString(&rng, "abcd", 1, 10), 1});
+  }
+  // Stall two of the pool's worker bootstraps for 100 ms; the other workers
+  // keep draining, and Wait() must still return once the stalled ones wake.
+  FailPoints::Instance().Sleep("thread_pool:task",
+                               std::chrono::milliseconds(100), /*times=*/2);
+  const Stopwatch timer;
+  const BatchResult batch = searcher->SearchBatch(
+      queries, {ExecutionStrategy::kFixedPool, 4}, SearchContext{});
+  EXPECT_LT(timer.ElapsedSeconds(), 30.0);
+  EXPECT_FALSE(batch.truncated);
+  EXPECT_EQ(batch.completed, queries.size());
+}
+
+TEST_F(FaultInjectionTest, CancelPendingDropsQueuedWork) {
+  ThreadPool pool(1);
+  std::atomic<int> executed{0};
+  // The lone worker stalls 50 ms on its first task, leaving the rest queued
+  // where CancelPending can reach them.
+  FailPoints::Instance().Sleep("thread_pool:task",
+                               std::chrono::milliseconds(50), /*times=*/1);
+  pool.Submit([] {});
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&executed] { ++executed; });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const size_t dropped = pool.CancelPending();
+  pool.Wait();  // must return: queue drained, in-flight accounting intact
+  EXPECT_GE(dropped, 10u);
+  EXPECT_EQ(executed.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Allocation path instrumentation
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultInjectionTest, ArenaAllocationsHitTheFailpoint) {
+  FailPoints::Instance().ClearCounts();
+  Arena arena;
+  (void)arena.NewArray<uint32_t>(1 << 16);
+  EXPECT_GE(FailPoints::Instance().HitCount("arena:add_block"), 1u);
+}
+
+TEST_F(FaultInjectionTest, ShardedBatchExercisesQueryFailpoint) {
+  FailPoints::Instance().ClearCounts();
+  Xoshiro256 rng(0xFA04);
+  Dataset d = RandomDataset(&rng, "abcd", 2000, 1, 12);
+  auto searcher =
+      std::move(MakeSearcher(EngineKind::kSequentialScan, d)).ValueOrDie();
+  QuerySet queries;
+  for (int i = 0; i < 16; ++i) {
+    queries.push_back({RandomString(&rng, "abcd", 1, 12), 1});
+  }
+  const SearchResults serial =
+      searcher->SearchBatch(queries, {ExecutionStrategy::kSerial, 0});
+  const BatchResult sharded = searcher->SearchBatch(
+      queries, {ExecutionStrategy::kSharded, 4}, SearchContext{});
+  EXPECT_EQ(sharded.matches, serial);
+  EXPECT_GE(FailPoints::Instance().HitCount("searcher:run_query"),
+            queries.size());
+}
+
+}  // namespace
+}  // namespace sss

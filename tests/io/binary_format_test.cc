@@ -96,14 +96,14 @@ TEST_F(BinaryFormatTest, BadMagicRejected) {
   WriteRaw(Path("junk.bin"), "definitely not a dataset file ......");
   auto loaded = ReadBinaryDataset(Path("junk.bin"));
   ASSERT_FALSE(loaded.ok());
-  EXPECT_TRUE(loaded.status().IsInvalid());
+  EXPECT_TRUE(loaded.status().IsCorruption());
 }
 
 TEST_F(BinaryFormatTest, TooSmallFileRejected) {
   WriteRaw(Path("tiny.bin"), "SSS");
   auto loaded = ReadBinaryDataset(Path("tiny.bin"));
   ASSERT_FALSE(loaded.ok());
-  EXPECT_TRUE(loaded.status().IsInvalid());
+  EXPECT_TRUE(loaded.status().IsCorruption());
 }
 
 TEST_F(BinaryFormatTest, TruncationDetected) {
@@ -115,7 +115,35 @@ TEST_F(BinaryFormatTest, TruncationDetected) {
     WriteRaw(Path("t.bin"), full.substr(0, keep));
     auto loaded = ReadBinaryDataset(Path("t.bin"));
     ASSERT_FALSE(loaded.ok()) << "kept " << keep << " of " << full.size();
-    EXPECT_TRUE(loaded.status().IsInvalid());
+    EXPECT_TRUE(loaded.status().IsCorruption());
+  }
+}
+
+TEST_F(BinaryFormatTest, TruncationMidHeaderDetected) {
+  ASSERT_TRUE(WriteBinaryDataset(Path("th.bin"), SampleDataset()).ok());
+  const std::string full = ReadRaw(Path("th.bin"));
+  // Header = magic(8) + alphabet(4) + name_len(4) + name(10) + count(8).
+  // Every cut inside it must fail as corruption, never parse.
+  for (size_t keep = 0; keep < 8 + 4 + 4 + 10 + 8; ++keep) {
+    WriteRaw(Path("th.bin"), full.substr(0, keep));
+    auto loaded = ReadBinaryDataset(Path("th.bin"));
+    ASSERT_FALSE(loaded.ok()) << "kept " << keep << " header bytes";
+    EXPECT_TRUE(loaded.status().IsCorruption()) << "kept " << keep;
+  }
+}
+
+TEST_F(BinaryFormatTest, TruncationMidRecordDetected) {
+  ASSERT_TRUE(WriteBinaryDataset(Path("tr.bin"), SampleDataset()).ok());
+  const std::string full = ReadRaw(Path("tr.bin"));
+  const size_t header_end = 8 + 4 + 4 + 10 + 8;
+  ASSERT_GT(full.size(), header_end + 8);
+  // Cut inside the offsets/string-bytes region (past the header, before the
+  // trailing checksum).
+  for (size_t keep = header_end + 1; keep < full.size() - 8; keep += 3) {
+    WriteRaw(Path("tr.bin"), full.substr(0, keep));
+    auto loaded = ReadBinaryDataset(Path("tr.bin"));
+    ASSERT_FALSE(loaded.ok()) << "kept " << keep << " of " << full.size();
+    EXPECT_TRUE(loaded.status().IsCorruption()) << "kept " << keep;
   }
 }
 
@@ -144,7 +172,25 @@ TEST_F(BinaryFormatTest, ChecksumTamperDetected) {
   WriteRaw(Path("k.bin"), full);
   auto loaded = ReadBinaryDataset(Path("k.bin"));
   ASSERT_FALSE(loaded.ok());
-  EXPECT_TRUE(loaded.status().IsInvalid());
+  EXPECT_TRUE(loaded.status().IsCorruption());
+}
+
+TEST_F(BinaryFormatTest, ChecksumRegionBitFlipsDetected) {
+  ASSERT_TRUE(WriteBinaryDataset(Path("kb.bin"), SampleDataset()).ok());
+  const std::string full = ReadRaw(Path("kb.bin"));
+  ASSERT_GE(full.size(), 8u);
+  // Flip every bit of the trailing 8-byte checksum; each must be caught as
+  // a checksum mismatch (the payload itself is intact).
+  for (size_t bit = 0; bit < 64; ++bit) {
+    std::string corrupted = full;
+    const size_t pos = corrupted.size() - 8 + bit / 8;
+    corrupted[pos] =
+        static_cast<char>(corrupted[pos] ^ static_cast<char>(1 << (bit % 8)));
+    WriteRaw(Path("kb.bin"), corrupted);
+    auto loaded = ReadBinaryDataset(Path("kb.bin"));
+    ASSERT_FALSE(loaded.ok()) << "checksum bit " << bit << " undetected";
+    EXPECT_TRUE(loaded.status().IsCorruption()) << "bit " << bit;
+  }
 }
 
 TEST_F(BinaryFormatTest, HugeCountFieldRejectedSafely) {
@@ -156,7 +202,7 @@ TEST_F(BinaryFormatTest, HugeCountFieldRejectedSafely) {
   WriteRaw(Path("h.bin"), full);
   auto loaded = ReadBinaryDataset(Path("h.bin"));  // must not crash/OOM
   ASSERT_FALSE(loaded.ok());
-  EXPECT_TRUE(loaded.status().IsInvalid());
+  EXPECT_TRUE(loaded.status().IsCorruption());
 }
 
 }  // namespace

@@ -1,0 +1,153 @@
+#include "util/cancellation.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace sss {
+namespace {
+
+TEST(CancellationTokenTest, StartsClearAndSticks) {
+  CancellationToken token;
+  EXPECT_FALSE(token.IsCancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.IsCancelled());
+  token.Cancel();  // idempotent
+  EXPECT_TRUE(token.IsCancelled());
+  token.Reset();
+  EXPECT_FALSE(token.IsCancelled());
+}
+
+TEST(CancellationTokenTest, VisibleAcrossThreads) {
+  CancellationToken token;
+  std::thread other([&token] { token.Cancel(); });
+  other.join();
+  EXPECT_TRUE(token.IsCancelled());
+}
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  const Deadline d;
+  EXPECT_TRUE(d.IsInfinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_EQ(d.Remaining(), Deadline::Clock::duration::max());
+  EXPECT_TRUE(Deadline::Infinite().IsInfinite());
+}
+
+TEST(DeadlineTest, FarFutureNotExpired) {
+  const Deadline d = Deadline::After(std::chrono::hours(24));
+  EXPECT_FALSE(d.IsInfinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_GT(d.Remaining(), std::chrono::hours(1));
+}
+
+TEST(DeadlineTest, PastDeadlineExpired) {
+  const Deadline d = Deadline::After(std::chrono::milliseconds(-1));
+  EXPECT_FALSE(d.IsInfinite());
+  EXPECT_TRUE(d.Expired());
+  EXPECT_EQ(d.Remaining(), Deadline::Clock::duration::zero());
+  EXPECT_TRUE(Deadline::AfterMillis(0).Expired());
+}
+
+TEST(DeadlineTest, AtWrapsAnInstant) {
+  const auto when = Deadline::Clock::now() + std::chrono::hours(1);
+  const Deadline d = Deadline::At(when);
+  EXPECT_EQ(d.when(), when);
+  EXPECT_FALSE(d.Expired());
+}
+
+TEST(SearchContextTest, DefaultCannotStop) {
+  const SearchContext ctx;
+  EXPECT_FALSE(ctx.CanStop());
+  EXPECT_FALSE(ctx.StopRequested());
+}
+
+TEST(SearchContextTest, TokenDrivesStop) {
+  CancellationToken token;
+  SearchContext ctx;
+  ctx.cancellation = &token;
+  EXPECT_TRUE(ctx.CanStop());
+  EXPECT_FALSE(ctx.StopRequested());
+  token.Cancel();
+  EXPECT_TRUE(ctx.StopRequested());
+  const Status st = ctx.StopStatus();
+  EXPECT_TRUE(st.IsCancelled());
+}
+
+TEST(SearchContextTest, DeadlineDrivesStop) {
+  SearchContext ctx;
+  ctx.deadline = Deadline::After(std::chrono::hours(24));
+  EXPECT_TRUE(ctx.CanStop());
+  EXPECT_FALSE(ctx.StopRequested());
+
+  ctx.deadline = Deadline::AfterMillis(-5);
+  EXPECT_TRUE(ctx.StopRequested());
+  EXPECT_TRUE(ctx.StopStatus().IsCancelled());
+}
+
+TEST(StopCheckerTest, InactiveContextNeverStops) {
+  const SearchContext ctx;
+  StopChecker checker(ctx);
+  for (int i = 0; i < 100000; ++i) {
+    ASSERT_FALSE(checker.ShouldStop());
+  }
+  EXPECT_FALSE(checker.stopped());
+}
+
+TEST(StopCheckerTest, StopsWithinOneInterval) {
+  CancellationToken token;
+  token.Cancel();
+  SearchContext ctx;
+  ctx.cancellation = &token;
+  ctx.check_interval = 64;
+  StopChecker checker(ctx);
+  // The pre-cancelled token must be noticed within check_interval calls.
+  int calls = 0;
+  while (!checker.ShouldStop()) {
+    ++calls;
+    ASSERT_LE(calls, 64);
+  }
+  EXPECT_TRUE(checker.stopped());
+}
+
+TEST(StopCheckerTest, StickyOnceStopped) {
+  CancellationToken token;
+  token.Cancel();
+  SearchContext ctx;
+  ctx.cancellation = &token;
+  ctx.check_interval = 1;
+  StopChecker checker(ctx);
+  EXPECT_TRUE(checker.ShouldStop());
+  // Even if the token resets, an observed stop stays observed.
+  token.Reset();
+  EXPECT_TRUE(checker.ShouldStop());
+  EXPECT_TRUE(checker.stopped());
+}
+
+TEST(StopCheckerTest, ZeroIntervalPollsEveryCall) {
+  CancellationToken token;
+  SearchContext ctx;
+  ctx.cancellation = &token;
+  ctx.check_interval = 0;  // clamped to 1: poll on every call
+  StopChecker checker(ctx);
+  EXPECT_FALSE(checker.ShouldStop());
+  token.Cancel();
+  EXPECT_TRUE(checker.ShouldStop());
+}
+
+TEST(StopCheckerTest, AmortizedPollingHonorsInterval) {
+  CancellationToken token;
+  SearchContext ctx;
+  ctx.cancellation = &token;
+  ctx.check_interval = 100;
+  StopChecker checker(ctx);
+  // Cancel after construction; nothing stops until a poll boundary.
+  for (int i = 0; i < 99; ++i) {
+    ASSERT_FALSE(checker.ShouldStop()) << i;
+  }
+  token.Cancel();
+  EXPECT_TRUE(checker.ShouldStop());  // 100th call hits the boundary
+}
+
+}  // namespace
+}  // namespace sss

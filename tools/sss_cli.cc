@@ -43,6 +43,14 @@ namespace {
 // Keeps the latency-pass searches from being optimized away.
 volatile size_t benchmark_results_sink_ = 0;
 
+// Exit codes: 0 success, 1 generic error, 2 usage error, 3 I/O error,
+// 4 search completed partially (deadline/cancellation truncated the batch).
+constexpr int kExitOk = 0;
+constexpr int kExitError = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitIOError = 3;
+constexpr int kExitTruncated = 4;
+
 int Usage() {
   std::fprintf(stderr,
                "usage: sss_cli <generate|search|join|stats> [flags]\n"
@@ -52,15 +60,32 @@ int Usage() {
                "           [--engine scan|trie|ctrie|qgram|partition|packed|bktree]\n"
                "           [--strategy serial|tpq|pool|adaptive|sharded]\n"
                "           [--threads N] [--shard-size N] [--bucket-width N]\n"
+               "           [--deadline-ms MS] [--max-line-bytes N]\n"
                "           [--out FILE] [--dna] [--latency]\n"
                "  join     --data FILE --k K [--out FILE] [--threads N] [--dna]\n"
-               "  stats    --data FILE [--dna]\n");
-  return 2;
+               "  stats    --data FILE [--dna] [--max-line-bytes N]\n"
+               "exit codes: 0 ok, 1 error, 2 usage, 3 I/O error,\n"
+               "            4 deadline truncated the search\n");
+  return kExitUsage;
 }
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-  return 1;
+  return status.IsIOError() ? kExitIOError : kExitError;
+}
+
+// Reader limits from flags; exits with usage on a malformed value, so the
+// result is delivered via out-parameter and the int return is the exit code
+// (negative = keep going).
+int LimitsFromFlags(const FlagSet& flags, ReaderLimits* out) {
+  Result<int64_t> max_line = flags.GetInt("max-line-bytes", 0);
+  if (!max_line.ok()) return Fail(max_line.status());
+  if (*max_line < 0) {
+    std::fprintf(stderr, "error: --max-line-bytes must be >= 0\n");
+    return kExitUsage;
+  }
+  if (*max_line > 0) out->max_line_bytes = static_cast<size_t>(*max_line);
+  return -1;
 }
 
 Result<EngineKind> ParseEngine(const std::string& name) {
@@ -97,7 +122,7 @@ int RunGenerate(const FlagSet& flags) {
   const std::string out = flags.GetString("out", "");
   if (out.empty()) {
     std::fprintf(stderr, "generate: --out is required\n");
-    return 2;
+    return kExitUsage;
   }
 
   Dataset dataset;
@@ -119,7 +144,7 @@ int RunGenerate(const FlagSet& flags) {
   } else {
     std::fprintf(stderr, "generate: unknown workload '%s'\n",
                  workload.c_str());
-    return 2;
+    return kExitUsage;
   }
 
   Status st = WriteDatasetFile(out, dataset);
@@ -131,7 +156,7 @@ int RunGenerate(const FlagSet& flags) {
     const std::string queries_out = flags.GetString("queries-out", "");
     if (queries_out.empty()) {
       std::fprintf(stderr, "generate: --queries needs --queries-out\n");
-      return 2;
+      return kExitUsage;
     }
     gen::QueryGeneratorOptions q_options;
     q_options.num_queries = static_cast<size_t>(num_queries);
@@ -143,7 +168,7 @@ int RunGenerate(const FlagSet& flags) {
     std::printf("wrote %zu queries to %s\n", queries.size(),
                 queries_out.c_str());
   }
-  return 0;
+  return kExitOk;
 }
 
 int RunSearch(const FlagSet& flags) {
@@ -151,14 +176,23 @@ int RunSearch(const FlagSet& flags) {
   const std::string query_path = flags.GetString("queries", "");
   if (data_path.empty() || query_path.empty()) {
     std::fprintf(stderr, "search: --data and --queries are required\n");
-    return 2;
+    return kExitUsage;
   }
   SSS_ASSIGN_OR_RETURN_CLI(int64_t default_k, flags.GetInt("default-k", 0));
+  SSS_ASSIGN_OR_RETURN_CLI(int64_t deadline_ms,
+                           flags.GetInt("deadline-ms", 0));
+  if (deadline_ms < 0) {
+    std::fprintf(stderr, "search: --deadline-ms must be >= 0\n");
+    return kExitUsage;
+  }
+  ReaderLimits limits;
+  if (const int rc = LimitsFromFlags(flags, &limits); rc >= 0) return rc;
 
   auto dataset = ReadDatasetFile(data_path, "cli_data",
-                                 AlphabetFromFlags(flags));
+                                 AlphabetFromFlags(flags), limits);
   if (!dataset.ok()) return Fail(dataset.status());
-  auto queries = ReadQueryFile(query_path, static_cast<int>(default_k));
+  auto queries =
+      ReadQueryFile(query_path, static_cast<int>(default_k), limits);
   if (!queries.ok()) return Fail(queries.status());
 
   auto engine_kind = ParseEngine(flags.GetString("engine", "scan"));
@@ -182,18 +216,22 @@ int RunSearch(const FlagSet& flags) {
   exec.length_bucket_width =
       bucket_width > 0 ? static_cast<size_t>(bucket_width) : 8;
 
+  SearchContext ctx;
+  if (deadline_ms > 0) ctx.deadline = Deadline::AfterMillis(deadline_ms);
+
   // The paper's measurement (§5.2): only the result computation is timed.
   Stopwatch query_timer;
-  const SearchResults results = (*searcher)->SearchBatch(*queries, exec);
+  const BatchResult batch = (*searcher)->SearchBatch(*queries, exec, ctx);
   const double query_seconds = query_timer.ElapsedSeconds();
+  const SearchResults& results = batch.matches;
 
   size_t total_matches = 0;
   for (const MatchList& m : results) total_matches += m.size();
   std::printf(
-      "engine=%s strings=%zu queries=%zu matches=%zu\n"
+      "engine=%s strings=%zu queries=%zu completed=%zu matches=%zu\n"
       "build_time=%.3fs query_time=%.3fs (%.3f ms/query)\n",
       (*searcher)->name().c_str(), dataset->size(), queries->size(),
-      total_matches, build_seconds, query_seconds,
+      batch.completed, total_matches, build_seconds, query_seconds,
       queries->empty() ? 0.0
                        : query_seconds * 1e3 /
                              static_cast<double>(queries->size()));
@@ -216,14 +254,21 @@ int RunSearch(const FlagSet& flags) {
     if (!st.ok()) return Fail(st);
     std::printf("results written to %s\n", out.c_str());
   }
-  return 0;
+  if (batch.truncated) {
+    std::fprintf(stderr,
+                 "warning: deadline expired with %zu of %zu queries "
+                 "answered; unanswered queries have empty result lines\n",
+                 batch.completed, queries->size());
+    return kExitTruncated;
+  }
+  return kExitOk;
 }
 
 int RunJoin(const FlagSet& flags) {
   const std::string data_path = flags.GetString("data", "");
   if (data_path.empty()) {
     std::fprintf(stderr, "join: --data is required\n");
-    return 2;
+    return kExitUsage;
   }
   SSS_ASSIGN_OR_RETURN_CLI(int64_t k, flags.GetInt("k", 1));
   SSS_ASSIGN_OR_RETURN_CLI(int64_t threads, flags.GetInt("threads", 0));
@@ -250,17 +295,19 @@ int RunJoin(const FlagSet& flags) {
     std::fclose(f);
     std::printf("pairs written to %s\n", out.c_str());
   }
-  return 0;
+  return kExitOk;
 }
 
 int RunStats(const FlagSet& flags) {
   const std::string data_path = flags.GetString("data", "");
   if (data_path.empty()) {
     std::fprintf(stderr, "stats: --data is required\n");
-    return 2;
+    return kExitUsage;
   }
+  ReaderLimits limits;
+  if (const int rc = LimitsFromFlags(flags, &limits); rc >= 0) return rc;
   auto dataset = ReadDatasetFile(data_path, "cli_data",
-                                 AlphabetFromFlags(flags));
+                                 AlphabetFromFlags(flags), limits);
   if (!dataset.ok()) return Fail(dataset.status());
   const DatasetStats stats = dataset->ComputeStats();
   std::printf(
@@ -268,7 +315,7 @@ int RunStats(const FlagSet& flags) {
       "bytes=%zu\n",
       stats.num_strings, stats.alphabet_size, stats.min_length,
       stats.max_length, stats.avg_length, stats.total_bytes);
-  return 0;
+  return kExitOk;
 }
 
 }  // namespace
