@@ -151,14 +151,18 @@ void PrintCompressionSummary() {
 }  // namespace sss::bench
 
 int main(int argc, char** argv) {
+  sss::bench::BenchJson::Instance().StripFlag(&argc, argv);
   const auto& w =
       sss::bench::SharedWorkload(sss::gen::WorkloadKind::kCityNames);
   sss::bench::PrintBanner(
+      "Ablation: trie compression (workload 0=city, 1=dna)", w);
+  sss::bench::SetBenchJsonContext(
       "Ablation: trie compression (workload 0=city, 1=dna)", w);
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
   sss::bench::PrintCompressionSummary();
   ::benchmark::Shutdown();
+  if (!sss::bench::BenchJson::Instance().Write()) return 1;
   return 0;
 }

@@ -105,6 +105,7 @@ BENCHMARK(BM_MapReads)
 }  // namespace sss::bench
 
 int main(int argc, char** argv) {
+  sss::bench::BenchJson::Instance().StripFlag(&argc, argv);
   const auto& w = sss::bench::SharedMappingWorkload();
   std::printf("# Application: read mapping (genome %zu bp, %zu reads)\n",
               w.genome.size(), w.reads.size());
@@ -112,5 +113,6 @@ int main(int argc, char** argv) {
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
+  if (!sss::bench::BenchJson::Instance().Write()) return 1;
   return 0;
 }

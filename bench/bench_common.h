@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "core/searcher.h"
 #include "gen/city_generator.h"
 #include "gen/dna_generator.h"
@@ -28,7 +29,9 @@
 #include "gen/workload.h"
 #include "io/dataset.h"
 #include "util/env.h"
+#include "util/histogram.h"
 #include "util/random.h"
+#include "util/search_stats.h"
 #include "util/stopwatch.h"
 
 namespace sss::bench {
@@ -151,27 +154,60 @@ inline void RunBatchBenchmark(benchmark::State& state,
                               const Searcher& searcher,
                               const QuerySet& queries,
                               const ExecutionOptions& exec) {
+  BenchJson& json = BenchJson::Instance();
+  StatsSink sink;
+  LatencyHistogram wall_ns;
+  SearchContext ctx;
+  if (json.enabled()) ctx.stats = &sink;
+
   size_t total_matches = 0;
+  uint64_t iterations = 0;
   for (auto _ : state) {
-    const SearchResults results = searcher.SearchBatch(queries, exec);
+    Stopwatch timer;
+    const BatchResult result = searcher.SearchBatch(queries, exec, ctx);
+    if (json.enabled()) {
+      wall_ns.Record(static_cast<uint64_t>(timer.ElapsedNanos()));
+    }
+    ++iterations;
     total_matches = 0;
-    for (const auto& m : results) total_matches += m.size();
+    for (const auto& m : result.matches) total_matches += m.size();
     benchmark::DoNotOptimize(total_matches);
   }
   state.counters["queries"] = static_cast<double>(queries.size());
   state.counters["matches"] = static_cast<double>(total_matches);
+
+  if (json.enabled()) {
+    int k_max = 0;
+    for (const Query& q : queries) {
+      if (q.max_distance > k_max) k_max = q.max_distance;
+    }
+    json.AddRun(searcher.name(), ToString(exec.strategy), exec.num_threads,
+                queries.size(), k_max, total_matches, iterations, wall_ns,
+                sink.Collected());
+  }
 }
 
-/// \brief Standard main body: banner, then google-benchmark.
+/// \brief Records the bench name and workload header for --json output.
+inline void SetBenchJsonContext(const char* table, const BenchWorkload& w) {
+  BenchJson::Instance().SetContext(table, gen::ToString(w.config.kind),
+                                   w.config.data_scale, w.config.query_scale,
+                                   w.config.seed, w.dataset.size());
+}
+
+/// \brief Standard main body: banner, then google-benchmark. --json[=path]
+/// additionally writes a BENCH_<binary>.json document (see bench_json.h).
 #define SSS_BENCH_MAIN(table_name, workload_kind)                           \
   int main(int argc, char** argv) {                                        \
+    ::sss::bench::BenchJson::Instance().StripFlag(&argc, argv);             \
     const ::sss::bench::BenchWorkload& w =                                  \
         ::sss::bench::SharedWorkload(workload_kind);                        \
     ::sss::bench::PrintBanner(table_name, w);                               \
+    ::sss::bench::SetBenchJsonContext(table_name, w);                       \
     ::benchmark::Initialize(&argc, argv);                                   \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;     \
     ::benchmark::RunSpecifiedBenchmarks();                                  \
     ::benchmark::Shutdown();                                                \
+    if (!::sss::bench::BenchJson::Instance().Write()) return 1;             \
     return 0;                                                               \
   }
 

@@ -1,0 +1,145 @@
+// Machine-readable bench output: pass --json[=path] to any bench binary and
+// it writes one BENCH_<binary>.json file next to its human-readable output.
+//
+// Schema (version 1):
+//   {
+//     "schema_version": 1,
+//     "bench": "<table name>",
+//     "workload": {"kind": "...", "scale": F, "query_scale": F,
+//                  "seed": N, "strings": N},
+//     "runs": [
+//       {"engine": "...", "strategy": "...", "threads": N, "queries": N,
+//        "k_max": N, "matches": N, "iterations": N,
+//        "wall_ns": {"p50": N, "p90": N, "p99": N, "max": N,
+//                    "mean": F, "count": N},
+//        "stats": {<every SearchStats counter>}}
+//     ]
+//   }
+//
+// The flag is stripped before google-benchmark sees argv, so it composes
+// with every --benchmark_* flag. Run identity is (engine, strategy, threads,
+// queries): the installed google-benchmark has no State::name(), so records
+// are keyed by what was actually executed rather than the registration name.
+#pragma once
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/searcher.h"
+#include "util/histogram.h"
+#include "util/search_stats.h"
+
+namespace sss::bench {
+
+class BenchJson {
+ public:
+  static BenchJson& Instance() {
+    static BenchJson instance;
+    return instance;
+  }
+
+  /// \brief Removes --json / --json=PATH from argv (call before
+  /// benchmark::Initialize). Enables collection when the flag was present;
+  /// the default path is BENCH_<basename(argv[0])>.json in the working
+  /// directory.
+  void StripFlag(int* argc, char** argv) {
+    int kept = 1;
+    for (int i = 1; i < *argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) {
+        enabled_ = true;
+        continue;
+      }
+      if (std::strncmp(argv[i], "--json=", 7) == 0) {
+        enabled_ = true;
+        path_ = argv[i] + 7;
+        continue;
+      }
+      argv[kept++] = argv[i];
+    }
+    *argc = kept;
+    if (enabled_ && path_.empty()) {
+      const char* base = argv[0];
+      for (const char* p = argv[0]; *p != '\0'; ++p) {
+        if (*p == '/') base = p + 1;
+      }
+      path_ = std::string("BENCH_") + base + ".json";
+    }
+  }
+
+  bool enabled() const noexcept { return enabled_; }
+
+  /// \brief Records the bench name and workload header (call once, after the
+  /// shared workload is built).
+  void SetContext(const char* bench_name, const std::string& workload_kind,
+                  double scale, double query_scale, uint64_t seed,
+                  size_t strings) {
+    bench_name_ = bench_name;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"kind\":\"%s\",\"scale\":%g,\"query_scale\":%g,"
+                  "\"seed\":%" PRIu64 ",\"strings\":%zu}",
+                  workload_kind.c_str(), scale, query_scale, seed, strings);
+    workload_json_ = buf;
+  }
+
+  /// \brief Appends one run record.
+  void AddRun(const std::string& engine, const std::string& strategy,
+              size_t threads, size_t queries, int k_max, size_t matches,
+              uint64_t iterations, const LatencyHistogram& wall_ns,
+              const SearchStats& stats) {
+    std::string r;
+    char buf[384];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"engine\":\"%s\",\"strategy\":\"%s\",\"threads\":%zu,"
+        "\"queries\":%zu,\"k_max\":%d,\"matches\":%zu,"
+        "\"iterations\":%" PRIu64
+        ",\"wall_ns\":{\"p50\":%" PRIu64 ",\"p90\":%" PRIu64
+        ",\"p99\":%" PRIu64 ",\"max\":%" PRIu64
+        ",\"mean\":%.1f,\"count\":%" PRIu64 "},\"stats\":",
+        engine.c_str(), strategy.c_str(), threads, queries, k_max, matches,
+        iterations, wall_ns.Percentile(0.50), wall_ns.Percentile(0.90),
+        wall_ns.Percentile(0.99), wall_ns.max(), wall_ns.Mean(),
+        wall_ns.count());
+    r += buf;
+    stats.AppendJson(&r);
+    r += "}";
+    runs_.push_back(std::move(r));
+  }
+
+  /// \brief Writes the collected document. No-op (returning true) when the
+  /// flag was absent; prints to stderr and returns false on I/O failure.
+  bool Write() const {
+    if (!enabled_) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot open %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\"schema_version\":1,\"bench\":\"%s\",\"workload\":%s,"
+                    "\"runs\":[",
+                 bench_name_.c_str(),
+                 workload_json_.empty() ? "{}" : workload_json_.c_str());
+    for (size_t i = 0; i < runs_.size(); ++i) {
+      std::fprintf(f, "%s%s", i == 0 ? "" : ",", runs_[i].c_str());
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::printf("bench json written to %s (%zu runs)\n", path_.c_str(),
+                runs_.size());
+    return true;
+  }
+
+ private:
+  BenchJson() = default;
+  bool enabled_ = false;
+  std::string path_;
+  std::string bench_name_;
+  std::string workload_json_;
+  std::vector<std::string> runs_;
+};
+
+}  // namespace sss::bench

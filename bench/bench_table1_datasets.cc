@@ -67,13 +67,16 @@ void PrintTableOne() {
 }  // namespace sss::bench
 
 int main(int argc, char** argv) {
+  sss::bench::BenchJson::Instance().StripFlag(&argc, argv);
   const auto& city =
       sss::bench::SharedWorkload(sss::gen::WorkloadKind::kCityNames);
   sss::bench::PrintBanner("Table I: dataset properties", city);
+  sss::bench::SetBenchJsonContext("Table I: dataset properties", city);
   sss::bench::PrintTableOne();
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
+  if (!sss::bench::BenchJson::Instance().Write()) return 1;
   return 0;
 }

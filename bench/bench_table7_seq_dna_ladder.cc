@@ -109,13 +109,17 @@ BENCHMARK(BM_DnaLadder_Step6_ManagedPool)
 }  // namespace sss::bench
 
 int main(int argc, char** argv) {
+  sss::bench::BenchJson::Instance().StripFlag(&argc, argv);
   const auto& w = sss::bench::SharedWorkload(sss::gen::WorkloadKind::kDnaReads);
   sss::bench::PrintBanner("Table VII: sequential-solution ladder, DNA reads",
                           w);
+  sss::bench::SetBenchJsonContext(
+      "Table VII: sequential-solution ladder, DNA reads", w);
   sss::bench::PrintExtrapolatedBaseRow();
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
+  if (!sss::bench::BenchJson::Instance().Write()) return 1;
   return 0;
 }

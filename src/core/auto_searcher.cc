@@ -1,5 +1,7 @@
 #include "core/auto_searcher.h"
 
+#include "util/search_stats.h"
+
 namespace sss {
 
 AutoSearcher::AutoSearcher(const Dataset& dataset,
@@ -72,6 +74,11 @@ Status AutoSearcher::Search(const Query& query, const SearchContext& ctx,
   // The probe budget ran out but the overall deadline has slack: degrade to
   // the sequential scan, whose per-candidate cost is flat and predictable.
   degraded_probes_.fetch_add(1, std::memory_order_relaxed);
+  if (ctx.stats != nullptr) {
+    SearchStats degrade;
+    degrade.degraded_probes = 1;
+    ctx.stats->Record(degrade);
+  }
   out->clear();
   return Scan().Search(query, ctx, out);
 }

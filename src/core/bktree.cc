@@ -4,6 +4,7 @@
 
 #include "core/edit_distance.h"
 #include "util/macros.h"
+#include "util/search_stats.h"
 
 namespace sss {
 
@@ -72,6 +73,9 @@ Status BKTreeSearcher::Search(const Query& query, const SearchContext& ctx,
   const int k = query.max_distance;
   thread_local EditDistanceWorkspace ws;
 
+  StatsScope stats(ctx.stats);
+  const size_t out_before = out->size();
+
   StopChecker stopper(ctx);
   std::vector<uint32_t> stack;
   stack.push_back(0);
@@ -82,6 +86,7 @@ Status BKTreeSearcher::Search(const Query& query, const SearchContext& ctx,
     }
     const Node& node = nodes_[stack.back()];
     stack.pop_back();
+    ++stats->bktree_distance_calls;
     const int d =
         ExactDistance(query.text, dataset_.View(node.pivot_id), &ws);
     if (d <= k) {
@@ -102,6 +107,7 @@ Status BKTreeSearcher::Search(const Query& query, const SearchContext& ctx,
       stack.push_back(it->second);
     }
   }
+  stats->matches_found += out->size() - out_before;
   std::sort(out->begin(), out->end());
   return Status::OK();
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/macros.h"
+#include "util/search_stats.h"
 
 namespace sss {
 
@@ -22,9 +23,20 @@ Status CachedSearcher::Search(const Query& query, const SearchContext& ctx,
       // Refresh recency.
       lru_.splice(lru_.begin(), lru_, it->second.lru_slot);
       *out = it->second.results;
+      if (ctx.stats != nullptr) {
+        SearchStats hit;
+        hit.cache_hits = 1;
+        hit.matches_found = out->size();
+        ctx.stats->Record(hit);
+      }
       return Status::OK();
     }
     ++misses_;
+  }
+  if (ctx.stats != nullptr) {
+    SearchStats miss;
+    miss.cache_misses = 1;
+    ctx.stats->Record(miss);
   }
 
   // Miss: compute outside the lock so concurrent distinct queries overlap.
@@ -38,13 +50,17 @@ Status CachedSearcher::Search(const Query& query, const SearchContext& ctx,
 
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (cache_.find(key) == cache_.end()) {
-      lru_.push_front(key);
-      cache_[std::move(key)] = Entry{*out, lru_.begin()};
+    // Insert into the map first: std::map keys have stable addresses, so the
+    // LRU list can reference the map's own Key instead of a second copy.
+    const auto [it, inserted] = cache_.try_emplace(std::move(key));
+    if (inserted) {
+      it->second.results = *out;
+      lru_.push_front(&it->first);
+      it->second.lru_slot = lru_.begin();
       if (cache_.size() > capacity_) {
-        const Key& victim = lru_.back();
-        cache_.erase(victim);
+        const Key* victim = lru_.back();
         lru_.pop_back();
+        cache_.erase(*victim);
       }
     }
   }
@@ -63,6 +79,9 @@ size_t CachedSearcher::memory_bytes() const {
     bytes += key.text.size() + entry.results.size() * sizeof(uint32_t) +
              sizeof(Entry) + sizeof(Key);
   }
+  // The recency list stores one pointer per entry (plus its two link
+  // pointers); the query text itself lives only in the map above.
+  bytes += lru_.size() * (sizeof(const Key*) + 2 * sizeof(void*));
   return bytes;
 }
 

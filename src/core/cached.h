@@ -59,7 +59,7 @@ class CachedSearcher final : public Searcher {
   };
   struct Entry {
     MatchList results;
-    std::list<Key>::iterator lru_slot;
+    std::list<const Key*>::iterator lru_slot;
   };
 
   const Searcher* inner_;
@@ -67,7 +67,10 @@ class CachedSearcher final : public Searcher {
 
   mutable std::mutex mu_;
   mutable std::map<Key, Entry> cache_;
-  mutable std::list<Key> lru_;  // front = most recent
+  // front = most recent. Holds pointers into cache_'s keys (stable under
+  // std::map insert/erase of other entries) so each query text is stored
+  // once, not duplicated per list node.
+  mutable std::list<const Key*> lru_;
   mutable uint64_t hits_ = 0;
   mutable uint64_t misses_ = 0;
 };

@@ -4,6 +4,7 @@
 
 #include "core/internal/banded_row.h"
 #include "util/macros.h"
+#include "util/search_stats.h"
 
 namespace sss {
 
@@ -170,6 +171,10 @@ Status CompressedTrieSearcher::SearchBanded(const Query& query,
   std::vector<Frame> stack;
   stack.push_back(Frame{0, 0, 0, 0, false});
 
+  StatsScope stats(ctx.stats);
+  ++stats->trie_nodes_visited;  // root
+  const size_t out_before = out->size();
+
   StopChecker stopper(ctx);
   while (!stack.empty()) {
     if (SSS_PREDICT_FALSE(stopper.ShouldStop())) {
@@ -193,6 +198,9 @@ Status CompressedTrieSearcher::SearchBanded(const Query& query,
         }
       }
       if (dead) {
+        // The band died inside this node's edge label: the subtree below is
+        // cut off, which counts as a prune of this (already visited) node.
+        ++stats->trie_nodes_pruned;
         stack.pop_back();
         continue;
       }
@@ -208,18 +216,22 @@ Status CompressedTrieSearcher::SearchBanded(const Query& query,
       const Node& child = nodes_[child_idx];
       if (static_cast<int>(child.min_len) > lq + k ||
           static_cast<int>(child.max_len) < lq - k) {
+        ++stats->trie_nodes_pruned;
         continue;
       }
       if (frequency_bounds_ && !FrequencyCompatible(child, qv, k)) {
+        ++stats->trie_nodes_pruned;
         continue;  // PETER-style early filtering
       }
       stack.push_back(Frame{child_idx, frame.depth, 0, 0, false});
+      ++stats->trie_nodes_visited;
       descended = true;
       break;
     }
     if (!descended) stack.pop_back();
   }
 
+  stats->matches_found += out->size() - out_before;
   std::sort(out->begin(), out->end());
   return Status::OK();
 }
@@ -244,6 +256,10 @@ Status CompressedTrieSearcher::SearchPaperRule(const Query& query,
   };
   std::vector<Frame> stack;
   stack.push_back(Frame{0, 0, 0, 0, false});
+
+  StatsScope stats(ctx.stats);
+  ++stats->trie_nodes_visited;  // root
+  const size_t out_before = out->size();
 
   StopChecker stopper(ctx);
   while (!stack.empty()) {
@@ -272,6 +288,7 @@ Status CompressedTrieSearcher::SearchPaperRule(const Query& query,
         }
       }
       if (dead) {
+        ++stats->trie_nodes_pruned;
         stack.pop_back();
         continue;
       }
@@ -286,15 +303,18 @@ Status CompressedTrieSearcher::SearchPaperRule(const Query& query,
       const uint32_t child_idx = node.children[frame.next_child++].second;
       if (frequency_bounds_ &&
           !FrequencyCompatible(nodes_[child_idx], qv, k)) {
+        ++stats->trie_nodes_pruned;
         continue;
       }
       stack.push_back(Frame{child_idx, frame.depth, 0, 0, false});
+      ++stats->trie_nodes_visited;
       descended = true;
       break;
     }
     if (!descended) stack.pop_back();
   }
 
+  stats->matches_found += out->size() - out_before;
   std::sort(out->begin(), out->end());
   return Status::OK();
 }

@@ -66,6 +66,7 @@ int BoundedEditDistance(std::string_view x, std::string_view y, int k,
   // Length filter, eq. (5): d = |l_x − l_y| is a lower bound on ed.
   if (AbsLenDiff(x, y) > k) return k + 1;
   if (k == 0) return x == y ? 0 : 1;
+  ++ws->kernel.banded_calls;
   // Keep the shorter string horizontal.
   if (x.size() < y.size()) std::swap(x, y);
   const int lx = static_cast<int>(x.size());
@@ -86,7 +87,10 @@ int BoundedEditDistance(std::string_view x, std::string_view y, int k,
   for (int i = 1; i <= lx; ++i) {
     const int jlo = std::max(1, i - k);
     const int jhi = std::min(ly, i + k);
-    if (jlo > jhi) return inf;  // band left the matrix entirely
+    if (jlo > jhi) {
+      ++ws->kernel.early_aborts;  // band left the matrix entirely
+      return inf;
+    }
     cur[jlo - 1] = (i - (jlo - 1)) <= k && jlo - 1 == 0 ? i : inf;
     const char xi = x[i - 1];
     int band_min = inf;
@@ -104,7 +108,10 @@ int BoundedEditDistance(std::string_view x, std::string_view y, int k,
     // Early abort (generalizes conditions (6)/(7)): DP values never drop
     // below the running band minimum, so once the whole band exceeds k the
     // final cell must too.
-    if (band_min > k) return inf;
+    if (band_min > k) {
+      ++ws->kernel.early_aborts;
+      return inf;
+    }
     // Reset the stale cell beyond the band so the next row reads inf there.
     if (jhi + 1 <= ly) cur[jhi + 1] = inf;
     std::swap(prev, cur);
@@ -235,6 +242,7 @@ int BoundedMyers(std::string_view x, std::string_view y, int k,
   if (AbsLenDiff(x, y) > k) return k + 1;
   if (k == 0) return x == y ? 0 : 1;
   if (x.empty()) return static_cast<int>(y.size());
+  ++ws->kernel.myers_calls;
 
   // Run the bit-parallel recurrence with an early abort: each remaining text
   // column can lower the score by at most 1, so once
@@ -260,7 +268,10 @@ int BoundedMyers(std::string_view x, std::string_view y, int k,
       mh <<= 1;
       pv = mh | ~(xv | ph);
       mvec = ph & xv;
-      if (score - (n - 1 - col) > k) return k + 1;
+      if (score - (n - 1 - col) > k) {
+        ++ws->kernel.early_aborts;
+        return k + 1;
+      }
     }
     return score <= k ? score : k + 1;
   }
@@ -291,7 +302,10 @@ int BoundedMyers(std::string_view x, std::string_view y, int k,
       carry = AdvanceBlock(pv, mv, eq_row[b], b, out_mask, carry);
     }
     score += carry;
-    if (score - (n - 1 - col) > k) return k + 1;
+    if (score - (n - 1 - col) > k) {
+      ++ws->kernel.early_aborts;
+      return k + 1;
+    }
   }
   return score <= k ? score : k + 1;
 }

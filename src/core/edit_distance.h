@@ -19,6 +19,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/search_stats.h"
+
 namespace sss {
 
 /// \brief Unit-cost Levenshtein distance via the full DP matrix (§2.2).
@@ -39,6 +41,12 @@ struct EditDistanceWorkspace {
   std::vector<uint64_t> mv_block;   // blocked Myers vertical-negative masks
   std::vector<uint64_t> pv_block;   // blocked Myers vertical-positive masks
   std::vector<int> score_block;     // blocked Myers per-block scores
+
+  /// Monotone call/abort counters the bounded kernels maintain. Engines
+  /// snapshot these around their verify loop and report the delta (see
+  /// SearchStats::AddKernelDelta); the workspace is thread-local in every
+  /// engine, so the delta is exact regardless of execution strategy.
+  KernelCounters kernel;
 };
 
 /// \brief Bounded distance: returns ed(x, y) if it is ≤ k, otherwise any

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "util/macros.h"
+#include "util/search_stats.h"
 
 namespace sss {
 
@@ -73,17 +74,25 @@ Status HammingScanSearcher::SearchRange(const Query& query, uint32_t begin,
                                         MatchList* out) const {
   const int k = query.max_distance;
   const std::string_view q = query.text;
+  StatsScope stats(ctx.stats);
+  const size_t out_before = out->size();
   StopChecker stopper(ctx);
   for (uint32_t id = begin; id < end; ++id) {
     if (SSS_PREDICT_FALSE(stopper.ShouldStop())) {
       out->clear();
       return ctx.StopStatus();
     }
-    if (dataset_.Length(id) != q.size()) continue;
+    if (dataset_.Length(id) != q.size()) {
+      ++stats->length_filter_rejects;
+      continue;
+    }
     if (BoundedHamming(q, dataset_.View(id), k) <= k) {
       out->push_back(id);
     }
   }
+  stats->candidates_considered += end - begin;
+  stats->verify_calls += (end - begin) - stats->length_filter_rejects;
+  stats->matches_found += out->size() - out_before;
   return Status::OK();
 }
 
@@ -140,6 +149,10 @@ Status HammingTrieSearcher::Search(const Query& query,
   std::vector<Frame> stack;
   stack.push_back(Frame{0, 0, 0, 0});
 
+  StatsScope stats(ctx.stats);
+  ++stats->trie_nodes_visited;  // root
+  const size_t out_before = out->size();
+
   StopChecker stopper(ctx);
   while (!stack.empty()) {
     if (SSS_PREDICT_FALSE(stopper.ShouldStop())) {
@@ -162,20 +175,28 @@ Status HammingTrieSearcher::Search(const Query& query,
       const Node& child = nodes_[child_idx];
       // Only subtrees containing strings of exactly the query's length can
       // match under Hamming distance.
-      if (child.min_len > lq || child.max_len < lq) continue;
+      if (child.min_len > lq || child.max_len < lq) {
+        ++stats->trie_nodes_pruned;
+        continue;
+      }
       const uint16_t mismatches =
           frame.mismatches +
           (label == static_cast<unsigned char>(q[frame.depth]) ? 0 : 1);
-      if (mismatches > k) continue;
+      if (mismatches > k) {
+        ++stats->trie_nodes_pruned;
+        continue;
+      }
       stack.push_back(Frame{child_idx,
                             static_cast<uint16_t>(frame.depth + 1),
                             mismatches, 0});
+      ++stats->trie_nodes_visited;
       descended = true;
       break;
     }
     if (!descended) stack.pop_back();
   }
 
+  stats->matches_found += out->size() - out_before;
   std::sort(out->begin(), out->end());
   return Status::OK();
 }

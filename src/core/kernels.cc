@@ -126,9 +126,15 @@ int EditDistanceSimpleTypes(std::string_view x, std::string_view y, int k,
     }
     // Conditions (6)/(7) on the diagonal that ends in M[l_x][l_y].
     if (x_longer) {
-      if (i >= d + 1 && cur[i - d] > k) return k + 1;
+      if (i >= d + 1 && cur[i - d] > k) {
+        if (i < lx) ++ws->kernel.early_aborts;
+        return k + 1;
+      }
     } else {
-      if (i + d <= ly && cur[i + d] > k) return k + 1;
+      if (i + d <= ly && cur[i + d] > k) {
+        if (i < lx) ++ws->kernel.early_aborts;
+        return k + 1;
+      }
     }
     int* tmp = prev;
     prev = cur;

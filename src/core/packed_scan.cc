@@ -2,6 +2,7 @@
 
 #include "core/edit_distance.h"
 #include "core/filters.h"
+#include "util/search_stats.h"
 
 namespace sss {
 
@@ -46,6 +47,9 @@ Status PackedDnaScanSearcher::SearchRange(const Query& query, uint32_t begin,
 
   thread_local std::vector<uint8_t> candidate_codes;
   thread_local EditDistanceWorkspace ws;
+  StatsScope stats(ctx.stats);
+  const KernelCounters kernel_before = ws.kernel;
+  const size_t out_before = out->size();
   StopChecker stopper(ctx);
   for (uint32_t id = begin; id < end; ++id) {
     if (SSS_PREDICT_FALSE(stopper.ShouldStop())) {
@@ -53,6 +57,7 @@ Status PackedDnaScanSearcher::SearchRange(const Query& query, uint32_t begin,
       return ctx.StopStatus();
     }
     if (!LengthFilterPasses(query.text.size(), pool_.Length(id), k)) {
+      ++stats->length_filter_rejects;
       continue;
     }
     pool_.DecodeCodes(id, &candidate_codes);
@@ -63,6 +68,10 @@ Status PackedDnaScanSearcher::SearchRange(const Query& query, uint32_t begin,
       out->push_back(id);
     }
   }
+  stats->candidates_considered += end - begin;
+  stats->verify_calls += (end - begin) - stats->length_filter_rejects;
+  stats->matches_found += out->size() - out_before;
+  stats.AddKernelDelta(ws.kernel, kernel_before);
   return Status::OK();
 }
 

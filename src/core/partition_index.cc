@@ -5,6 +5,7 @@
 #include "core/edit_distance.h"
 #include "core/filters.h"
 #include "util/macros.h"
+#include "util/search_stats.h"
 
 namespace sss {
 
@@ -86,6 +87,9 @@ Status PartitionIndexSearcher::ScanFallback(const Query& query,
                                             MatchList* out) const {
   thread_local EditDistanceWorkspace ws;
   const int k = query.max_distance;
+  StatsScope stats(ctx.stats);
+  const KernelCounters kernel_before = ws.kernel;
+  const size_t out_before = out->size();
   StopChecker stopper(ctx);
   for (uint32_t id = 0; id < dataset_.size(); ++id) {
     if (SSS_PREDICT_FALSE(stopper.ShouldStop())) {
@@ -93,12 +97,17 @@ Status PartitionIndexSearcher::ScanFallback(const Query& query,
       return ctx.StopStatus();
     }
     if (!LengthFilterPasses(query.text.size(), dataset_.Length(id), k)) {
+      ++stats->length_filter_rejects;
       continue;
     }
     if (WithinDistance(query.text, dataset_.View(id), k, &ws)) {
       out->push_back(id);
     }
   }
+  stats->candidates_considered += dataset_.size();
+  stats->verify_calls += dataset_.size() - stats->length_filter_rejects;
+  stats->matches_found += out->size() - out_before;
+  stats.AddKernelDelta(ws.kernel, kernel_before);
   return Status::OK();
 }
 
@@ -116,6 +125,7 @@ Status PartitionIndexSearcher::Search(const Query& query,
   const int pieces = options_.max_k + 1;
   thread_local std::vector<uint32_t> candidates;
   candidates.clear();
+  StatsScope stats(ctx.stats);
   StopChecker stopper(ctx);
 
   // Probe every compatible data length, piece, and shift.
@@ -140,6 +150,7 @@ Status PartitionIndexSearcher::Search(const Query& query,
           out->clear();
           return ctx.StopStatus();
         }
+        ++stats->partition_probes;
         const uint64_t key =
             MakeKey(q.substr(pos, piece_len), len, j);
         auto range = std::equal_range(
@@ -160,16 +171,25 @@ Status PartitionIndexSearcher::Search(const Query& query,
                    candidates.end());
 
   thread_local EditDistanceWorkspace ws;
+  const KernelCounters kernel_before = ws.kernel;
+  const size_t out_before = out->size();
   for (uint32_t id : candidates) {
     if (SSS_PREDICT_FALSE(stopper.ShouldStop())) {
       out->clear();
       return ctx.StopStatus();
     }
-    if (!LengthFilterPasses(q.size(), dataset_.Length(id), k)) continue;
+    if (!LengthFilterPasses(q.size(), dataset_.Length(id), k)) {
+      ++stats->length_filter_rejects;
+      continue;
+    }
     if (WithinDistance(q, dataset_.View(id), k, &ws)) {
       out->push_back(id);
     }
   }
+  stats->candidates_considered += candidates.size();
+  stats->verify_calls += candidates.size() - stats->length_filter_rejects;
+  stats->matches_found += out->size() - out_before;
+  stats.AddKernelDelta(ws.kernel, kernel_before);
   return Status::OK();
 }
 

@@ -5,6 +5,7 @@
 #include "core/edit_distance.h"
 #include "core/filters.h"
 #include "util/macros.h"
+#include "util/search_stats.h"
 
 namespace sss {
 
@@ -76,6 +77,10 @@ Status QGramIndexSearcher::ScanFallback(const Query& query,
                                         MatchList* out) const {
   thread_local EditDistanceWorkspace ws;
   const int k = query.max_distance;
+  StatsScope stats(ctx.stats);
+  const KernelCounters kernel_before = ws.kernel;
+  const size_t out_before = out->size();
+  const uint64_t length_rejects_before = stats->length_filter_rejects;
   StopChecker stopper(ctx);
   for (uint32_t id = 0; id < dataset_.size(); ++id) {
     if (SSS_PREDICT_FALSE(stopper.ShouldStop())) {
@@ -83,12 +88,19 @@ Status QGramIndexSearcher::ScanFallback(const Query& query,
       return ctx.StopStatus();
     }
     if (!LengthFilterPasses(query.text.size(), dataset_.Length(id), k)) {
+      ++stats->length_filter_rejects;
       continue;
     }
     if (WithinDistance(query.text, dataset_.View(id), k, &ws)) {
       out->push_back(id);
     }
   }
+  stats->candidates_considered += dataset_.size();
+  stats->verify_calls += dataset_.size() -
+                         (stats->length_filter_rejects -
+                          length_rejects_before);
+  stats->matches_found += out->size() - out_before;
+  stats.AddKernelDelta(ws.kernel, kernel_before);
   return Status::OK();
 }
 
@@ -97,6 +109,10 @@ Status QGramIndexSearcher::VerifyCandidates(
     const std::vector<uint32_t>& candidates, MatchList* out) const {
   thread_local EditDistanceWorkspace ws;
   const int k = query.max_distance;
+  StatsScope stats(ctx.stats);
+  const KernelCounters kernel_before = ws.kernel;
+  const size_t out_before = out->size();
+  const uint64_t length_rejects_before = stats->length_filter_rejects;
   StopChecker stopper(ctx);
   for (uint32_t id : candidates) {
     if (SSS_PREDICT_FALSE(stopper.ShouldStop())) {
@@ -104,12 +120,19 @@ Status QGramIndexSearcher::VerifyCandidates(
       return ctx.StopStatus();
     }
     if (!LengthFilterPasses(query.text.size(), dataset_.Length(id), k)) {
+      ++stats->length_filter_rejects;
       continue;
     }
     if (WithinDistance(query.text, dataset_.View(id), k, &ws)) {
       out->push_back(id);
     }
   }
+  stats->candidates_considered += candidates.size();
+  stats->verify_calls += candidates.size() -
+                         (stats->length_filter_rejects -
+                          length_rejects_before);
+  stats->matches_found += out->size() - out_before;
+  stats.AddKernelDelta(ws.kernel, kernel_before);
   return Status::OK();
 }
 
@@ -148,6 +171,10 @@ Status QGramIndexSearcher::Search(const Query& query, const SearchContext& ctx,
       candidates.push_back(hits[i]);
     }
     i = j;
+  }
+  if (ctx.stats != nullptr) {
+    StatsScope stats(ctx.stats);
+    stats->qgram_candidates += candidates.size();
   }
   return VerifyCandidates(query, ctx, candidates, out);
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/macros.h"
+#include "util/search_stats.h"
 
 namespace sss {
 
@@ -73,22 +74,40 @@ Status SequentialScanSearcher::ScanIdRange(const Query& query,
   const std::vector<uint32_t> qprofile =
       qgram_filter_ ? qgram_filter_->Profile(q) : std::vector<uint32_t>{};
 
+  // Reject counters increment only on filtered (continue) paths; the
+  // pass-through totals are derived after the loop, so the verify hot path
+  // carries no extra work even while collecting.
+  StatsScope stats(ctx.stats);
+  const KernelCounters kernel_before = ws->kernel;
+  const size_t out_before = out->size();
+
   StopChecker stopper(ctx);
   for (uint32_t id = begin; id < end; ++id) {
     if (SSS_PREDICT_FALSE(stopper.ShouldStop())) {
       out->clear();
       return ctx.StopStatus();
     }
-    if (!LengthFilterPasses(q.size(), dataset_.Length(id), k)) continue;
+    if (!LengthFilterPasses(q.size(), dataset_.Length(id), k)) {
+      ++stats->length_filter_rejects;
+      continue;
+    }
     if (frequency_filter_ && !frequency_filter_->MayMatch(qvec, id, k)) {
+      ++stats->frequency_filter_rejects;
       continue;
     }
     if (qgram_filter_ &&
         !qgram_filter_->MayMatch(qprofile, q.size(), id, k)) {
+      ++stats->qgram_filter_rejects;
       continue;
     }
     if (Verify(q, id, k, ws)) out->push_back(id);
   }
+  stats->candidates_considered += end - begin;
+  stats->verify_calls += (end - begin) - stats->length_filter_rejects -
+                         stats->frequency_filter_rejects -
+                         stats->qgram_filter_rejects;
+  stats->matches_found += out->size() - out_before;
+  stats.AddKernelDelta(ws->kernel, kernel_before);
   return Status::OK();
 }
 
@@ -102,7 +121,20 @@ Status SequentialScanSearcher::ScanByLength(const Query& query,
   const size_t lo =
       q.size() > static_cast<size_t>(k) ? q.size() - k : 0;
   const size_t hi = std::min(max_len, q.size() + static_cast<size_t>(k));
-  if (lo > max_len) return Status::OK();
+
+  // Length rejects are wholesale here: ids outside the [lo, hi] window are
+  // never visited at all, which is exactly the set ScanIdRange rejects one
+  // by one — the two layouts report identical funnel totals.
+  StatsScope stats(ctx.stats);
+  if (lo > max_len) {
+    stats->candidates_considered += dataset_.size();
+    stats->length_filter_rejects += dataset_.size();
+    return Status::OK();
+  }
+  const uint32_t window =
+      length_starts_[hi + 1] - length_starts_[lo];
+  const KernelCounters kernel_before = ws->kernel;
+  const size_t out_before = out->size();
 
   const FrequencyVector qvec =
       frequency_filter_ ? frequency_filter_->Compute(q) : FrequencyVector{};
@@ -118,14 +150,22 @@ Status SequentialScanSearcher::ScanByLength(const Query& query,
     }
     const uint32_t id = ids_by_length_[pos];
     if (frequency_filter_ && !frequency_filter_->MayMatch(qvec, id, k)) {
+      ++stats->frequency_filter_rejects;
       continue;
     }
     if (qgram_filter_ &&
         !qgram_filter_->MayMatch(qprofile, q.size(), id, k)) {
+      ++stats->qgram_filter_rejects;
       continue;
     }
     if (Verify(q, id, k, ws)) out->push_back(id);
   }
+  stats->candidates_considered += dataset_.size();
+  stats->length_filter_rejects += dataset_.size() - window;
+  stats->verify_calls += window - stats->frequency_filter_rejects -
+                         stats->qgram_filter_rejects;
+  stats->matches_found += out->size() - out_before;
+  stats.AddKernelDelta(ws->kernel, kernel_before);
   // The by-length walk visits ids out of order; results must be ascending.
   std::sort(out->begin(), out->end());
   return Status::OK();

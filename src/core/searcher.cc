@@ -17,6 +17,7 @@
 #include "parallel/thread_per_query.h"
 #include "parallel/thread_pool.h"
 #include "util/failpoint.h"
+#include "util/search_stats.h"
 
 namespace sss {
 
@@ -62,23 +63,41 @@ BatchResult Searcher::RunBatch(const QuerySet& queries,
     result.statuses[i] = std::move(st);
   };
 
+  // Executor-level counters: thread open/close and task-scheduling totals
+  // land in the sink once per batch, next to whatever the engines recorded.
+  SearchStats exec_stats;
+
   switch (exec.strategy) {
     case ExecutionStrategy::kSerial: {
+      size_t ran = 0;
       for (size_t i = 0; i < queries.size(); ++i) {
         if (active && ctx.StopRequested()) break;
         run_one(i);
+        ++ran;
       }
+      exec_stats.tasks_executed = ran;
       break;
     }
     case ExecutionStrategy::kThreadPerQuery: {
-      RunThreadPerItem(queries.size(), run_one, /*max_live=*/0, stop);
+      const size_t spawned =
+          RunThreadPerItem(queries.size(), run_one, /*max_live=*/0, stop);
+      // Strategy 1 opens and closes one thread per query by design.
+      exec_stats.pool_opens = spawned;
+      exec_stats.pool_closes = spawned;
+      exec_stats.tasks_executed = spawned;
       break;
     }
     case ExecutionStrategy::kFixedPool: {
       ThreadPool pool(exec.num_threads);
       // Dynamic scheduling: query costs are highly skewed (they depend on k
       // and result size), so static partitioning would leave cores idle.
-      pool.DynamicParallelFor(queries.size(), run_one, /*chunk=*/1, stop);
+      PoolRunStats run_stats;
+      pool.DynamicParallelFor(queries.size(), run_one, /*chunk=*/1, stop,
+                              &run_stats);
+      exec_stats.pool_opens = pool.num_threads();
+      exec_stats.pool_closes = pool.num_threads();
+      exec_stats.tasks_executed = run_stats.chunks_executed;
+      exec_stats.tasks_stolen = run_stats.chunks_stolen;
       break;
     }
     case ExecutionStrategy::kAdaptive: {
@@ -86,6 +105,8 @@ BatchResult Searcher::RunBatch(const QuerySet& queries,
       options.max_threads = exec.num_threads;
       AdaptivePool pool(options);
       pool.ParallelFor(queries.size(), run_one, /*chunk=*/1, stop);
+      exec_stats.pool_opens = pool.total_opens();
+      exec_stats.pool_closes = pool.total_closes();
       break;
     }
     case ExecutionStrategy::kSharded:
@@ -94,6 +115,13 @@ BatchResult Searcher::RunBatch(const QuerySet& queries,
 
   for (const Status& st : result.statuses) result.completed += st.ok();
   result.truncated = result.completed < queries.size();
+  if (exec.strategy == ExecutionStrategy::kAdaptive) {
+    // The adaptive master closes workers after ParallelFor returns; by the
+    // time the pool is destroyed, every open has a matching close.
+    exec_stats.pool_closes = exec_stats.pool_opens;
+    exec_stats.tasks_executed = result.completed;
+  }
+  if (ctx.stats != nullptr) ctx.stats->Record(exec_stats);
   return result;
 }
 
@@ -164,9 +192,19 @@ BatchResult Searcher::RunShardedBatch(const QuerySet& queries,
   const size_t ds_max = dataset ? dataset->pool().max_length() : SIZE_MAX;
   const BatchPlan& plan = planner.Plan(queries, ds_min, ds_max);
 
+  // Queries the planner answered without running any engine code (their
+  // group's length bucket cannot intersect the dataset's length range).
+  SearchStats exec_stats;
+  for (const QueryGroup& g : plan.groups) {
+    if (g.skip) exec_stats.planner_skipped_queries += g.num_queries;
+  }
+
   size_t active_groups = 0;
   for (const QueryGroup& g : plan.groups) active_groups += g.skip ? 0 : 1;
-  if (active_groups == 0) return result;
+  if (active_groups == 0) {
+    if (ctx.stats != nullptr) ctx.stats->Record(exec_stats);
+    return result;
+  }
 
   ShardedExecutorOptions executor_options;
   executor_options.num_threads = exec.num_threads;
@@ -227,7 +265,7 @@ BatchResult Searcher::RunShardedBatch(const QuerySet& queries,
   std::vector<std::vector<MatchSpan>> task_spans(tasks.size());
   std::vector<size_t> task_done(tasks.size());
   for (size_t t = 0; t < tasks.size(); ++t) task_done[t] = tasks[t].queries.begin;
-  executor.Run(
+  const size_t helpers_spawned = executor.Run(
       tasks.size(),
       [&](size_t t, ShardScratch* scratch) {
         const ShardTask& task = tasks[t];
@@ -301,6 +339,28 @@ BatchResult Searcher::RunShardedBatch(const QuerySet& queries,
     }
   }
   result.truncated = result.completed < queries.size();
+
+  if (ctx.stats != nullptr) {
+    exec_stats.pool_opens = helpers_spawned;
+    exec_stats.pool_closes = helpers_spawned;
+    uint64_t total_tasks = 0;
+    for (size_t w = 0; w < workers; ++w) {
+      total_tasks += executor.scratch(w).tasks_run;
+    }
+    exec_stats.tasks_executed = total_tasks;
+    // Tasks a worker ran beyond its fair share (⌈tasks/active workers⌉)
+    // were dynamically drained from slower workers.
+    const size_t active_workers = std::min(workers, tasks.size());
+    const uint64_t fair =
+        active_workers == 0
+            ? total_tasks
+            : (total_tasks + active_workers - 1) / active_workers;
+    for (size_t w = 0; w < workers; ++w) {
+      const uint64_t ran = executor.scratch(w).tasks_run;
+      if (ran > fair) exec_stats.tasks_stolen += ran - fair;
+    }
+    ctx.stats->Record(exec_stats);
+  }
   return result;
 }
 
@@ -320,6 +380,22 @@ std::string ToString(EngineKind kind) {
       return "packed_dna_scan";
     case EngineKind::kBKTree:
       return "bk_tree";
+  }
+  return "?";
+}
+
+std::string ToString(ExecutionStrategy strategy) {
+  switch (strategy) {
+    case ExecutionStrategy::kSerial:
+      return "serial";
+    case ExecutionStrategy::kThreadPerQuery:
+      return "thread_per_query";
+    case ExecutionStrategy::kFixedPool:
+      return "fixed_pool";
+    case ExecutionStrategy::kAdaptive:
+      return "adaptive";
+    case ExecutionStrategy::kSharded:
+      return "sharded";
   }
   return "?";
 }

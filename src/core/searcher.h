@@ -147,6 +147,9 @@ enum class EngineKind {
 /// \brief Human-readable engine name.
 std::string ToString(EngineKind kind);
 
+/// \brief Strategy name for reports ("serial", "thread_per_query", ...).
+std::string ToString(ExecutionStrategy strategy);
+
 /// \brief Builds an engine of `kind` over `dataset` with default engine
 /// options. The dataset must outlive the returned searcher.
 Result<std::unique_ptr<Searcher>> MakeSearcher(EngineKind kind,

@@ -4,6 +4,7 @@
 
 #include "core/internal/banded_row.h"
 #include "util/macros.h"
+#include "util/search_stats.h"
 
 namespace sss {
 
@@ -86,6 +87,10 @@ Status TrieSearcher::SearchBanded(const Query& query, const SearchContext& ctx,
   std::vector<Frame> stack;
   stack.push_back(Frame{0, 0, 0});
 
+  StatsScope stats(ctx.stats);
+  ++stats->trie_nodes_visited;  // root
+  const size_t out_before = out->size();
+
   StopChecker stopper(ctx);
   while (!stack.empty()) {
     if (SSS_PREDICT_FALSE(stopper.ShouldStop())) {
@@ -109,18 +114,24 @@ Status TrieSearcher::SearchBanded(const Query& query, const SearchContext& ctx,
       // range must intersect [l_q − k, l_q + k].
       if (static_cast<int>(child.min_len) > lq + k ||
           static_cast<int>(child.max_len) < lq - k) {
+        ++stats->trie_nodes_pruned;
         continue;
       }
       const int child_depth = frame.depth + 1;
       // Row bound: the band minimum never decreases with depth.
-      if (rows.Advance(child_depth, label) > k) continue;
+      if (rows.Advance(child_depth, label) > k) {
+        ++stats->trie_nodes_pruned;
+        continue;
+      }
       stack.push_back(Frame{child_idx, child_depth, 0});
+      ++stats->trie_nodes_visited;
       descended = true;
       break;
     }
     if (!descended) stack.pop_back();
   }
 
+  stats->matches_found += out->size() - out_before;
   std::sort(out->begin(), out->end());
   return Status::OK();
 }
@@ -141,6 +152,10 @@ Status TrieSearcher::SearchPaperRule(const Query& query,
   };
   std::vector<Frame> stack;
   stack.push_back(Frame{0, 0, 0});
+
+  StatsScope stats(ctx.stats);
+  ++stats->trie_nodes_visited;  // root
+  const size_t out_before = out->size();
 
   StopChecker stopper(ctx);
   while (!stack.empty()) {
@@ -172,15 +187,18 @@ Status TrieSearcher::SearchPaperRule(const Query& query,
       const int d_m =
           internal::PaperLengthSlack(lq, child.min_len, child.max_len);
       if (rows.PrefixDistance(child_depth) > k + d_m && row_min > k) {
+        ++stats->trie_nodes_pruned;
         continue;
       }
       stack.push_back(Frame{child_idx, child_depth, 0});
+      ++stats->trie_nodes_visited;
       descended = true;
       break;
     }
     if (!descended) stack.pop_back();
   }
 
+  stats->matches_found += out->size() - out_before;
   std::sort(out->begin(), out->end());
   return Status::OK();
 }

@@ -20,9 +20,9 @@ ShardedExecutor::ShardedExecutor(ShardedExecutorOptions options) {
   }
 }
 
-void ShardedExecutor::Run(size_t num_tasks, const TaskFn& fn,
-                          const SearchContext* stop) {
-  if (num_tasks == 0) return;
+size_t ShardedExecutor::Run(size_t num_tasks, const TaskFn& fn,
+                            const SearchContext* stop) {
+  if (num_tasks == 0) return 0;
 
   std::atomic<size_t> cursor{0};
   const auto drain = [&](ShardScratch* scratch) {
@@ -46,6 +46,7 @@ void ShardedExecutor::Run(size_t num_tasks, const TaskFn& fn,
   }
   drain(scratches_[0].get());
   for (std::thread& t : helpers) t.join();
+  return helpers.size();
 }
 
 void ShardedExecutor::ResetScratch() {

@@ -66,8 +66,12 @@ class ShardedExecutor {
   /// be called repeatedly; scratch (arena contents included) persists across
   /// calls. When `stop` requests a stop, workers stop claiming: unclaimed
   /// tasks are never invoked, and all workers still join before Run returns.
-  void Run(size_t num_tasks, const TaskFn& fn,
-           const SearchContext* stop = nullptr);
+  ///
+  /// Returns the number of helper threads spawned for this call (the calling
+  /// thread is worker 0 and is never counted), so callers can report thread
+  /// open/close totals per batch.
+  size_t Run(size_t num_tasks, const TaskFn& fn,
+             const SearchContext* stop = nullptr);
 
   /// \brief Rewinds every worker arena (invalidating prior task output) and
   /// clears stats. Call between batches once output has been merged.

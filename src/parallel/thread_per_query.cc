@@ -7,12 +7,13 @@
 
 namespace sss {
 
-void RunThreadPerItem(size_t n, const std::function<void(size_t)>& fn,
-                      size_t max_live, const SearchContext* stop) {
+size_t RunThreadPerItem(size_t n, const std::function<void(size_t)>& fn,
+                        size_t max_live, const SearchContext* stop) {
   if (max_live == 0) max_live = n;
   std::vector<std::thread> live;
   live.reserve(max_live);
   size_t next = 0;
+  size_t spawned = 0;
   while (next < n) {
     if (stop != nullptr && stop->StopRequested()) break;
     while (live.size() < max_live && next < n) {
@@ -22,11 +23,13 @@ void RunThreadPerItem(size_t n, const std::function<void(size_t)>& fn,
         SSS_FAILPOINT("thread_per_query:task");
         fn(i);
       });
+      ++spawned;
     }
     // Strategy 1 joins in spawn order — deliberately naive, as in the paper.
     for (std::thread& t : live) t.join();
     live.clear();
   }
+  return spawned;
 }
 
 }  // namespace sss

@@ -22,7 +22,12 @@ namespace sss {
 /// When `stop` requests a stop, no further threads are spawned; already
 /// spawned threads are joined as usual (in-progress work stops
 /// cooperatively, via the SearchContext the items themselves observe).
-void RunThreadPerItem(size_t n, const std::function<void(size_t)>& fn,
-                      size_t max_live = 0, const SearchContext* stop = nullptr);
+///
+/// Returns the number of threads actually spawned (== items executed; less
+/// than n only when a stop request cut the batch short). Strategy 1 opens
+/// and closes one thread per item, so this doubles as its open/close count.
+size_t RunThreadPerItem(size_t n, const std::function<void(size_t)>& fn,
+                        size_t max_live = 0,
+                        const SearchContext* stop = nullptr);
 
 }  // namespace sss

@@ -93,21 +93,40 @@ void ThreadPool::StaticParallelFor(size_t n,
 
 void ThreadPool::DynamicParallelFor(size_t n,
                                     const std::function<void(size_t)>& fn,
-                                    size_t chunk, const SearchContext* stop) {
+                                    size_t chunk, const SearchContext* stop,
+                                    PoolRunStats* run_stats) {
   if (chunk == 0) chunk = 1;
   auto cursor = std::make_shared<std::atomic<size_t>>(0);
+  // One claim counter per worker; only worker w touches slot w, so the
+  // vector needs no synchronization beyond the pool's own barrier.
+  auto claims = std::make_shared<std::vector<uint64_t>>(num_threads(), 0);
   for (size_t w = 0; w < num_threads(); ++w) {
-    Submit([cursor, n, chunk, &fn, stop] {
+    Submit([cursor, claims, w, n, chunk, &fn, stop] {
       for (;;) {
         if (stop != nullptr && stop->StopRequested()) return;
         const size_t begin = cursor->fetch_add(chunk);
         if (begin >= n) return;
+        ++(*claims)[w];
         const size_t end = begin + chunk < n ? begin + chunk : n;
         for (size_t i = begin; i < end; ++i) fn(i);
       }
     });
   }
   Wait();
+  if (run_stats != nullptr) {
+    uint64_t total = 0;
+    for (uint64_t c : *claims) total += c;
+    // A worker's fair share under static partitioning; anything beyond it
+    // was dynamically taken over from slower workers.
+    const uint64_t fair =
+        num_threads() == 0 ? total : (total + num_threads() - 1) / num_threads();
+    uint64_t stolen = 0;
+    for (uint64_t c : *claims) {
+      if (c > fair) stolen += c - fair;
+    }
+    run_stats->chunks_executed = total;
+    run_stats->chunks_stolen = stolen;
+  }
 }
 
 }  // namespace sss

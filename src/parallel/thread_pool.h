@@ -16,6 +16,17 @@
 
 namespace sss {
 
+/// \brief Scheduling counters for one DynamicParallelFor call.
+///
+/// `chunks_executed` is the number of chunk claims that did work;
+/// `chunks_stolen` is how many of those exceeded a worker's fair share
+/// (⌈chunks/workers⌉) — the chunks a fast worker took over from slow ones,
+/// i.e. how much the dynamic cursor actually rebalanced.
+struct PoolRunStats {
+  uint64_t chunks_executed = 0;
+  uint64_t chunks_stolen = 0;
+};
+
 /// \brief A fixed set of worker threads consuming a shared task queue.
 class ThreadPool {
  public:
@@ -42,10 +53,12 @@ class ThreadPool {
   /// \brief Like StaticParallelFor but with dynamic (work-stealing-ish)
   /// chunked scheduling via a shared atomic cursor — better when per-item
   /// cost is skewed, as it is across similarity queries. Stop conditions are
-  /// checked once per chunk claim.
+  /// checked once per chunk claim. When `run_stats` is non-null it is filled
+  /// with this call's scheduling counters after the barrier.
   void DynamicParallelFor(size_t n, const std::function<void(size_t)>& fn,
                           size_t chunk = 1,
-                          const SearchContext* stop = nullptr);
+                          const SearchContext* stop = nullptr,
+                          PoolRunStats* run_stats = nullptr);
 
   /// \brief Discards every queued-but-not-started task and returns how many
   /// were dropped. Running tasks are unaffected (cancellation of in-progress

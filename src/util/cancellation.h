@@ -20,6 +20,8 @@
 
 namespace sss {
 
+class StatsSink;  // util/search_stats.h; borrowed via SearchContext::stats
+
 /// \brief A sticky thread-safe cancel flag shared between a controller and
 /// any number of workers. The controller calls Cancel(); workers poll
 /// IsCancelled(). Tokens are typically stack-owned by the caller driving a
@@ -104,6 +106,10 @@ struct SearchContext {
   /// cost, so the interval trades responsiveness for throughput; the
   /// default keeps serial scans within noise of an uncancellable build.
   uint32_t check_interval = 1024;
+  /// Optional observability sink (nullptr = collection disabled, the
+  /// default). Engines fold per-call SearchStats deltas into it; executors
+  /// add pool/task counters once per batch. See util/search_stats.h.
+  StatsSink* stats = nullptr;
 
   /// \brief True iff this context can ever request a stop. Loops with an
   /// inactive context skip stop polling entirely.

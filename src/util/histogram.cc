@@ -15,10 +15,17 @@ size_t LatencyHistogram::BucketOf(uint64_t value) noexcept {
     // Small values map linearly into the first octaves' range.
     return static_cast<size_t>(value);
   }
-  const int capped = octave >= kOctaves ? kOctaves - 1 : octave;
+  if (octave >= kOctaves) {
+    // Beyond the tracked range. Shifting by the capped octave would take the
+    // sub-index from bits the value has outgrown, wrapping huge values into
+    // *low* sub-buckets of the top octave (non-monotonic, and yielding
+    // bucket bounds far below the recorded minimum). Saturate to the last
+    // bucket instead.
+    return static_cast<size_t>(kOctaves) * kSubBuckets - 1;
+  }
   const uint64_t sub =
-      (value >> (capped - kSubBucketBits)) & (kSubBuckets - 1);
-  return static_cast<size_t>(capped) * kSubBuckets +
+      (value >> (octave - kSubBucketBits)) & (kSubBuckets - 1);
+  return static_cast<size_t>(octave) * kSubBuckets +
          static_cast<size_t>(sub);
 }
 
@@ -71,8 +78,14 @@ uint64_t LatencyHistogram::Percentile(double q) const noexcept {
   for (size_t b = 0; b < buckets_.size(); ++b) {
     seen += buckets_[b].load(std::memory_order_relaxed);
     if (seen >= target) {
+      // Clamp the bucket's upper bound into [min, max]: a lone value near
+      // the top of its bucket reports the bucket bound, which can otherwise
+      // overshoot the true maximum or (for the low quantiles of a bucket
+      // shared with the minimum) undershoot the true minimum.
       const uint64_t bound = BucketUpperBound(b);
+      const uint64_t lo = min_.load(std::memory_order_relaxed);
       const uint64_t hi = max_.load(std::memory_order_relaxed);
+      if (bound < lo) return lo;
       return bound < hi ? bound : hi;
     }
   }
@@ -87,6 +100,20 @@ std::string LatencyHistogram::Summary(const char* unit) const {
                 static_cast<unsigned long long>(Percentile(0.90)), unit,
                 static_cast<unsigned long long>(Percentile(0.99)), unit,
                 static_cast<unsigned long long>(max()), unit,
+                static_cast<unsigned long long>(count()));
+  return std::string(buf);
+}
+
+std::string LatencyHistogram::ScaledSummary(double divisor,
+                                            const char* unit) const {
+  if (divisor <= 0) divisor = 1;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "p50=%.2f%s p90=%.2f%s p99=%.2f%s max=%.2f%s (n=%llu)",
+                static_cast<double>(Percentile(0.50)) / divisor, unit,
+                static_cast<double>(Percentile(0.90)) / divisor, unit,
+                static_cast<double>(Percentile(0.99)) / divisor, unit,
+                static_cast<double>(max()) / divisor, unit,
                 static_cast<unsigned long long>(count()));
   return std::string(buf);
 }

@@ -39,6 +39,12 @@ class LatencyHistogram {
   /// \brief "p50=… p90=… p99=… max=…" with a unit suffix.
   std::string Summary(const char* unit) const;
 
+  /// \brief Like Summary but with every value divided by `divisor` and
+  /// printed with two decimals — record in nanoseconds, report in the unit
+  /// the reader expects (e.g. divisor 1e3 and unit "us") without the
+  /// sub-unit truncation an integer Record would bake in.
+  std::string ScaledSummary(double divisor, const char* unit) const;
+
   /// \brief Forgets every recorded value.
   void Reset();
 

@@ -1,0 +1,89 @@
+#include "util/search_stats.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+namespace sss {
+
+void SearchStats::Add(const SearchStats& other) noexcept {
+#define SSS_ADD_STAT(name) name += other.name;
+  SSS_FOR_EACH_SEARCH_STAT(SSS_ADD_STAT)
+#undef SSS_ADD_STAT
+}
+
+void SearchStats::AddKernelDelta(const KernelCounters& after,
+                                 const KernelCounters& before) noexcept {
+  kernel_banded_calls += after.banded_calls - before.banded_calls;
+  kernel_myers_calls += after.myers_calls - before.myers_calls;
+  dp_early_aborts += after.early_aborts - before.early_aborts;
+}
+
+void SearchStats::AppendJson(std::string* out) const {
+  char buf[96];
+  out->push_back('{');
+  bool first = true;
+#define SSS_JSON_STAT(name)                                              \
+  {                                                                      \
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%" PRIu64,                 \
+                  first ? "" : ",", #name, name);                        \
+    out->append(buf);                                                    \
+    first = false;                                                       \
+  }
+  SSS_FOR_EACH_SEARCH_STAT(SSS_JSON_STAT)
+#undef SSS_JSON_STAT
+  out->push_back('}');
+}
+
+std::string SearchStats::ToJson() const {
+  std::string out;
+  AppendJson(&out);
+  return out;
+}
+
+std::string SearchStats::ToString() const {
+  std::string out;
+  char buf[96];
+#define SSS_TEXT_STAT(name)                                       \
+  {                                                               \
+    std::snprintf(buf, sizeof(buf), "%s=%" PRIu64 "\n", #name,    \
+                  name);                                          \
+    out.append(buf);                                              \
+  }
+  SSS_FOR_EACH_SEARCH_STAT(SSS_TEXT_STAT)
+#undef SSS_TEXT_STAT
+  if (!out.empty()) out.pop_back();  // trailing newline
+  return out;
+}
+
+StatsSink::StatsSink() = default;
+
+size_t StatsSink::ShardIndex() const noexcept {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+         kShards;
+}
+
+void StatsSink::Record(const SearchStats& delta) noexcept {
+  Shard& shard = shards_[ShardIndex()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.stats.Add(delta);
+}
+
+SearchStats StatsSink::Collected() const {
+  SearchStats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.Add(shard.stats);
+  }
+  return total;
+}
+
+void StatsSink::Reset() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.stats = SearchStats{};
+  }
+}
+
+}  // namespace sss

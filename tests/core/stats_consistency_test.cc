@@ -1,0 +1,219 @@
+// The observability acceptance test: the engine-side counters an engine
+// reports for a batch must not depend on which execution strategy ran it.
+// Execution-layer counters (pool opens, task claims) legitimately differ per
+// strategy and are checked separately for their own invariants.
+#include <gtest/gtest.h>
+
+#include "core/searcher.h"
+#include "test_util.h"
+#include "util/random.h"
+#include "util/search_stats.h"
+
+namespace sss {
+namespace {
+
+using sss::testing::RandomDataset;
+using sss::testing::RandomString;
+
+constexpr ExecutionStrategy kAllStrategies[] = {
+    ExecutionStrategy::kSerial, ExecutionStrategy::kThreadPerQuery,
+    ExecutionStrategy::kFixedPool, ExecutionStrategy::kAdaptive,
+    ExecutionStrategy::kSharded};
+
+// Zeroes the counters owned by the execution layer, leaving only what the
+// engine itself reported. planner_skipped_queries is also execution-side:
+// only the sharded planner groups (and thus can skip) queries.
+SearchStats EngineSide(SearchStats s) {
+  s.planner_skipped_queries = 0;
+  s.pool_opens = 0;
+  s.pool_closes = 0;
+  s.tasks_executed = 0;
+  s.tasks_stolen = 0;
+  return s;
+}
+
+SearchStats CollectBatchStats(const Searcher& searcher,
+                              const QuerySet& queries,
+                              ExecutionStrategy strategy) {
+  StatsSink sink;
+  SearchContext ctx;
+  ctx.stats = &sink;
+  const BatchResult batch = searcher.SearchBatch(queries, {strategy, 4}, ctx);
+  EXPECT_FALSE(batch.truncated) << static_cast<int>(strategy);
+  EXPECT_EQ(batch.completed, queries.size()) << static_cast<int>(strategy);
+  return sink.Collected();
+}
+
+// Query lengths stay within the dataset's length range: a query the batch
+// planner can prove unanswerable is skipped by the sharded strategy without
+// running any engine code, so it legitimately records less engine-side work
+// than the strategies that execute it (covered by PlannerSkipsCountQueries).
+QuerySet MakeQueries(Xoshiro256* rng, const char* alphabet, int count,
+                     int max_len, int max_k) {
+  QuerySet queries;
+  for (int i = 0; i < count; ++i) {
+    queries.push_back({RandomString(rng, alphabet, 1, max_len),
+                       static_cast<int>(rng->Uniform(max_k + 1))});
+  }
+  return queries;
+}
+
+TEST(StatsConsistencyTest, ScanCountersIdenticalAcrossStrategies) {
+  Xoshiro256 rng(0x57A7);
+  Dataset d = RandomDataset(&rng, "abcdefgh -", 250, 1, 30);
+  auto searcher =
+      std::move(MakeSearcher(EngineKind::kSequentialScan, d)).ValueOrDie();
+  const QuerySet queries = MakeQueries(&rng, "abcdefgh -", 40, 30, 2);
+
+  const SearchStats serial = EngineSide(
+      CollectBatchStats(*searcher, queries, ExecutionStrategy::kSerial));
+  // The scan visits every string for every query, funnels through the
+  // length filter, and verifies the survivors with the banded kernel.
+  EXPECT_EQ(serial.candidates_considered, queries.size() * d.size());
+  EXPECT_GT(serial.length_filter_rejects, 0u);
+  EXPECT_GT(serial.verify_calls, 0u);
+  EXPECT_GT(serial.dp_early_aborts, 0u);
+  EXPECT_EQ(serial.candidates_considered,
+            serial.length_filter_rejects + serial.frequency_filter_rejects +
+                serial.verify_calls);
+
+  for (ExecutionStrategy strategy : kAllStrategies) {
+    if (strategy == ExecutionStrategy::kSerial) continue;
+    const SearchStats got =
+        EngineSide(CollectBatchStats(*searcher, queries, strategy));
+    EXPECT_EQ(got, serial) << "strategy " << ToString(strategy) << "\nserial:\n"
+                           << serial.ToString() << "\ngot:\n"
+                           << got.ToString();
+  }
+}
+
+TEST(StatsConsistencyTest, IndexEngineCountersIdenticalAcrossStrategies) {
+  Xoshiro256 rng(0x57A8);
+  Dataset d = RandomDataset(&rng, "abcd", 200, 1, 20);
+  const QuerySet queries = MakeQueries(&rng, "abcd", 24, 20, 2);
+  for (EngineKind kind :
+       {EngineKind::kTrieIndex, EngineKind::kCompressedTrieIndex,
+        EngineKind::kQGramIndex, EngineKind::kPartitionIndex,
+        EngineKind::kBKTree}) {
+    auto searcher = std::move(MakeSearcher(kind, d)).ValueOrDie();
+    const SearchStats serial = EngineSide(
+        CollectBatchStats(*searcher, queries, ExecutionStrategy::kSerial));
+    EXPECT_GT(serial.matches_found, 0u) << ToString(kind);
+    for (ExecutionStrategy strategy : kAllStrategies) {
+      if (strategy == ExecutionStrategy::kSerial) continue;
+      const SearchStats got =
+          EngineSide(CollectBatchStats(*searcher, queries, strategy));
+      EXPECT_EQ(got, serial)
+          << ToString(kind) << " under " << ToString(strategy) << "\nserial:\n"
+          << serial.ToString() << "\ngot:\n"
+          << got.ToString();
+    }
+  }
+}
+
+TEST(StatsConsistencyTest, PlannerSkipsCountQueries) {
+  // Queries provably unanswerable from their length alone (longer than the
+  // longest string plus k) are answered by the sharded planner without
+  // touching the engine — and the skip is visible in the stats.
+  Xoshiro256 rng(0x57AD);
+  Dataset d = RandomDataset(&rng, "abcd", 100, 1, 10);
+  auto searcher =
+      std::move(MakeSearcher(EngineKind::kSequentialScan, d)).ValueOrDie();
+  QuerySet queries = MakeQueries(&rng, "abcd", 8, 10, 1);
+  const size_t impossible = 4;
+  for (size_t i = 0; i < impossible; ++i) {
+    queries.push_back({RandomString(&rng, "abcd", 40, 40), 1});
+  }
+  const SearchStats sharded =
+      CollectBatchStats(*searcher, queries, ExecutionStrategy::kSharded);
+  EXPECT_EQ(sharded.planner_skipped_queries, impossible);
+  // The serial driver runs every query; nothing is planner-skipped.
+  const SearchStats serial =
+      CollectBatchStats(*searcher, queries, ExecutionStrategy::kSerial);
+  EXPECT_EQ(serial.planner_skipped_queries, 0u);
+}
+
+TEST(StatsConsistencyTest, TrieReportsTraversalWork) {
+  Xoshiro256 rng(0x57A9);
+  Dataset d = RandomDataset(&rng, "abcd", 300, 2, 16);
+  auto searcher =
+      std::move(MakeSearcher(EngineKind::kTrieIndex, d)).ValueOrDie();
+  const QuerySet queries = MakeQueries(&rng, "abcd", 16, 16, 1);
+  const SearchStats stats =
+      CollectBatchStats(*searcher, queries, ExecutionStrategy::kSerial);
+  EXPECT_GT(stats.trie_nodes_visited, 0u);
+  EXPECT_GT(stats.trie_nodes_pruned, 0u);
+}
+
+TEST(StatsConsistencyTest, MatchesFoundAgreesWithReturnedMatches) {
+  Xoshiro256 rng(0x57AA);
+  Dataset d = RandomDataset(&rng, "abc", 150, 1, 10);
+  const QuerySet queries = MakeQueries(&rng, "abc", 20, 10, 2);
+  for (EngineKind kind :
+       {EngineKind::kSequentialScan, EngineKind::kTrieIndex,
+        EngineKind::kQGramIndex, EngineKind::kPartitionIndex}) {
+    auto searcher = std::move(MakeSearcher(kind, d)).ValueOrDie();
+    StatsSink sink;
+    SearchContext ctx;
+    ctx.stats = &sink;
+    const BatchResult batch =
+        searcher->SearchBatch(queries, {ExecutionStrategy::kSerial, 0}, ctx);
+    size_t total_matches = 0;
+    for (const MatchList& m : batch.matches) total_matches += m.size();
+    EXPECT_EQ(sink.Collected().matches_found, total_matches) << ToString(kind);
+  }
+}
+
+TEST(StatsConsistencyTest, ExecutorCountersReflectStrategy) {
+  Xoshiro256 rng(0x57AB);
+  Dataset d = RandomDataset(&rng, "abcd", 100, 1, 12);
+  auto searcher =
+      std::move(MakeSearcher(EngineKind::kSequentialScan, d)).ValueOrDie();
+  const QuerySet queries = MakeQueries(&rng, "abcd", 12, 12, 1);
+
+  const SearchStats serial =
+      CollectBatchStats(*searcher, queries, ExecutionStrategy::kSerial);
+  EXPECT_EQ(serial.pool_opens, 0u);
+  EXPECT_EQ(serial.tasks_executed, queries.size());
+
+  const SearchStats per_query =
+      CollectBatchStats(*searcher, queries, ExecutionStrategy::kThreadPerQuery);
+  EXPECT_EQ(per_query.pool_opens, queries.size());
+  EXPECT_EQ(per_query.pool_closes, queries.size());
+  EXPECT_EQ(per_query.tasks_executed, queries.size());
+
+  const SearchStats pooled =
+      CollectBatchStats(*searcher, queries, ExecutionStrategy::kFixedPool);
+  EXPECT_GT(pooled.pool_opens, 0u);
+  EXPECT_EQ(pooled.pool_opens, pooled.pool_closes);
+  EXPECT_GT(pooled.tasks_executed, 0u);
+
+  const SearchStats adaptive =
+      CollectBatchStats(*searcher, queries, ExecutionStrategy::kAdaptive);
+  EXPECT_EQ(adaptive.tasks_executed, queries.size());
+  EXPECT_EQ(adaptive.pool_opens, adaptive.pool_closes);
+
+  const SearchStats sharded =
+      CollectBatchStats(*searcher, queries, ExecutionStrategy::kSharded);
+  EXPECT_GT(sharded.tasks_executed, 0u);
+  EXPECT_EQ(sharded.pool_opens, sharded.pool_closes);
+}
+
+TEST(StatsConsistencyTest, NoSinkMeansNoCrash) {
+  Xoshiro256 rng(0x57AC);
+  Dataset d = RandomDataset(&rng, "ab", 50, 1, 8);
+  const QuerySet queries = MakeQueries(&rng, "ab", 8, 8, 1);
+  for (EngineKind kind :
+       {EngineKind::kSequentialScan, EngineKind::kTrieIndex,
+        EngineKind::kQGramIndex}) {
+    auto searcher = std::move(MakeSearcher(kind, d)).ValueOrDie();
+    for (ExecutionStrategy strategy : kAllStrategies) {
+      const BatchResult batch =
+          searcher->SearchBatch(queries, {strategy, 2}, SearchContext{});
+      EXPECT_EQ(batch.completed, queries.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sss

@@ -76,6 +76,70 @@ TEST(HistogramTest, HandlesHugeValues) {
   EXPECT_GT(h.Percentile(0.99), uint64_t{1} << 46);
 }
 
+TEST(HistogramTest, LinearRegionIsExact) {
+  // Values below 2^kSubBucketBits get one bucket each, so percentiles in
+  // the linear region carry no bucketing error at all.
+  LatencyHistogram h;
+  for (uint64_t v = 1; v <= 15; ++v) h.Record(v);
+  EXPECT_EQ(h.Percentile(0.0), 1u);
+  EXPECT_EQ(h.Percentile(0.5), 8u);
+  EXPECT_EQ(h.Percentile(1.0), 15u);
+  for (uint64_t v = 1; v <= 15; ++v) {
+    LatencyHistogram single;
+    single.Record(v);
+    EXPECT_EQ(single.Percentile(0.5), v) << v;
+  }
+}
+
+TEST(HistogramTest, ExactPowersOfTwoStayInBounds) {
+  for (int octave = 0; octave < 63; ++octave) {
+    LatencyHistogram h;
+    const uint64_t v = uint64_t{1} << octave;
+    h.Record(v);
+    // Every percentile of a single-value histogram must be the value itself:
+    // the bucket bound is clamped into [min, max] = [v, v].
+    EXPECT_EQ(h.Percentile(0.0), v) << octave;
+    EXPECT_EQ(h.Percentile(0.5), v) << octave;
+    EXPECT_EQ(h.Percentile(1.0), v) << octave;
+  }
+}
+
+TEST(HistogramTest, ValuesBeyondLastOctaveNeverReportBelowMin) {
+  // Values ≥ 2^48 outgrow the bucket table. The former sub-index shift
+  // wrapped them into low sub-buckets of the top octave, whose upper bound
+  // sits far below the recorded minimum — percentiles must clamp up to min.
+  LatencyHistogram h;
+  const uint64_t huge = uint64_t{1} << 55;
+  h.Record(huge);
+  h.Record(huge + 12345);
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_GE(h.Percentile(q), h.min()) << q;
+    EXPECT_LE(h.Percentile(q), h.max()) << q;
+  }
+}
+
+TEST(HistogramTest, PercentileMonotoneInQ) {
+  Xoshiro256 rng(0xBEEF);
+  LatencyHistogram h;
+  for (int i = 0; i < 10000; ++i) h.Record(1 + rng.Uniform(1 << 24));
+  uint64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const uint64_t p = h.Percentile(q);
+    EXPECT_GE(p, prev) << q;
+    prev = p;
+  }
+  EXPECT_EQ(h.Percentile(1.0), h.max());
+}
+
+TEST(HistogramTest, ScaledSummaryDividesValues) {
+  LatencyHistogram h;
+  h.Record(2500);  // 2.5 units after dividing by 1000
+  const std::string s = h.ScaledSummary(1e3, "us");
+  EXPECT_NE(s.find("p50=2.5"), std::string::npos) << s;
+  EXPECT_NE(s.find("us"), std::string::npos);
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+}
+
 TEST(HistogramTest, ResetClearsEverything) {
   LatencyHistogram h;
   for (int i = 0; i < 100; ++i) h.Record(50);

@@ -26,6 +26,7 @@
 #include "util/flags.h"
 #include "util/histogram.h"
 #include "util/random.h"
+#include "util/search_stats.h"
 #include "util/stopwatch.h"
 
 // Unwraps a Result into a declaration, or exits the subcommand with the
@@ -62,6 +63,7 @@ int Usage() {
                "           [--threads N] [--shard-size N] [--bucket-width N]\n"
                "           [--deadline-ms MS] [--max-line-bytes N]\n"
                "           [--out FILE] [--dna] [--latency]\n"
+               "           [--stats] [--stats-json]\n"
                "  join     --data FILE --k K [--out FILE] [--threads N] [--dna]\n"
                "  stats    --data FILE [--dna] [--max-line-bytes N]\n"
                "exit codes: 0 ok, 1 error, 2 usage, 3 I/O error,\n"
@@ -216,8 +218,13 @@ int RunSearch(const FlagSet& flags) {
   exec.length_bucket_width =
       bucket_width > 0 ? static_cast<size_t>(bucket_width) : 8;
 
+  const bool want_stats = flags.Has("stats");
+  const bool want_stats_json = flags.Has("stats-json");
+
   SearchContext ctx;
   if (deadline_ms > 0) ctx.deadline = Deadline::AfterMillis(deadline_ms);
+  StatsSink sink;
+  if (want_stats || want_stats_json) ctx.stats = &sink;
 
   // The paper's measurement (§5.2): only the result computation is timed.
   Stopwatch query_timer;
@@ -236,16 +243,41 @@ int RunSearch(const FlagSet& flags) {
                        : query_seconds * 1e3 /
                              static_cast<double>(queries->size()));
 
+  if (want_stats) {
+    std::printf("%s\n", sink.Collected().ToString().c_str());
+  }
+  if (want_stats_json) {
+    std::string json;
+    json += "{\"schema_version\":1,\"engine\":\"";
+    json += (*searcher)->name();
+    json += "\",\"strategy\":\"";
+    json += ToString(*strategy);
+    json += "\"";
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  ",\"queries\":%zu,\"completed\":%zu,\"matches\":%zu,"
+                  "\"build_seconds\":%.6f,\"query_seconds\":%.6f,\"stats\":",
+                  queries->size(), batch.completed, total_matches,
+                  build_seconds, query_seconds);
+    json += buf;
+    sink.Collected().AppendJson(&json);
+    json += "}";
+    std::printf("%s\n", json.c_str());
+  }
+
   // Optional per-query latency distribution (serial pass; the parallel
-  // batch above reports throughput, this reports the tail).
+  // batch above reports throughput, this reports the tail). Recorded in
+  // nanoseconds — integer microseconds would floor sub-µs queries to 0 —
+  // and scaled to µs only for display.
   if (flags.Has("latency")) {
     LatencyHistogram histogram;
     for (const Query& q : *queries) {
       Stopwatch t;
       benchmark_results_sink_ += (*searcher)->Search(q).size();
-      histogram.Record(static_cast<uint64_t>(t.ElapsedNanos() / 1000));
+      histogram.Record(static_cast<uint64_t>(t.ElapsedNanos()));
     }
-    std::printf("per-query latency: %s\n", histogram.Summary("us").c_str());
+    std::printf("per-query latency: %s\n",
+                histogram.ScaledSummary(1e3, "us").c_str());
   }
 
   const std::string out = flags.GetString("out", "");
