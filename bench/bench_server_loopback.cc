@@ -1,0 +1,144 @@
+// Serving-layer overhead: the same city-name query batch answered by the
+// in-process engine vs. over the loopback TCP server (framing + socket
+// round-trip + admission + per-request SearchContext). The delta is the
+// cost of putting sss_server in front of a searcher.
+//
+//   BM_InProcessBatch   — serial SearchBatch, no serving layer
+//   BM_Loopback/N       — N client connections splitting the batch, each in
+//                         a closed loop (connect once, then request/await)
+//
+// --json writes BENCH_server_loopback.json: the in-process run via the
+// standard batch path, the loopback runs with client-observed latency and
+// the server's accumulated SearchStats (engine counters + server_* serving
+// counters from the same sink).
+#include "bench_common.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+#include "server/server.h"
+
+namespace sss::bench {
+namespace {
+
+// One server over the shared workload for the whole process, torn down by
+// the static destructor after the last benchmark ran.
+class LoopbackFixture {
+ public:
+  static LoopbackFixture& Instance() {
+    static LoopbackFixture fixture;
+    return fixture;
+  }
+
+  uint16_t port() const { return server_->port(); }
+  const StatsSink& sink() const { return sink_; }
+
+ private:
+  LoopbackFixture() {
+    const BenchWorkload& w = SharedWorkload(gen::WorkloadKind::kCityNames);
+    searcher_ = std::move(MakeSearcher(EngineKind::kSequentialScan,
+                                       w.dataset))
+                    .ValueOrDie();
+    server::ServerOptions options;
+    options.max_inflight = 256;  // never shed: this bench measures latency
+    options.stats = &sink_;
+    server_ = std::make_unique<server::Server>(options);
+    Status st = server_->RegisterEngine(
+        static_cast<uint8_t>(EngineKind::kSequentialScan), searcher_.get());
+    if (st.ok()) st = server_->Start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "loopback fixture: %s\n", st.ToString().c_str());
+      std::abort();
+    }
+  }
+  ~LoopbackFixture() { server_->Stop(); }
+
+  StatsSink sink_;
+  std::unique_ptr<Searcher> searcher_;
+  std::unique_ptr<server::Server> server_;
+};
+
+void BM_InProcessBatch(benchmark::State& state) {
+  const BenchWorkload& w = SharedWorkload(gen::WorkloadKind::kCityNames);
+  auto searcher =
+      std::move(MakeSearcher(EngineKind::kSequentialScan, w.dataset))
+          .ValueOrDie();
+  RunBatchBenchmark(state, *searcher, w.batch_100,
+                    {ExecutionStrategy::kSerial, 0});
+}
+BENCHMARK(BM_InProcessBatch)->Unit(benchmark::kMillisecond);
+
+void BM_Loopback(benchmark::State& state) {
+  const BenchWorkload& w = SharedWorkload(gen::WorkloadKind::kCityNames);
+  const QuerySet& queries = w.batch_100;
+  LoopbackFixture& fixture = LoopbackFixture::Instance();
+  const size_t clients = static_cast<size_t>(state.range(0));
+
+  BenchJson& json = BenchJson::Instance();
+  LatencyHistogram wall_ns;
+  std::atomic<size_t> total_matches{0};
+  std::atomic<size_t> transport_errors{0};
+  uint64_t iterations = 0;
+
+  for (auto _ : state) {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> matches{0};
+    Stopwatch timer;
+    std::vector<std::thread> workers;
+    workers.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      workers.emplace_back([&] {
+        auto client = server::Client::Connect("127.0.0.1", fixture.port());
+        if (!client.ok()) {
+          transport_errors.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        for (;;) {
+          const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= queries.size()) break;
+          server::Response response;
+          const Status st = client->Search(
+              queries[i].text,
+              static_cast<uint32_t>(queries[i].max_distance), 0, &response);
+          if (!st.ok() || response.code != StatusCode::kOk) {
+            transport_errors.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+          matches.fetch_add(response.matches.size(),
+                            std::memory_order_relaxed);
+        }
+      });
+    }
+    for (std::thread& t : workers) t.join();
+    if (json.enabled()) {
+      wall_ns.Record(static_cast<uint64_t>(timer.ElapsedNanos()));
+    }
+    ++iterations;
+    total_matches.store(matches.load());
+    benchmark::DoNotOptimize(total_matches);
+  }
+  state.counters["queries"] = static_cast<double>(queries.size());
+  state.counters["matches"] = static_cast<double>(total_matches.load());
+  state.counters["transport_errors"] =
+      static_cast<double>(transport_errors.load());
+
+  if (json.enabled()) {
+    int k_max = 0;
+    for (const Query& q : queries) {
+      if (q.max_distance > k_max) k_max = q.max_distance;
+    }
+    // The stats snapshot is the server-side sink: engine counters plus the
+    // server_* serving counters, accumulated across iterations.
+    json.AddRun("scan+loopback", "closed-loop", clients, queries.size(),
+                k_max, total_matches.load(), iterations, wall_ns,
+                fixture.sink().Collected());
+  }
+}
+BENCHMARK(BM_Loopback)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sss::bench
+
+SSS_BENCH_MAIN("server_loopback", sss::gen::WorkloadKind::kCityNames)

@@ -1,0 +1,62 @@
+#include "server/client.h"
+
+namespace sss::server {
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port,
+                               const ProtocolLimits& limits) {
+  Client client;
+  SSS_ASSIGN_OR_RETURN(client.socket_, net::ConnectTcp(host, port));
+  client.limits_ = limits;
+  return client;
+}
+
+Status Client::Call(Request request, Response* out) {
+  if (!connected()) return Status::Invalid("Call: not connected");
+  if (request.request_id == 0) request.request_id = next_id_++;
+
+  std::string frame;
+  EncodeRequest(request, &frame);
+  SSS_RETURN_NOT_OK(net::WriteFull(socket_.fd(), frame.data(), frame.size()));
+  bytes_sent_ += frame.size();
+
+  uint8_t header[kResponseHeaderBytes];
+  SSS_ASSIGN_OR_RETURN(size_t got,
+                       net::ReadFull(socket_.fd(), header, sizeof(header)));
+  bytes_received_ += got;
+  if (got < sizeof(header)) {
+    return Status::IOError("server closed the connection mid-response (" +
+                           std::to_string(got) + " header bytes)");
+  }
+  uint32_t payload_len = 0;
+  SSS_RETURN_NOT_OK(DecodeResponseHeader(header, limits_, out, &payload_len));
+  std::string payload(payload_len, '\0');
+  if (payload_len > 0) {
+    SSS_ASSIGN_OR_RETURN(got, net::ReadFull(socket_.fd(), payload.data(),
+                                            payload_len));
+    bytes_received_ += got;
+    if (got < payload_len) {
+      return Status::IOError("server closed the connection mid-payload (" +
+                             std::to_string(got) + " of " +
+                             std::to_string(payload_len) + " bytes)");
+    }
+  }
+  SSS_RETURN_NOT_OK(DecodeResponsePayload(payload, out));
+  if (out->request_id != request.request_id) {
+    return Status::Corruption(
+        "response id " + std::to_string(out->request_id) +
+        " does not match request id " + std::to_string(request.request_id));
+  }
+  return Status::OK();
+}
+
+Status Client::Search(std::string_view query, uint32_t k,
+                      uint32_t deadline_ms, Response* out) {
+  Request request;
+  request.engine = kAnyEngine;
+  request.k = k;
+  request.deadline_ms = deadline_ms;
+  request.query.assign(query);
+  return Call(std::move(request), out);
+}
+
+}  // namespace sss::server

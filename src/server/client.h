@@ -1,0 +1,65 @@
+// Blocking client for the sss serving layer: one TCP connection, one
+// request/response exchange at a time. Used by sss_loadgen (one client per
+// worker thread), the loopback bench, and the server tests.
+//
+// Two failure planes, deliberately kept apart:
+//   * the returned Status is the *transport/protocol* outcome — connection
+//     refused, mid-frame disconnect, malformed response. After a non-OK
+//     return the connection is unusable (framing cannot resync); Close()
+//     and reconnect.
+//   * Response::code is the *server-side* outcome (kOk, kUnavailable when
+//     shed, kCancelled on deadline, kInvalid), delivered with Status::OK
+//     because the exchange itself worked.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "server/protocol.h"
+#include "util/net.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace sss::server {
+
+class Client {
+ public:
+  Client() = default;
+  SSS_DISALLOW_COPY_AND_ASSIGN(Client);
+  Client(Client&&) noexcept = default;
+  Client& operator=(Client&&) noexcept = default;
+
+  /// \brief Connects to a running server. `limits` must accept every frame
+  /// the server can send back.
+  static Result<Client> Connect(const std::string& host, uint16_t port,
+                                const ProtocolLimits& limits = {});
+
+  bool connected() const noexcept { return socket_.valid(); }
+
+  /// \brief Sends `request` and blocks for its response. Fills the request
+  /// id from an internal counter when the caller left it 0. Verifies the
+  /// response echoes the request id (mismatch = kCorruption).
+  Status Call(Request request, Response* out);
+
+  /// \brief Convenience Call: one query with threshold `k` and an optional
+  /// per-request deadline against the server's default engine.
+  Status Search(std::string_view query, uint32_t k, uint32_t deadline_ms,
+                Response* out);
+
+  void Close() noexcept { socket_.Close(); }
+
+  /// \brief Wire bytes this client has sent / received (for loadgen's
+  /// client-side mirror of the server byte counters).
+  uint64_t bytes_sent() const noexcept { return bytes_sent_; }
+  uint64_t bytes_received() const noexcept { return bytes_received_; }
+
+ private:
+  net::Socket socket_;
+  ProtocolLimits limits_;
+  uint64_t next_id_ = 1;
+  uint64_t bytes_sent_ = 0;
+  uint64_t bytes_received_ = 0;
+};
+
+}  // namespace sss::server

@@ -1,0 +1,213 @@
+#include "server/protocol.h"
+
+#include <cstring>
+
+namespace sss::server {
+namespace {
+
+// Explicit little-endian stores/loads: the wire format must not depend on
+// host byte order.
+void PutU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v & 0xFFFFFFFFu));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         (static_cast<uint64_t>(GetU32(p + 4)) << 32);
+}
+
+}  // namespace
+
+void EncodeRequest(const Request& request, std::string* out) {
+  out->reserve(out->size() + kRequestHeaderBytes + request.query.size());
+  PutU32(out, kRequestMagic);
+  out->push_back(static_cast<char>(kProtocolVersion));
+  out->push_back(static_cast<char>(FrameType::kSearch));
+  out->push_back(static_cast<char>(request.engine));
+  out->push_back(0);  // reserved
+  PutU64(out, request.request_id);
+  PutU32(out, request.k);
+  PutU32(out, request.deadline_ms);
+  PutU32(out, static_cast<uint32_t>(request.query.size()));
+  PutU32(out, 0);  // reserved
+  out->append(request.query);
+}
+
+void EncodeResponse(const Response& response, std::string* out) {
+  const bool ok = response.code == StatusCode::kOk;
+  const uint32_t count = ok ? static_cast<uint32_t>(response.matches.size())
+                            : static_cast<uint32_t>(response.message.size());
+  const uint32_t payload_len = ok ? count * 4 : count;
+  out->reserve(out->size() + kResponseHeaderBytes + payload_len);
+  PutU32(out, kResponseMagic);
+  out->push_back(static_cast<char>(kProtocolVersion));
+  out->push_back(static_cast<char>(FrameType::kResponse));
+  out->push_back(static_cast<char>(response.code));
+  out->push_back(0);  // reserved
+  PutU64(out, response.request_id);
+  PutU32(out, count);
+  PutU32(out, payload_len);
+  if (ok) {
+    for (const uint32_t id : response.matches) PutU32(out, id);
+  } else {
+    out->append(response.message);
+  }
+}
+
+Status DecodeRequestHeader(const uint8_t* header,
+                           const ProtocolLimits& limits, Request* out,
+                           uint32_t* query_len) {
+  *out = Request{};
+  *query_len = 0;
+  if (GetU32(header) != kRequestMagic) {
+    return Status::Invalid("request frame: bad magic");
+  }
+  // From here the peer speaks our framing: surface the id it sent so error
+  // responses can reference it even when the rest of the header is bad.
+  out->request_id = GetU64(header + 8);
+  if (header[4] != kProtocolVersion) {
+    return Status::Invalid("request frame: unsupported version " +
+                           std::to_string(header[4]));
+  }
+  if (header[5] != static_cast<uint8_t>(FrameType::kSearch)) {
+    return Status::Invalid("request frame: unexpected type " +
+                           std::to_string(header[5]));
+  }
+  if (header[7] != 0 || GetU32(header + 28) != 0) {
+    return Status::Invalid("request frame: nonzero reserved bytes");
+  }
+  out->engine = header[6];
+  out->k = GetU32(header + 16);
+  out->deadline_ms = GetU32(header + 20);
+  const uint32_t len = GetU32(header + 24);
+  if (out->k > limits.max_k) {
+    return Status::Invalid("request frame: k " + std::to_string(out->k) +
+                           " exceeds limit " + std::to_string(limits.max_k));
+  }
+  if (len > limits.max_query_bytes) {
+    return Status::Invalid("request frame: query length " +
+                           std::to_string(len) + " exceeds limit " +
+                           std::to_string(limits.max_query_bytes));
+  }
+  *query_len = len;
+  return Status::OK();
+}
+
+Status DecodeRequest(std::string_view frame, const ProtocolLimits& limits,
+                     Request* out) {
+  if (frame.size() < kRequestHeaderBytes) {
+    *out = Request{};
+    return Status::Corruption("request frame: truncated header (" +
+                              std::to_string(frame.size()) + " bytes)");
+  }
+  uint32_t query_len = 0;
+  SSS_RETURN_NOT_OK(DecodeRequestHeader(
+      reinterpret_cast<const uint8_t*>(frame.data()), limits, out,
+      &query_len));
+  if (frame.size() != kRequestHeaderBytes + query_len) {
+    return Status::Corruption(
+        "request frame: body is " +
+        std::to_string(frame.size() - kRequestHeaderBytes) +
+        " bytes, header promised " + std::to_string(query_len));
+  }
+  out->query.assign(frame.substr(kRequestHeaderBytes));
+  return Status::OK();
+}
+
+Status DecodeResponseHeader(const uint8_t* header,
+                            const ProtocolLimits& limits, Response* out,
+                            uint32_t* payload_len) {
+  *out = Response{};
+  *payload_len = 0;
+  if (GetU32(header) != kResponseMagic) {
+    return Status::Invalid("response frame: bad magic");
+  }
+  out->request_id = GetU64(header + 8);
+  if (header[4] != kProtocolVersion) {
+    return Status::Invalid("response frame: unsupported version " +
+                           std::to_string(header[4]));
+  }
+  if (header[5] != static_cast<uint8_t>(FrameType::kResponse)) {
+    return Status::Invalid("response frame: unexpected type " +
+                           std::to_string(header[5]));
+  }
+  if (header[7] != 0) {
+    return Status::Invalid("response frame: nonzero reserved byte");
+  }
+  out->code = static_cast<StatusCode>(header[6]);
+  if (StatusCodeToString(out->code) == "UnknownError" &&
+      out->code != StatusCode::kUnknownError) {
+    return Status::Invalid("response frame: unknown status code " +
+                           std::to_string(header[6]));
+  }
+  const uint32_t count = GetU32(header + 16);
+  const uint32_t len = GetU32(header + 20);
+  if (len > limits.max_response_payload) {
+    return Status::Invalid("response frame: payload " + std::to_string(len) +
+                           " exceeds limit " +
+                           std::to_string(limits.max_response_payload));
+  }
+  const bool ok = out->code == StatusCode::kOk;
+  const uint64_t expected =
+      ok ? static_cast<uint64_t>(count) * 4 : static_cast<uint64_t>(count);
+  if (expected != len) {
+    return Status::Corruption("response frame: count " +
+                              std::to_string(count) +
+                              " inconsistent with payload length " +
+                              std::to_string(len));
+  }
+  *payload_len = len;
+  return Status::OK();
+}
+
+Status DecodeResponsePayload(std::string_view payload, Response* out) {
+  if (out->code == StatusCode::kOk) {
+    if (payload.size() % 4 != 0) {
+      return Status::Corruption("response payload: not a whole id array");
+    }
+    const auto* p = reinterpret_cast<const uint8_t*>(payload.data());
+    out->matches.resize(payload.size() / 4);
+    for (size_t i = 0; i < out->matches.size(); ++i) {
+      out->matches[i] = GetU32(p + 4 * i);
+    }
+  } else {
+    out->message.assign(payload);
+  }
+  return Status::OK();
+}
+
+Status DecodeResponse(std::string_view frame, const ProtocolLimits& limits,
+                      Response* out) {
+  if (frame.size() < kResponseHeaderBytes) {
+    *out = Response{};
+    return Status::Corruption("response frame: truncated header (" +
+                              std::to_string(frame.size()) + " bytes)");
+  }
+  uint32_t payload_len = 0;
+  SSS_RETURN_NOT_OK(DecodeResponseHeader(
+      reinterpret_cast<const uint8_t*>(frame.data()), limits, out,
+      &payload_len));
+  if (frame.size() != kResponseHeaderBytes + payload_len) {
+    return Status::Corruption(
+        "response frame: body is " +
+        std::to_string(frame.size() - kResponseHeaderBytes) +
+        " bytes, header promised " + std::to_string(payload_len));
+  }
+  return DecodeResponsePayload(frame.substr(kResponseHeaderBytes), out);
+}
+
+}  // namespace sss::server

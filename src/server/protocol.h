@@ -1,0 +1,130 @@
+// Wire protocol for the sss serving layer: a small versioned
+// length-prefixed binary framing, one request frame in, one response frame
+// out, over a plain TCP byte stream.
+//
+// Request frame (little-endian, 32-byte header + query bytes):
+//
+//   offset  size  field
+//   0       4     magic        "SSSQ" (0x51535353)
+//   4       1     version      kProtocolVersion (1)
+//   5       1     type         FrameType::kSearch (1)
+//   6       1     engine       EngineKind value, or kAnyEngine (0xFF)
+//   7       1     reserved     must be 0
+//   8       8     request_id   echoed verbatim in the response
+//   16      4     k            edit-distance threshold (<= limits.max_k)
+//   20      4     deadline_ms  per-request budget (0 = none)
+//   24      4     query_len    bytes of query text following the header
+//   28      4     reserved     must be 0
+//   32      ...   query bytes  (<= limits.max_query_bytes)
+//
+// Response frame (24-byte header + payload):
+//
+//   offset  size  field
+//   0       4     magic        "SSSP" (0x50535353)
+//   4       1     version
+//   5       1     type         FrameType::kResponse (2)
+//   6       1     status       StatusCode of the server-side outcome
+//   7       1     reserved     must be 0
+//   8       8     request_id
+//   16      4     count        match ids (OK) / message bytes (error)
+//   20      4     payload_len  bytes following the header; must equal
+//                              count*4 (OK) or count (error)
+//   24      ...   payload      u32 match ids ascending, or message text
+//
+// Decoding is defensive by construction: every field is range-checked
+// against ProtocolLimits before any allocation sized from the wire, and the
+// decoder classifies failures as kInvalid (a well-formed peer would never
+// send this: bad magic/version/type, limit violations, nonzero reserved
+// bytes) vs kCorruption (the frame itself is inconsistent or truncated).
+// Decoders never abort, whatever the bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sss::server {
+
+inline constexpr uint32_t kRequestMagic = 0x51535353;   // "SSSQ"
+inline constexpr uint32_t kResponseMagic = 0x50535353;  // "SSSP"
+inline constexpr uint8_t kProtocolVersion = 1;
+
+/// \brief Engine selector meaning "whatever the server's default is".
+inline constexpr uint8_t kAnyEngine = 0xFF;
+
+enum class FrameType : uint8_t {
+  kSearch = 1,
+  kResponse = 2,
+};
+
+inline constexpr size_t kRequestHeaderBytes = 32;
+inline constexpr size_t kResponseHeaderBytes = 24;
+
+/// \brief Hard ceilings a decoder enforces before trusting any
+/// length-prefixed field. Both sides of a connection must agree on limits
+/// at least as large as the frames they exchange.
+struct ProtocolLimits {
+  /// Longest accepted query text (matches ReaderLimits::max_line_bytes).
+  uint32_t max_query_bytes = 1u << 20;
+  /// Largest accepted threshold (matches ReaderLimits::max_threshold).
+  uint32_t max_k = 1024;
+  /// Largest response payload a client will accept (64 MiB of match ids).
+  uint32_t max_response_payload = 1u << 26;
+};
+
+/// \brief One search request, decoded (or about to be encoded).
+struct Request {
+  uint64_t request_id = 0;
+  uint8_t engine = kAnyEngine;
+  uint32_t k = 0;
+  uint32_t deadline_ms = 0;  // 0 = no per-request deadline
+  std::string query;
+};
+
+/// \brief One response. `code` is the server-side outcome of the search
+/// (kOk, kUnavailable when shed, kCancelled on deadline, kInvalid on a
+/// malformed request); transport failures never appear here.
+struct Response {
+  uint64_t request_id = 0;
+  StatusCode code = StatusCode::kOk;
+  std::string message;            // non-OK only
+  std::vector<uint32_t> matches;  // OK only, ascending ids
+};
+
+/// \brief Appends the encoded request frame to `out`.
+void EncodeRequest(const Request& request, std::string* out);
+
+/// \brief Appends the encoded response frame to `out`. Error responses
+/// carry `message`; OK responses carry `matches`.
+void EncodeResponse(const Response& response, std::string* out);
+
+/// \brief Validates a 32-byte request header and extracts the fixed fields
+/// plus the query length still to be read from the stream. On failure the
+/// request id is still filled in when the header was long enough to carry
+/// one, so servers can address their error frame.
+Status DecodeRequestHeader(const uint8_t* header, const ProtocolLimits& limits,
+                           Request* out, uint32_t* query_len);
+
+/// \brief Decodes a complete request frame held in one buffer (header +
+/// query). Classifies short/inconsistent buffers as kCorruption.
+Status DecodeRequest(std::string_view frame, const ProtocolLimits& limits,
+                     Request* out);
+
+/// \brief Validates a 24-byte response header; `payload_len` is the byte
+/// count still to be read from the stream.
+Status DecodeResponseHeader(const uint8_t* header,
+                            const ProtocolLimits& limits, Response* out,
+                            uint32_t* payload_len);
+
+/// \brief Decodes a response payload (match ids or error message) into a
+/// header-decoded Response.
+Status DecodeResponsePayload(std::string_view payload, Response* out);
+
+/// \brief Decodes a complete response frame held in one buffer.
+Status DecodeResponse(std::string_view frame, const ProtocolLimits& limits,
+                      Response* out);
+
+}  // namespace sss::server

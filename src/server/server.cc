@@ -1,0 +1,256 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/failpoint.h"
+#include "util/logging.h"
+
+namespace sss::server {
+
+Status Server::RegisterEngine(uint8_t engine_id, const Searcher* searcher) {
+  if (searcher == nullptr) {
+    return Status::Invalid("RegisterEngine: null searcher");
+  }
+  if (running()) {
+    return Status::Invalid("RegisterEngine: server already started");
+  }
+  engines_[engine_id] = searcher;
+  if (default_engine_ == nullptr) default_engine_ = searcher;
+  return Status::OK();
+}
+
+Status Server::Start() {
+  if (running()) return Status::Invalid("Start: already running");
+  if (default_engine_ == nullptr) {
+    return Status::Invalid("Start: no engine registered");
+  }
+  SSS_ASSIGN_OR_RETURN(
+      listener_,
+      net::ListenTcp(options_.host, options_.port, options_.backlog));
+  SSS_ASSIGN_OR_RETURN(port_, net::LocalPort(listener_.fd()));
+  draining_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  draining_.store(true, std::memory_order_release);
+  // Wake the blocked accept(); close the listener only after the accept
+  // thread is gone so no new connection can slip past the drain.
+  (void)net::ShutdownBoth(listener_.fd());
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+
+  // Half-close every connection: handlers blocked waiting for the next
+  // request see EOF and exit; a handler mid-search keeps its write side and
+  // still delivers the in-flight response.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const auto& conn : connections_) {
+      (void)net::ShutdownRead(conn->socket.fd());
+    }
+  }
+  // Threads remove nothing themselves; join them all, then drop them.
+  std::vector<std::unique_ptr<Connection>> drained;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    drained.swap(connections_);
+  }
+  for (const auto& conn : drained) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+void Server::ReapFinishedLocked() {
+  auto it = connections_.begin();
+  while (it != connections_.end()) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    SSS_FAILPOINT("server:accept");
+    auto accepted = net::Accept(listener_.fd());
+    if (!accepted.ok()) {
+      if (draining_.load(std::memory_order_acquire) ||
+          accepted.status().IsUnavailable()) {
+        return;
+      }
+      // Transient accept failure (e.g. EMFILE under fd pressure): keep
+      // serving existing connections and try again.
+      SSS_LOG(Warning) << "accept failed: " << accepted.status().ToString();
+      continue;
+    }
+    counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_unique<Connection>();
+    conn->socket = std::move(*accepted);
+    Connection* raw = conn.get();
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    // Bound the registry: every finished handler is joined here, so a
+    // long-lived server does not accumulate dead thread records.
+    ReapFinishedLocked();
+    connections_.push_back(std::move(conn));
+    raw->thread = std::thread([this, raw] { ServeConnection(raw); });
+  }
+}
+
+Status Server::ReadRequest(int fd, Request* request, bool* clean_close) {
+  *clean_close = false;
+  SSS_FAILPOINT_STATUS("server:read");
+  uint8_t header[kRequestHeaderBytes];
+  SSS_ASSIGN_OR_RETURN(size_t got,
+                       net::ReadFull(fd, header, sizeof(header)));
+  if (got == 0) {
+    *clean_close = true;
+    return Status::OK();
+  }
+  counters_.bytes_in.fetch_add(got, std::memory_order_relaxed);
+  if (got < sizeof(header)) {
+    return Status::Corruption("disconnect mid-header (" +
+                              std::to_string(got) + " bytes)");
+  }
+  uint32_t query_len = 0;
+  SSS_RETURN_NOT_OK(
+      DecodeRequestHeader(header, options_.limits, request, &query_len));
+  request->query.resize(query_len);
+  if (query_len > 0) {
+    SSS_ASSIGN_OR_RETURN(got,
+                         net::ReadFull(fd, request->query.data(), query_len));
+    counters_.bytes_in.fetch_add(got, std::memory_order_relaxed);
+    if (got < query_len) {
+      return Status::Corruption("disconnect mid-query (" +
+                                std::to_string(got) + " of " +
+                                std::to_string(query_len) + " bytes)");
+    }
+  }
+  return Status::OK();
+}
+
+Status Server::WriteResponse(int fd, const Response& response) {
+  SSS_FAILPOINT_STATUS("server:write");
+  std::string frame;
+  EncodeResponse(response, &frame);
+  SSS_RETURN_NOT_OK(net::WriteFull(fd, frame.data(), frame.size()));
+  counters_.bytes_out.fetch_add(frame.size(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Response Server::HandleRequest(const Request& request) {
+  Response response;
+  response.request_id = request.request_id;
+
+  SearchStats delta;
+  delta.server_bytes_in =
+      kRequestHeaderBytes + static_cast<uint64_t>(request.query.size());
+
+  // Admission control: claim a slot; over the watermark, release and shed.
+  // fetch_add-then-check keeps the claim race-free without a lock.
+  const size_t claimed = inflight_.fetch_add(1, std::memory_order_acq_rel);
+  if (claimed >= options_.max_inflight) {
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    counters_.requests_shed.fetch_add(1, std::memory_order_relaxed);
+    response.code = StatusCode::kUnavailable;
+    response.message = "server overloaded (" +
+                       std::to_string(options_.max_inflight) +
+                       " requests in flight)";
+    delta.server_requests_shed = 1;
+    if (options_.stats != nullptr) options_.stats->Record(delta);
+    return response;
+  }
+
+  const Searcher* engine = request.engine == kAnyEngine
+                               ? default_engine_
+                               : engines_[request.engine];
+  if (engine == nullptr) {
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    counters_.requests_rejected.fetch_add(1, std::memory_order_relaxed);
+    response.code = StatusCode::kInvalid;
+    response.message =
+        "no engine registered under id " + std::to_string(request.engine);
+    if (options_.stats != nullptr) options_.stats->Record(delta);
+    return response;
+  }
+
+  SearchContext ctx;
+  ctx.cancellation = &cancel_;
+  ctx.stats = options_.stats;
+  uint32_t deadline_ms = request.deadline_ms;
+  if (options_.max_deadline_ms > 0) {
+    deadline_ms = deadline_ms == 0
+                      ? options_.max_deadline_ms
+                      : std::min(deadline_ms, options_.max_deadline_ms);
+  }
+  if (deadline_ms > 0) ctx.deadline = Deadline::AfterMillis(deadline_ms);
+
+  Query query;
+  query.text = request.query;
+  query.max_distance = static_cast<int>(request.k);
+
+  MatchList matches;
+  const Status st = engine->Search(query, ctx, &matches);
+  inflight_.fetch_sub(1, std::memory_order_acq_rel);
+
+  if (st.ok()) {
+    counters_.requests_ok.fetch_add(1, std::memory_order_relaxed);
+    delta.server_requests_accepted = 1;
+    response.matches = std::move(matches);
+  } else {
+    response.code = st.code();
+    response.message = st.message();
+    if (st.IsCancelled()) {
+      counters_.requests_cancelled.fetch_add(1, std::memory_order_relaxed);
+      delta.server_requests_cancelled = 1;
+    } else {
+      counters_.requests_rejected.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  delta.server_bytes_out =
+      kResponseHeaderBytes +
+      (response.code == StatusCode::kOk ? 4 * response.matches.size()
+                                        : response.message.size());
+  if (options_.stats != nullptr) options_.stats->Record(delta);
+  return response;
+}
+
+void Server::ServeConnection(Connection* conn) {
+  const int fd = conn->socket.fd();
+  for (;;) {
+    Request request;
+    bool clean_close = false;
+    const Status read_st = ReadRequest(fd, &request, &clean_close);
+    if (clean_close) break;
+    if (!read_st.ok()) {
+      counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      // Malformed frame: answer with an error frame when the stream is
+      // still writable, then close — framing can't be resynchronized on a
+      // byte stream. Transport errors skip the courtesy reply.
+      if (read_st.IsInvalid() || read_st.IsCorruption()) {
+        Response err;
+        err.request_id = request.request_id;
+        err.code = read_st.code();
+        err.message = read_st.message();
+        (void)WriteResponse(fd, err);
+      }
+      break;
+    }
+    const Response response = HandleRequest(request);
+    if (!WriteResponse(fd, response).ok()) break;
+  }
+  // Shutdown, not close: Stop() may concurrently read this socket's fd to
+  // half-close it, so the descriptor must stay valid until the Connection
+  // record is reaped (accept loop) or drained (Stop), where the destructor
+  // closes it after the handler thread is joined.
+  (void)net::ShutdownBoth(fd);
+  conn->done.store(true, std::memory_order_release);
+}
+
+}  // namespace sss::server

@@ -1,0 +1,157 @@
+// The sss serving layer: a TCP front-end that answers protocol.h request
+// frames using the in-process engines. Design points, in the order they
+// matter for correctness:
+//
+//   * Thread-per-connection: one accept-loop thread plus one handler thread
+//     per live connection, each processing its connection's requests
+//     sequentially. Parallelism across connections is the concurrency model
+//     (the loadgen and the CI smoke drive 32–64 connections); within a
+//     request the engines' own executors still apply.
+//   * Bounded admission: at most `max_inflight` searches execute at once.
+//     A request arriving above the watermark is answered immediately with
+//     kUnavailable — shed, not queued — so queue depth is bounded by the
+//     kernel's accept backlog and overload degrades to cheap rejections
+//     instead of unbounded memory growth and deadline blowouts.
+//   * Deadlines: a request's deadline_ms (clamped by the server-side
+//     max_deadline_ms cap) becomes a SearchContext Deadline, so the PR 2
+//     cancellation machinery terminates over-deadline work inside the
+//     engine hot loops; the response then carries kCancelled. A
+//     server-wide CancellationToken rides in the same context so
+//     CancelInflight() (hard stop) can cut every running search at once.
+//   * Graceful drain: Stop() first wakes the accept loop (no new
+//     connections), then half-closes every connection's read side — blocked
+//     handlers see EOF and exit, handlers mid-search finish and still write
+//     their response — and finally joins every thread. In-flight requests
+//     always complete.
+//
+// Failure handling mirrors the protocol split: kInvalid/kCorruption frames
+// get a best-effort error response and the connection closes (framing is
+// unrecoverable on a byte stream); transport errors just close. The server
+// never aborts on peer input.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <mutex>
+
+#include "core/searcher.h"
+#include "server/protocol.h"
+#include "util/cancellation.h"
+#include "util/net.h"
+#include "util/search_stats.h"
+#include "util/status.h"
+
+namespace sss::server {
+
+struct ServerOptions {
+  /// Numeric IPv4 address to bind; loopback by default.
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral; read the bound port back with port().
+  uint16_t port = 0;
+  int backlog = 128;
+  /// Admission watermark: searches allowed in flight before shedding.
+  size_t max_inflight = 64;
+  /// Server-side cap on per-request deadlines (0 = uncapped). A request
+  /// asking for more gets the cap; a request asking for none gets the cap.
+  uint32_t max_deadline_ms = 0;
+  ProtocolLimits limits;
+  /// Optional sink: engine SearchStats flow through each request's
+  /// SearchContext, server_* counters are recorded per request. Borrowed;
+  /// must outlive the server.
+  StatsSink* stats = nullptr;
+};
+
+/// \brief Monotonic counters, readable while the server runs. Relaxed
+/// ordering everywhere: these count, they do not synchronize.
+struct ServerCounters {
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> requests_ok{0};
+  std::atomic<uint64_t> requests_shed{0};       // kUnavailable (admission)
+  std::atomic<uint64_t> requests_cancelled{0};  // deadline / hard stop
+  std::atomic<uint64_t> requests_rejected{0};   // kInvalid / engine errors
+  std::atomic<uint64_t> protocol_errors{0};     // malformed frames
+  std::atomic<uint64_t> bytes_in{0};
+  std::atomic<uint64_t> bytes_out{0};
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options) : options_(std::move(options)) {}
+  ~Server() { Stop(); }
+
+  SSS_DISALLOW_COPY_AND_ASSIGN(Server);
+
+  /// \brief Registers `searcher` (borrowed; must outlive the server) under
+  /// `engine_id` — conventionally uint8_t(EngineKind). The first registered
+  /// engine also answers kAnyEngine requests. Call before Start().
+  Status RegisterEngine(uint8_t engine_id, const Searcher* searcher);
+
+  /// \brief Binds, listens, and starts the accept loop.
+  Status Start();
+
+  /// \brief The bound port (valid after Start; useful with port 0).
+  uint16_t port() const noexcept { return port_; }
+
+  /// \brief Graceful drain: stop accepting, let in-flight requests finish
+  /// and respond, join every thread. Idempotent; safe if Start failed.
+  void Stop();
+
+  /// \brief Hard stop signal for in-flight searches: cancels the server
+  /// token, so running engine calls return kCancelled at their next poll.
+  /// Does not tear down connections — pair with Stop().
+  void CancelInflight() noexcept { cancel_.Cancel(); }
+
+  bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  const ServerCounters& counters() const noexcept { return counters_; }
+
+  /// \brief Searches currently executing (post-admission). Bounded by
+  /// max_inflight; exposed for the overload tests.
+  size_t inflight() const noexcept {
+    return inflight_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Connection {
+    net::Socket socket;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void ServeConnection(Connection* conn);
+  /// Reads one request; *clean_close distinguishes EOF-at-frame-boundary
+  /// (normal disconnect) from every other failure.
+  Status ReadRequest(int fd, Request* request, bool* clean_close);
+  Status WriteResponse(int fd, const Response& response);
+  /// Admission + engine dispatch + stats for one decoded request.
+  Response HandleRequest(const Request& request);
+  /// Joins and frees connections whose handler has finished.
+  void ReapFinishedLocked();
+
+  ServerOptions options_;
+  const Searcher* engines_[256] = {};
+  const Searcher* default_engine_ = nullptr;
+
+  net::Socket listener_;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+
+  std::mutex conn_mu_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  std::atomic<size_t> inflight_{0};
+  CancellationToken cancel_;
+  ServerCounters counters_;
+};
+
+}  // namespace sss::server

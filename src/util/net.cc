@@ -1,0 +1,145 @@
+#include "util/net.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace sss::net {
+namespace {
+
+Status ErrnoStatus(const char* op, int err) {
+  return Status::IOError(std::string(op) + ": " + std::strerror(err));
+}
+
+Result<sockaddr_in> MakeAddr(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::Invalid("not a numeric IPv4 address: '" + host + "'");
+  }
+  return addr;
+}
+
+}  // namespace
+
+void Socket::Close() noexcept {
+  if (fd_ >= 0) {
+    // POSIX leaves the fd state after an EINTR'd close unspecified; on
+    // Linux the descriptor is gone either way, so never retry.
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Socket> ListenTcp(const std::string& host, uint16_t port,
+                         int backlog) {
+  SSS_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddr(host, port));
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return ErrnoStatus("socket", errno);
+  const int one = 1;
+  // Best-effort: rebinding a recently closed port matters for restarts and
+  // test loops, but failure to set the option is not fatal.
+  (void)::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return ErrnoStatus("bind", errno);
+  }
+  if (::listen(sock.fd(), backlog) != 0) return ErrnoStatus("listen", errno);
+  return sock;
+}
+
+Result<uint16_t> LocalPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return ErrnoStatus("getsockname", errno);
+  }
+  return ntohs(addr.sin_port);
+}
+
+Result<Socket> Accept(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    // EBADF/EINVAL are what a closed or shut-down listener reports — the
+    // normal way an accept loop learns the server is draining.
+    if (errno == EBADF || errno == EINVAL) {
+      return Status::Unavailable("listener closed");
+    }
+    return ErrnoStatus("accept", errno);
+  }
+}
+
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port) {
+  SSS_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddr(host, port));
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return ErrnoStatus("socket", errno);
+  for (;;) {
+    if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return sock;
+    }
+    if (errno == EINTR) continue;
+    return ErrnoStatus("connect", errno);
+  }
+}
+
+Result<size_t> ReadFull(int fd, void* buf, size_t len) {
+  auto* p = static_cast<char*>(buf);
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::recv(fd, p + done, len - done, 0);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) return done;  // clean peer close (possibly mid-buffer)
+    if (errno == EINTR) continue;
+    return ErrnoStatus("recv", errno);
+  }
+  return done;
+}
+
+Status WriteFull(int fd, const void* buf, size_t len) {
+  const auto* p = static_cast<const char*>(buf);
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::send(fd, p + done, len - done, MSG_NOSIGNAL);
+    if (n >= 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return ErrnoStatus("send", errno);
+  }
+  return Status::OK();
+}
+
+Status ShutdownRead(int fd) {
+  if (::shutdown(fd, SHUT_RD) != 0 && errno != ENOTCONN) {
+    return ErrnoStatus("shutdown", errno);
+  }
+  return Status::OK();
+}
+
+Status ShutdownWrite(int fd) {
+  if (::shutdown(fd, SHUT_WR) != 0 && errno != ENOTCONN) {
+    return ErrnoStatus("shutdown", errno);
+  }
+  return Status::OK();
+}
+
+Status ShutdownBoth(int fd) {
+  if (::shutdown(fd, SHUT_RDWR) != 0 && errno != ENOTCONN) {
+    return ErrnoStatus("shutdown", errno);
+  }
+  return Status::OK();
+}
+
+}  // namespace sss::net

@@ -1,0 +1,96 @@
+// Minimal POSIX TCP helpers for the serving layer: Status-returning socket
+// setup (listen / accept / connect) and EINTR-retrying full-buffer I/O.
+// All writes are SIGPIPE-safe (MSG_NOSIGNAL), so a peer that disappears
+// mid-response surfaces as Status::IOError instead of killing the process.
+//
+// This lives in util (not src/server) so tools and tests can drive raw
+// sockets — e.g. to feed the server deliberately malformed frames — without
+// depending on the protocol layer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/macros.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace sss::net {
+
+/// \brief Owns one file descriptor; closes it on destruction. Move-only.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  SSS_DISALLOW_COPY_AND_ASSIGN(Socket);
+
+  int fd() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+
+  /// \brief Closes the descriptor now (idempotent).
+  void Close() noexcept;
+
+  /// \brief Releases ownership without closing.
+  int Release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// \brief Creates a TCP socket bound to host:port and listening. Port 0
+/// binds an ephemeral port — recover it with LocalPort(). `host` must be a
+/// numeric IPv4 address ("127.0.0.1", "0.0.0.0").
+Result<Socket> ListenTcp(const std::string& host, uint16_t port, int backlog);
+
+/// \brief The port a bound socket actually listens on.
+Result<uint16_t> LocalPort(int fd);
+
+/// \brief Blocks for one connection on a listening socket. EINTR retried;
+/// transient per-connection failures (ECONNABORTED) retried; a closed or
+/// shut-down listener returns kUnavailable so accept loops can exit cleanly.
+Result<Socket> Accept(int listen_fd);
+
+/// \brief Blocking connect to a numeric IPv4 host:port.
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port);
+
+/// \brief Reads exactly `len` bytes unless EOF arrives first; EINTR retried.
+/// Returns the byte count actually read: `len` on success, less (possibly 0)
+/// on a clean peer close. Socket-level failures return kIOError.
+Result<size_t> ReadFull(int fd, void* buf, size_t len);
+
+/// \brief Writes all `len` bytes; EINTR retried, MSG_NOSIGNAL set so a dead
+/// peer yields kIOError (EPIPE) instead of SIGPIPE.
+Status WriteFull(int fd, const void* buf, size_t len);
+
+/// \brief shutdown(fd, SHUT_RD): wakes this side's blocked reads with EOF
+/// while leaving writes usable. The server's drain uses it to tell
+/// connection handlers "no more requests" without cutting off in-flight
+/// responses.
+Status ShutdownRead(int fd);
+
+/// \brief shutdown(fd, SHUT_WR): signals EOF to the peer while keeping this
+/// side's reads usable — the client-side "request sent, now drain the
+/// response" half-close.
+Status ShutdownWrite(int fd);
+
+/// \brief shutdown(fd, SHUT_RDWR): wakes any thread blocked on the socket.
+/// Used on listeners to terminate their accept loop.
+Status ShutdownBoth(int fd);
+
+}  // namespace sss::net

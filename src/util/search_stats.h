@@ -51,7 +51,12 @@ namespace sss {
   X(pool_opens)                     \
   X(pool_closes)                    \
   X(tasks_executed)                 \
-  X(tasks_stolen)
+  X(tasks_stolen)                   \
+  X(server_requests_accepted)       \
+  X(server_requests_shed)           \
+  X(server_requests_cancelled)      \
+  X(server_bytes_in)                \
+  X(server_bytes_out)
 
 /// \brief Per-call counters the edit-distance kernels maintain inside the
 /// EditDistanceWorkspace they already receive. Engines snapshot the
@@ -77,7 +82,11 @@ struct KernelCounters {
 ///   * decorators — cache_hits/misses (CachedSearcher), degraded_probes
 ///     (AutoSearcher's trie probe falling back to the scan);
 ///   * execution layer — planner_skipped_queries plus pool/task counters
-///     the executors report once per batch at the merge barrier.
+///     the executors report once per batch at the merge barrier;
+///   * serving layer — server_requests_* and server_bytes_* reported per
+///     request by sss::server::Server (and mirrored client-side by
+///     sss_loadgen, which observes the same events from the other end of
+///     the connection).
 struct SearchStats {
 #define SSS_DECLARE_STAT(name) uint64_t name = 0;
   SSS_FOR_EACH_SEARCH_STAT(SSS_DECLARE_STAT)

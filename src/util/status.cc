@@ -25,6 +25,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "UnknownError";
     case StatusCode::kCorruption:
       return "Corruption";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "UnknownError";
 }

@@ -23,6 +23,7 @@ enum class StatusCode : char {
   kCancelled = 6,      // cooperative cancellation
   kUnknownError = 7,
   kCorruption = 8,     // stored data failed integrity checks
+  kUnavailable = 9,    // service overloaded or shutting down; retryable
 };
 
 /// \brief Returns a human-readable name for a StatusCode ("Invalid", ...).
@@ -45,11 +46,18 @@ class Status {
   Status(const Status& other)
       : state_(other.state_ ? std::make_unique<State>(*other.state_) : nullptr) {}
   Status& operator=(const Status& other) {
-    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+    if (this != &other) {
+      state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+    }
     return *this;
   }
   Status(Status&&) noexcept = default;
-  Status& operator=(Status&&) noexcept = default;
+  Status& operator=(Status&& other) noexcept {
+    // Self-move must leave the status unchanged, not in the unspecified
+    // state unique_ptr's defaulted move assignment would produce.
+    if (this != &other) state_ = std::move(other.state_);
+    return *this;
+  }
 
   /// \brief Returns an OK status.
   static Status OK() { return Status(); }
@@ -77,6 +85,9 @@ class Status {
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   /// \brief True iff the operation succeeded.
   bool ok() const noexcept { return state_ == nullptr; }
@@ -97,6 +108,9 @@ class Status {
   bool IsCancelled() const noexcept { return code() == StatusCode::kCancelled; }
   bool IsCorruption() const noexcept {
     return code() == StatusCode::kCorruption;
+  }
+  bool IsUnavailable() const noexcept {
+    return code() == StatusCode::kUnavailable;
   }
 
   /// \brief The error message; empty for OK.

@@ -17,12 +17,15 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <thread>
 
 #include "core/searcher.h"
 #include "io/binary_format.h"
 #include "io/reader.h"
 #include "parallel/thread_pool.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "test_util.h"
 #include "util/arena.h"
 #include "util/random.h"
@@ -282,6 +285,101 @@ TEST_F(FaultInjectionTest, ShardedBatchExercisesQueryFailpoint) {
   EXPECT_EQ(sharded.matches, serial);
   EXPECT_GE(FailPoints::Instance().HitCount("searcher:run_query"),
             queries.size());
+}
+
+// ---------------------------------------------------------------------------
+// Serving layer: injected socket faults sever one connection, not the server
+// ---------------------------------------------------------------------------
+
+class ServerFaultTest : public FaultInjectionTest {
+ protected:
+  void SetUp() override {
+    FaultInjectionTest::SetUp();
+    Xoshiro256 rng(0xFA05);
+    dataset_ = RandomDataset(&rng, "abcd", 200, 1, 12);
+    searcher_ = std::move(MakeSearcher(EngineKind::kSequentialScan, dataset_))
+                    .ValueOrDie();
+    server::ServerOptions options;
+    server_ = std::make_unique<server::Server>(options);
+    ASSERT_TRUE(server_
+                    ->RegisterEngine(
+                        static_cast<uint8_t>(EngineKind::kSequentialScan),
+                        searcher_.get())
+                    .ok());
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override {
+    server_->Stop();
+    FaultInjectionTest::TearDown();
+  }
+
+  // One clean request/response on a fresh connection.
+  void ExpectServes() {
+    auto client = server::Client::Connect("127.0.0.1", server_->port());
+    ASSERT_TRUE(client.ok());
+    server::Response response;
+    ASSERT_TRUE(client->Search("abc", 1, 0, &response).ok());
+    EXPECT_EQ(response.code, StatusCode::kOk);
+  }
+
+  Dataset dataset_{"empty", AlphabetKind::kGeneric};
+  std::unique_ptr<Searcher> searcher_;
+  std::unique_ptr<server::Server> server_;
+};
+
+TEST_F(ServerFaultTest, InjectedReadFaultSeversOneConnection) {
+  // Armed before connecting: the handler evaluates server:read when it
+  // starts waiting for the first request, so arming later would race.
+  FailPoints::Instance().Fail("server:read", Status::IOError("injected"),
+                              /*times=*/1);
+  auto client = server::Client::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(client.ok());
+  server::Response response;
+  // The server drops the connection without a response frame; the client
+  // sees a transport error, never a crash or a hang.
+  EXPECT_FALSE(client->Search("abc", 1, 0, &response).ok());
+  EXPECT_GE(FailPoints::Instance().HitCount("server:read"), 1u);
+  ExpectServes();  // the budget is spent and the server is fine
+}
+
+TEST_F(ServerFaultTest, InjectedWriteFaultDropsResponseNotServer) {
+  auto client = server::Client::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(client.ok());
+  FailPoints::Instance().Fail("server:write", Status::IOError("injected"),
+                              /*times=*/1);
+  server::Response response;
+  EXPECT_FALSE(client->Search("abc", 1, 0, &response).ok());
+  // The search itself completed before the write was severed.
+  EXPECT_EQ(server_->counters().requests_ok.load(), 1u);
+  ExpectServes();
+}
+
+TEST_F(ServerFaultTest, RepeatedFaultsNeverWedgeTheAcceptLoop) {
+  FailPoints::Instance().Fail("server:read", Status::IOError("injected"),
+                              /*times=*/5);
+  for (int i = 0; i < 5; ++i) {
+    auto client = server::Client::Connect("127.0.0.1", server_->port());
+    ASSERT_TRUE(client.ok());
+    server::Response response;
+    EXPECT_FALSE(client->Search("abc", 1, 0, &response).ok());
+  }
+  ExpectServes();
+  EXPECT_GE(server_->counters().connections_accepted.load(), 6u);
+}
+
+TEST_F(ServerFaultTest, AcceptHookIsOnThePath) {
+  FailPoints::Instance().ClearCounts();
+  ExpectServes();
+  EXPECT_GE(FailPoints::Instance().HitCount("server:accept"), 1u);
+}
+
+TEST_F(ServerFaultTest, SlowReadDelaysButDeliversResponse) {
+  FailPoints::Instance().Sleep("server:read", std::chrono::milliseconds(30),
+                               /*times=*/1);
+  const Stopwatch timer;
+  ExpectServes();
+  EXPECT_LT(timer.ElapsedSeconds(), 30.0);  // delayed, not deadlocked
 }
 
 }  // namespace

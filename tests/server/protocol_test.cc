@@ -1,0 +1,258 @@
+#include "server/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace sss::server {
+namespace {
+
+Request MakeRequest() {
+  Request r;
+  r.request_id = 0xDEADBEEFCAFEF00Dull;
+  r.engine = 3;
+  r.k = 2;
+  r.deadline_ms = 250;
+  r.query = "mannheim";
+  return r;
+}
+
+TEST(ProtocolTest, RequestRoundTrip) {
+  const Request in = MakeRequest();
+  std::string frame;
+  EncodeRequest(in, &frame);
+  ASSERT_EQ(frame.size(), kRequestHeaderBytes + in.query.size());
+
+  Request out;
+  ASSERT_TRUE(DecodeRequest(frame, ProtocolLimits(), &out).ok());
+  EXPECT_EQ(out.request_id, in.request_id);
+  EXPECT_EQ(out.engine, in.engine);
+  EXPECT_EQ(out.k, in.k);
+  EXPECT_EQ(out.deadline_ms, in.deadline_ms);
+  EXPECT_EQ(out.query, in.query);
+}
+
+TEST(ProtocolTest, EmptyQueryRoundTrips) {
+  Request in;
+  in.request_id = 7;
+  std::string frame;
+  EncodeRequest(in, &frame);
+  Request out;
+  ASSERT_TRUE(DecodeRequest(frame, ProtocolLimits(), &out).ok());
+  EXPECT_EQ(out.query, "");
+}
+
+TEST(ProtocolTest, OkResponseRoundTrip) {
+  Response in;
+  in.request_id = 42;
+  in.code = StatusCode::kOk;
+  in.matches = {1, 5, 9, 1000000};
+  std::string frame;
+  EncodeResponse(in, &frame);
+  ASSERT_EQ(frame.size(), kResponseHeaderBytes + 4 * in.matches.size());
+
+  Response out;
+  ASSERT_TRUE(DecodeResponse(frame, ProtocolLimits(), &out).ok());
+  EXPECT_EQ(out.request_id, in.request_id);
+  EXPECT_EQ(out.code, StatusCode::kOk);
+  EXPECT_EQ(out.matches, in.matches);
+  EXPECT_EQ(out.message, "");
+}
+
+TEST(ProtocolTest, ErrorResponseRoundTrip) {
+  Response in;
+  in.request_id = 43;
+  in.code = StatusCode::kUnavailable;
+  in.message = "server overloaded";
+  std::string frame;
+  EncodeResponse(in, &frame);
+
+  Response out;
+  ASSERT_TRUE(DecodeResponse(frame, ProtocolLimits(), &out).ok());
+  EXPECT_EQ(out.request_id, in.request_id);
+  EXPECT_EQ(out.code, StatusCode::kUnavailable);
+  EXPECT_EQ(out.message, in.message);
+  EXPECT_TRUE(out.matches.empty());
+}
+
+TEST(ProtocolTest, BadMagicIsInvalid) {
+  std::string frame;
+  EncodeRequest(MakeRequest(), &frame);
+  frame[0] = 'X';
+  Request out;
+  EXPECT_TRUE(DecodeRequest(frame, ProtocolLimits(), &out).IsInvalid());
+}
+
+TEST(ProtocolTest, BadVersionIsInvalid) {
+  std::string frame;
+  EncodeRequest(MakeRequest(), &frame);
+  frame[4] = 99;
+  Request out;
+  EXPECT_TRUE(DecodeRequest(frame, ProtocolLimits(), &out).IsInvalid());
+}
+
+TEST(ProtocolTest, BadTypeIsInvalid) {
+  std::string frame;
+  EncodeRequest(MakeRequest(), &frame);
+  frame[5] = 7;
+  Request out;
+  EXPECT_TRUE(DecodeRequest(frame, ProtocolLimits(), &out).IsInvalid());
+}
+
+TEST(ProtocolTest, NonzeroReservedIsInvalid) {
+  std::string frame;
+  EncodeRequest(MakeRequest(), &frame);
+  frame[7] = 1;
+  Request out;
+  EXPECT_TRUE(DecodeRequest(frame, ProtocolLimits(), &out).IsInvalid());
+}
+
+TEST(ProtocolTest, InvalidHeaderStillYieldsRequestId) {
+  // The server addresses its error frame by the id it managed to read.
+  Request in = MakeRequest();
+  std::string frame;
+  EncodeRequest(in, &frame);
+  frame[28] = 1;  // nonzero trailing reserved word
+  Request out;
+  uint32_t query_len = 0;
+  const Status st =
+      DecodeRequestHeader(reinterpret_cast<const uint8_t*>(frame.data()),
+                          ProtocolLimits(), &out, &query_len);
+  EXPECT_TRUE(st.IsInvalid());
+  EXPECT_EQ(out.request_id, in.request_id);
+}
+
+TEST(ProtocolTest, OversizedKIsInvalid) {
+  Request in = MakeRequest();
+  ProtocolLimits limits;
+  in.k = limits.max_k + 1;
+  std::string frame;
+  EncodeRequest(in, &frame);
+  Request out;
+  EXPECT_TRUE(DecodeRequest(frame, limits, &out).IsInvalid());
+}
+
+TEST(ProtocolTest, OversizedQueryLengthIsInvalid) {
+  // A header announcing a query larger than the limit must be rejected
+  // before anything is allocated from the wire value.
+  std::string frame;
+  EncodeRequest(MakeRequest(), &frame);
+  const uint32_t huge = 0xFFFFFFFF;
+  std::memcpy(frame.data() + 24, &huge, 4);  // little-endian hosts only
+  Request out;
+  uint32_t query_len = 0;
+  EXPECT_TRUE(DecodeRequestHeader(
+                  reinterpret_cast<const uint8_t*>(frame.data()),
+                  ProtocolLimits(), &out, &query_len)
+                  .IsInvalid());
+}
+
+TEST(ProtocolTest, TruncatedRequestIsCorruption) {
+  std::string frame;
+  EncodeRequest(MakeRequest(), &frame);
+  Request out;
+  // Any prefix shorter than the full frame: header cut or query cut.
+  for (const size_t len : {0ul, 1ul, kRequestHeaderBytes - 1,
+                           kRequestHeaderBytes + 2}) {
+    SCOPED_TRACE(len);
+    EXPECT_TRUE(DecodeRequest(std::string_view(frame.data(), len),
+                              ProtocolLimits(), &out)
+                    .IsCorruption());
+  }
+}
+
+TEST(ProtocolTest, TruncatedResponseIsCorruption) {
+  Response in;
+  in.request_id = 1;
+  in.matches = {2, 3};
+  std::string frame;
+  EncodeResponse(in, &frame);
+  Response out;
+  for (const size_t len :
+       {0ul, kResponseHeaderBytes - 1, kResponseHeaderBytes + 3}) {
+    SCOPED_TRACE(len);
+    EXPECT_TRUE(DecodeResponse(std::string_view(frame.data(), len),
+                               ProtocolLimits(), &out)
+                    .IsCorruption());
+  }
+}
+
+TEST(ProtocolTest, ResponseCountPayloadMismatchIsCorruption) {
+  Response in;
+  in.request_id = 1;
+  in.matches = {2, 3};
+  std::string frame;
+  EncodeResponse(in, &frame);
+  // count = 2 but payload_len claims 4 bytes (should be 8).
+  const uint32_t bad_len = 4;
+  std::memcpy(frame.data() + 20, &bad_len, 4);
+  frame.resize(kResponseHeaderBytes + bad_len);
+  Response out;
+  EXPECT_TRUE(
+      DecodeResponse(frame, ProtocolLimits(), &out).IsCorruption());
+}
+
+TEST(ProtocolTest, UnknownResponseStatusByteIsInvalid) {
+  Response in;
+  in.request_id = 1;
+  in.code = StatusCode::kInvalid;
+  in.message = "m";
+  std::string frame;
+  EncodeResponse(in, &frame);
+  frame[6] = 0x7F;  // not a StatusCode
+  Response out;
+  EXPECT_TRUE(DecodeResponse(frame, ProtocolLimits(), &out).IsInvalid());
+}
+
+// The decoder's contract is "never abort, whatever the bytes": throw random
+// buffers and mutated valid frames at it and require a clean Status every
+// time. Run with a fixed seed so failures reproduce.
+TEST(ProtocolTest, FuzzRandomBuffersNeverCrash) {
+  Xoshiro256 rng(0xF022);
+  ProtocolLimits limits;
+  for (int iter = 0; iter < 5000; ++iter) {
+    const size_t len = rng.Uniform(128);
+    std::string buf;
+    buf.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      buf.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    Request req;
+    Response resp;
+    (void)DecodeRequest(buf, limits, &req);
+    (void)DecodeResponse(buf, limits, &resp);
+  }
+}
+
+TEST(ProtocolTest, FuzzMutatedValidFramesNeverCrash) {
+  Xoshiro256 rng(0xF023);
+  ProtocolLimits limits;
+  std::string request_frame;
+  EncodeRequest(MakeRequest(), &request_frame);
+  Response ok;
+  ok.request_id = 9;
+  ok.matches = {1, 2, 3};
+  std::string response_frame;
+  EncodeResponse(ok, &response_frame);
+
+  for (int iter = 0; iter < 5000; ++iter) {
+    std::string buf = rng.Uniform(2) == 0 ? request_frame : response_frame;
+    // Flip a handful of random bytes, sometimes truncate.
+    const int flips = 1 + static_cast<int>(rng.Uniform(4));
+    for (int f = 0; f < flips; ++f) {
+      buf[rng.Uniform(buf.size())] = static_cast<char>(rng.Uniform(256));
+    }
+    if (rng.Uniform(4) == 0) buf.resize(rng.Uniform(buf.size() + 1));
+    Request req;
+    Response resp;
+    (void)DecodeRequest(buf, limits, &req);
+    (void)DecodeResponse(buf, limits, &resp);
+  }
+}
+
+}  // namespace
+}  // namespace sss::server

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "util/result.h"
 
 namespace sss {
@@ -48,6 +51,70 @@ TEST(StatusTest, MoveTransfersState) {
   Status b = std::move(a);
   EXPECT_TRUE(b.IsIOError());
   EXPECT_EQ(b.message(), "y");
+}
+
+// Every non-OK code, built once and reused by the round-trip tests below.
+std::vector<Status> AllErrorStatuses() {
+  return {Status::Invalid("m"),        Status::IOError("m"),
+          Status::KeyError("m"),       Status::OutOfMemory("m"),
+          Status::NotImplemented("m"), Status::Cancelled("m"),
+          Status::UnknownError("m"),   Status::Corruption("m"),
+          Status::Unavailable("m")};
+}
+
+TEST(StatusTest, CopyRoundTripsEveryCode) {
+  for (const Status& original : AllErrorStatuses()) {
+    Status copy = original;
+    EXPECT_EQ(copy, original);
+    Status assigned;
+    assigned = original;
+    EXPECT_EQ(assigned, original);
+    // Overwriting an existing error must replace, not merge.
+    Status overwritten = Status::Invalid("other");
+    overwritten = original;
+    EXPECT_EQ(overwritten, original);
+  }
+  Status ok_over_error = Status::Invalid("x");
+  ok_over_error = Status::OK();
+  EXPECT_TRUE(ok_over_error.ok());
+}
+
+TEST(StatusTest, MoveRoundTripsEveryCode) {
+  for (const Status& original : AllErrorStatuses()) {
+    Status source = original;
+    Status moved = std::move(source);
+    EXPECT_EQ(moved, original);
+    Status assigned;
+    Status source2 = original;
+    assigned = std::move(source2);
+    EXPECT_EQ(assigned, original);
+  }
+}
+
+TEST(StatusTest, SelfAssignmentPreservesState) {
+  for (const Status& original : AllErrorStatuses()) {
+    Status s = original;
+    Status* alias = &s;  // defeats -Wself-assign / -Wself-move
+    s = *alias;
+    EXPECT_EQ(s, original) << original.ToString();
+    s = std::move(*alias);
+    EXPECT_EQ(s, original) << original.ToString();
+  }
+  Status ok;
+  Status* ok_alias = &ok;
+  ok = *ok_alias;
+  EXPECT_TRUE(ok.ok());
+  ok = std::move(*ok_alias);
+  EXPECT_TRUE(ok.ok());
+}
+
+TEST(StatusTest, UnavailableFactoryAndPredicate) {
+  Status s = Status::Unavailable("server overloaded");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s.ToString(), "Unavailable: server overloaded");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

@@ -45,12 +45,15 @@ namespace {
 volatile size_t benchmark_results_sink_ = 0;
 
 // Exit codes: 0 success, 1 generic error, 2 usage error, 3 I/O error,
-// 4 search completed partially (deadline/cancellation truncated the batch).
+// 4 search completed partially (deadline/cancellation truncated the batch),
+// 5 service unavailable (shared with sss_server/sss_loadgen: the serving
+// layer shed the request or the server is draining).
 constexpr int kExitOk = 0;
 constexpr int kExitError = 1;
 constexpr int kExitUsage = 2;
 constexpr int kExitIOError = 3;
 constexpr int kExitTruncated = 4;
+constexpr int kExitUnavailable = 5;
 
 int Usage() {
   std::fprintf(stderr,
@@ -67,13 +70,16 @@ int Usage() {
                "  join     --data FILE --k K [--out FILE] [--threads N] [--dna]\n"
                "  stats    --data FILE [--dna] [--max-line-bytes N]\n"
                "exit codes: 0 ok, 1 error, 2 usage, 3 I/O error,\n"
-               "            4 deadline truncated the search\n");
+               "            4 deadline truncated the search,\n"
+               "            5 service unavailable (see sss_server)\n");
   return kExitUsage;
 }
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-  return status.IsIOError() ? kExitIOError : kExitError;
+  if (status.IsIOError()) return kExitIOError;
+  if (status.IsUnavailable()) return kExitUnavailable;
+  return kExitError;
 }
 
 // Reader limits from flags; exits with usage on a malformed value, so the

@@ -1,0 +1,252 @@
+// sss_loadgen — closed-loop load generator for sss_server: N worker
+// threads, each with its own connection, each keeping exactly one request
+// in flight (issue, wait, repeat), so offered concurrency equals
+// --concurrency and overload shows up as kUnavailable responses rather
+// than client-side queueing.
+//
+//   sss_loadgen --port 7070 --queries q.txt --concurrency 32
+//               --requests 10000 [--json[=path]]     (one command line)
+//
+// Every request carries a globally unique id; the client layer verifies
+// the response echoes it, so crossed responses surface as transport errors
+// instead of silently wrong answers. The report covers latency percentiles,
+// per-StatusCode response counts, and transport errors; --json writes the
+// bench-pipeline document (schema_version 1) with the client-observed
+// counts mirrored into the server_* SearchStats fields.
+//
+// Exit codes: 0 = every exchange completed at the transport level (shed or
+// cancelled responses are still successful exchanges), 1 = transport or
+// protocol errors, 2 = usage.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "io/reader.h"
+#include "server/client.h"
+#include "util/flags.h"
+#include "util/histogram.h"
+#include "util/search_stats.h"
+#include "util/stopwatch.h"
+
+namespace sss::server {
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitError = 1;
+constexpr int kExitUsage = 2;
+
+// One slot per StatusCode value (kOk..kUnavailable).
+constexpr size_t kNumCodes = 10;
+
+struct Totals {
+  std::atomic<uint64_t> by_code[kNumCodes] = {};
+  std::atomic<uint64_t> transport_errors{0};
+  std::atomic<uint64_t> matches{0};
+  std::atomic<uint64_t> bytes_sent{0};
+  std::atomic<uint64_t> bytes_received{0};
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: sss_loadgen --port N --queries FILE [flags]\n"
+      "  --host ADDR       server address (default 127.0.0.1)\n"
+      "  --default-k K     threshold for query lines without one (default 1)\n"
+      "  --concurrency N   worker connections, one request in flight each\n"
+      "                    (default 8)\n"
+      "  --requests N      total requests across all workers (default 1000)\n"
+      "  --deadline-ms MS  per-request deadline (default 0 = none)\n"
+      "  --json[=PATH]     write BENCH_sss_loadgen.json (bench schema)\n"
+      "exit codes: 0 all exchanges completed, 1 transport errors, 2 usage\n");
+  return kExitUsage;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return kExitError;
+}
+
+void Worker(const std::string& host, uint16_t port, const QuerySet& queries,
+            uint32_t deadline_ms, size_t num_requests,
+            std::atomic<size_t>* next, Totals* totals,
+            LatencyHistogram* latency) {
+  // Accumulated across reconnects; folded into the totals once at exit.
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  const auto retire = [&](Client* c) {
+    bytes_sent += c->bytes_sent();
+    bytes_received += c->bytes_received();
+    c->Close();
+  };
+
+  auto connected = Client::Connect(host, port);
+  if (!connected.ok()) {
+    // A refused connection sinks every request this worker would have
+    // issued; count one transport error and let the others be claimed by
+    // workers that did connect.
+    std::fprintf(stderr, "connect failed: %s\n",
+                 connected.status().ToString().c_str());
+    totals->transport_errors.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Client client = std::move(*connected);
+  for (;;) {
+    const size_t i = next->fetch_add(1, std::memory_order_relaxed);
+    if (i >= num_requests) break;
+    const Query& q = queries[i % queries.size()];
+    Request request;
+    request.request_id = static_cast<uint64_t>(i) + 1;  // globally unique
+    request.k = static_cast<uint32_t>(q.max_distance);
+    request.deadline_ms = deadline_ms;
+    request.query = q.text;
+
+    Response response;
+    Stopwatch timer;
+    const Status st = client.Call(std::move(request), &response);
+    latency->Record(static_cast<uint64_t>(timer.ElapsedNanos()));
+    if (!st.ok()) {
+      // The request is lost (counted as a transport error, not retried) and
+      // the connection cannot resync; reconnect and keep claiming so one
+      // severed connection doesn't retire the worker.
+      std::fprintf(stderr, "request %zu failed: %s\n", i + 1,
+                   st.ToString().c_str());
+      totals->transport_errors.fetch_add(1, std::memory_order_relaxed);
+      retire(&client);
+      auto again = Client::Connect(host, port);
+      if (!again.ok()) break;  // server gone: this worker is done
+      client = std::move(*again);
+      continue;
+    }
+    const size_t code = static_cast<size_t>(response.code);
+    totals->by_code[code < kNumCodes ? code : kNumCodes - 1].fetch_add(
+        1, std::memory_order_relaxed);
+    totals->matches.fetch_add(response.matches.size(),
+                              std::memory_order_relaxed);
+  }
+  retire(&client);
+  totals->bytes_sent.fetch_add(bytes_sent, std::memory_order_relaxed);
+  totals->bytes_received.fetch_add(bytes_received, std::memory_order_relaxed);
+}
+
+int Run(const FlagSet& flags) {
+  Result<int64_t> port = flags.GetInt("port", 0);
+  if (!port.ok()) return Fail(port.status());
+  if (*port <= 0 || *port > 65535) {
+    std::fprintf(stderr, "sss_loadgen: --port is required\n");
+    return kExitUsage;
+  }
+  const std::string query_path = flags.GetString("queries", "");
+  if (query_path.empty()) {
+    std::fprintf(stderr, "sss_loadgen: --queries is required\n");
+    return kExitUsage;
+  }
+  const std::string host = flags.GetString("host", "127.0.0.1");
+  Result<int64_t> default_k = flags.GetInt("default-k", 1);
+  if (!default_k.ok()) return Fail(default_k.status());
+  Result<int64_t> concurrency = flags.GetInt("concurrency", 8);
+  if (!concurrency.ok()) return Fail(concurrency.status());
+  if (*concurrency < 1) {
+    std::fprintf(stderr, "sss_loadgen: --concurrency must be >= 1\n");
+    return kExitUsage;
+  }
+  Result<int64_t> requests = flags.GetInt("requests", 1000);
+  if (!requests.ok()) return Fail(requests.status());
+  if (*requests < 1) {
+    std::fprintf(stderr, "sss_loadgen: --requests must be >= 1\n");
+    return kExitUsage;
+  }
+  Result<int64_t> deadline_ms = flags.GetInt("deadline-ms", 0);
+  if (!deadline_ms.ok()) return Fail(deadline_ms.status());
+
+  auto queries =
+      ReadQueryFile(query_path, static_cast<int>(*default_k));
+  if (!queries.ok()) return Fail(queries.status());
+  if (queries->empty()) {
+    std::fprintf(stderr, "sss_loadgen: %s has no queries\n",
+                 query_path.c_str());
+    return kExitUsage;
+  }
+
+  Totals totals;
+  LatencyHistogram latency;
+  std::atomic<size_t> next{0};
+  const size_t num_requests = static_cast<size_t>(*requests);
+
+  Stopwatch wall;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(*concurrency));
+  for (int64_t w = 0; w < *concurrency; ++w) {
+    workers.emplace_back(Worker, host, static_cast<uint16_t>(*port),
+                         std::cref(*queries),
+                         static_cast<uint32_t>(*deadline_ms), num_requests,
+                         &next, &totals, &latency);
+  }
+  for (std::thread& t : workers) t.join();
+  const double wall_seconds = wall.ElapsedSeconds();
+
+  uint64_t completed = 0;
+  for (const auto& counter : totals.by_code) {
+    completed += counter.load(std::memory_order_relaxed);
+  }
+  const uint64_t transport_errors =
+      totals.transport_errors.load(std::memory_order_relaxed);
+  std::printf(
+      "requests=%llu completed=%llu transport_errors=%llu matches=%llu "
+      "wall=%.3fs (%.0f req/s)\n",
+      static_cast<unsigned long long>(num_requests),
+      static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(transport_errors),
+      static_cast<unsigned long long>(
+          totals.matches.load(std::memory_order_relaxed)),
+      wall_seconds,
+      wall_seconds > 0 ? static_cast<double>(completed) / wall_seconds : 0);
+  for (size_t code = 0; code < kNumCodes; ++code) {
+    const uint64_t n = totals.by_code[code].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    std::printf("  %-12s %llu\n",
+                std::string(StatusCodeToString(static_cast<StatusCode>(code)))
+                    .c_str(),
+                static_cast<unsigned long long>(n));
+  }
+  std::printf("latency: %s\n", latency.ScaledSummary(1e3, "us").c_str());
+
+  auto& json = bench::BenchJson::Instance();
+  if (json.enabled()) {
+    json.SetContext("sss_loadgen", "loopback", 1.0, 1.0, 0, queries->size());
+    // Client-observed outcomes, mirrored onto the serving-layer counters so
+    // the document validates against the same schema as the other benches.
+    SearchStats stats;
+    stats.server_requests_accepted =
+        totals.by_code[static_cast<size_t>(StatusCode::kOk)].load();
+    stats.server_requests_shed =
+        totals.by_code[static_cast<size_t>(StatusCode::kUnavailable)].load();
+    stats.server_requests_cancelled =
+        totals.by_code[static_cast<size_t>(StatusCode::kCancelled)].load();
+    stats.server_bytes_in = totals.bytes_received.load();
+    stats.server_bytes_out = totals.bytes_sent.load();
+    int k_max = 0;
+    for (const Query& q : *queries) k_max = std::max(k_max, q.max_distance);
+    json.AddRun("server", "closed-loop",
+                static_cast<size_t>(*concurrency), num_requests, k_max,
+                totals.matches.load(), 1, latency, stats);
+    if (!json.Write()) return kExitError;
+  }
+  return transport_errors == 0 ? kExitOk : kExitError;
+}
+
+}  // namespace
+}  // namespace sss::server
+
+int main(int argc, char** argv) {
+  sss::bench::BenchJson::Instance().StripFlag(&argc, argv);
+  auto flags = sss::FlagSet::Parse(argc, argv);
+  if (!flags.ok()) return sss::server::Fail(flags.status());
+  if (flags->Has("help")) return sss::server::Usage();
+  return sss::server::Run(*flags);
+}
