@@ -4,10 +4,12 @@
 
 namespace sss {
 
-AutoSearcher::AutoSearcher(const Dataset& dataset,
+AutoSearcher::AutoSearcher(SnapshotHandle snapshot,
                            AutoSearcherOptions options)
-    : dataset_(dataset), options_(options) {
-  const DatasetStats stats = dataset.ComputeStats();
+    : snapshot_(std::move(snapshot)),
+      dataset_(snapshot_->dataset()),
+      options_(options) {
+  const DatasetStats stats = dataset_.ComputeStats();
   avg_length_ = stats.avg_length;
   // Hypotheses of §2.4: long strings + small alphabet → index wins;
   // short strings + large alphabet → scan wins. Both conditions must hold
@@ -20,7 +22,7 @@ AutoSearcher::AutoSearcher(const Dataset& dataset,
 const SequentialScanSearcher& AutoSearcher::Scan() const {
   std::lock_guard<std::mutex> lock(build_mu_);
   if (scan_ == nullptr) {
-    scan_ = std::make_unique<SequentialScanSearcher>(dataset_, ScanOptions{});
+    scan_ = std::make_unique<SequentialScanSearcher>(snapshot_, ScanOptions{});
   }
   return *scan_;
 }
@@ -28,7 +30,7 @@ const SequentialScanSearcher& AutoSearcher::Scan() const {
 const CompressedTrieSearcher& AutoSearcher::Trie() const {
   std::lock_guard<std::mutex> lock(build_mu_);
   if (trie_ == nullptr) {
-    trie_ = std::make_unique<CompressedTrieSearcher>(dataset_);
+    trie_ = std::make_unique<CompressedTrieSearcher>(snapshot_);
   }
   return *trie_;
 }

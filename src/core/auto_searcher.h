@@ -45,15 +45,24 @@ struct AutoSearcherOptions {
 /// \brief Engine that picks scan or trie per the paper's findings.
 class AutoSearcher final : public Searcher {
  public:
-  explicit AutoSearcher(const Dataset& dataset,
+  /// Profiles `snapshot`'s dataset (pinned for the searcher's lifetime) and
+  /// routes queries to the predicted winner; both inner engines share the
+  /// handle.
+  explicit AutoSearcher(SnapshotHandle snapshot,
                         AutoSearcherOptions options = {});
+
+  /// Legacy borrowed-dataset overload: `dataset` must outlive this
+  /// searcher.
+  explicit AutoSearcher(const Dataset& dataset,
+                        AutoSearcherOptions options = {})
+      : AutoSearcher(CollectionSnapshot::Borrow(dataset), options) {}
 
   using Searcher::Search;
   Status Search(const Query& query, const SearchContext& ctx,
                 MatchList* out) const override;
   std::string name() const override { return "auto"; }
   size_t memory_bytes() const override;
-  const Dataset* SearchedDataset() const override { return &dataset_; }
+  SnapshotHandle SearchedSnapshot() const override { return snapshot_; }
 
   /// \brief True iff the trie is the dataset-level prediction (what a
   /// k-independent router would always use). Exposed for tests.
@@ -71,7 +80,8 @@ class AutoSearcher final : public Searcher {
   const SequentialScanSearcher& Scan() const;
   const CompressedTrieSearcher& Trie() const;
 
-  const Dataset& dataset_;
+  SnapshotHandle snapshot_;
+  const Dataset& dataset_;  // == snapshot_->dataset()
   AutoSearcherOptions options_;
   double avg_length_ = 0;
   bool prefers_index_ = false;

@@ -21,7 +21,8 @@ int ExactDistance(std::string_view a, std::string_view b,
 
 }  // namespace
 
-BKTreeSearcher::BKTreeSearcher(const Dataset& dataset) : dataset_(dataset) {
+BKTreeSearcher::BKTreeSearcher(SnapshotHandle snapshot)
+    : snapshot_(std::move(snapshot)), dataset_(snapshot_->dataset()) {
   for (size_t id = 0; id < dataset_.size(); ++id) {
     Insert(static_cast<uint32_t>(id));
   }

@@ -28,17 +28,22 @@ namespace sss {
 /// \brief Burkhard–Keller tree engine.
 class BKTreeSearcher final : public Searcher {
  public:
-  /// Builds the tree over `dataset` (which must outlive this searcher).
+  /// Builds the tree over `snapshot` (pinned for the searcher's lifetime).
   /// Duplicate strings chain onto the same node (distance 0 edges are not
   /// representable, so duplicates are stored in the node's id list).
-  explicit BKTreeSearcher(const Dataset& dataset);
+  explicit BKTreeSearcher(SnapshotHandle snapshot);
+
+  /// Legacy borrowed-dataset overload: `dataset` must outlive this
+  /// searcher.
+  explicit BKTreeSearcher(const Dataset& dataset)
+      : BKTreeSearcher(CollectionSnapshot::Borrow(dataset)) {}
 
   using Searcher::Search;
   Status Search(const Query& query, const SearchContext& ctx,
                 MatchList* out) const override;
   std::string name() const override { return "bk_tree"; }
   size_t memory_bytes() const override;
-  const Dataset* SearchedDataset() const override { return &dataset_; }
+  SnapshotHandle SearchedSnapshot() const override { return snapshot_; }
 
   /// \brief Node count (== number of distinct strings).
   size_t num_nodes() const noexcept { return nodes_.size(); }
@@ -59,7 +64,8 @@ class BKTreeSearcher final : public Searcher {
 
   void Insert(uint32_t id);
 
-  const Dataset& dataset_;
+  SnapshotHandle snapshot_;
+  const Dataset& dataset_;  // == snapshot_->dataset()
   std::vector<Node> nodes_;
 };
 

@@ -37,8 +37,8 @@ class CachedSearcher final : public Searcher {
   }
   size_t memory_bytes() const override;
 
-  const Dataset* SearchedDataset() const override {
-    return inner_->SearchedDataset();
+  SnapshotHandle SearchedSnapshot() const override {
+    return inner_->SearchedSnapshot();
   }
 
   /// \brief Cache statistics (racy snapshots, for tests and reporting).

@@ -8,17 +8,18 @@
 
 namespace sss {
 
-CompressedTrieSearcher::CompressedTrieSearcher(const Dataset& dataset,
+CompressedTrieSearcher::CompressedTrieSearcher(SnapshotHandle snapshot,
                                                TriePruning pruning,
                                                bool frequency_bounds)
-    : dataset_(dataset),
+    : snapshot_(std::move(snapshot)),
+      dataset_(snapshot_->dataset()),
       pruning_(pruning),
       frequency_bounds_(frequency_bounds),
-      buckets_(dataset.alphabet()) {
+      buckets_(dataset_.alphabet()) {
   nodes_.emplace_back();  // root (empty label)
   nodes_[0].freq_min.fill(UINT16_MAX);
-  for (size_t id = 0; id < dataset.size(); ++id) {
-    Insert(dataset.View(id), static_cast<uint32_t>(id));
+  for (size_t id = 0; id < dataset_.size(); ++id) {
+    Insert(dataset_.View(id), static_cast<uint32_t>(id));
   }
 }
 

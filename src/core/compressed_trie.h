@@ -25,24 +25,32 @@ namespace sss {
 /// \brief The path-compressed prefix-trie engine (paper §4.2).
 class CompressedTrieSearcher final : public Searcher {
  public:
-  /// Builds the radix trie over `dataset` (which must outlive this
-  /// searcher; edge labels alias its storage). `pruning` selects the
-  /// descent rule (see TriePruning): the paper-faithful k + d_m test or
+  /// Builds the radix trie over `snapshot` (pinned for the searcher's
+  /// lifetime; edge labels alias its dataset's storage). `pruning` selects
+  /// the descent rule (see TriePruning): the paper-faithful k + d_m test or
   /// this library's banded rows. `frequency_bounds` additionally stores
   /// per-subtree frequency-vector ranges in every node and prunes branches
   /// whose symbol counts cannot reach the query — PETER's early filtering
   /// (Rheinländer et al., discussed in the paper's §2.3).
   explicit CompressedTrieSearcher(
-      const Dataset& dataset,
+      SnapshotHandle snapshot,
       TriePruning pruning = TriePruning::kBandedRows,
       bool frequency_bounds = false);
+
+  /// Legacy borrowed-dataset overload: `dataset` must outlive this
+  /// searcher.
+  explicit CompressedTrieSearcher(
+      const Dataset& dataset, TriePruning pruning = TriePruning::kBandedRows,
+      bool frequency_bounds = false)
+      : CompressedTrieSearcher(CollectionSnapshot::Borrow(dataset), pruning,
+                               frequency_bounds) {}
 
   using Searcher::Search;
   Status Search(const Query& query, const SearchContext& ctx,
                 MatchList* out) const override;
   std::string name() const override { return "compressed_trie_index"; }
   size_t memory_bytes() const override { return Stats().memory_bytes; }
-  const Dataset* SearchedDataset() const override { return &dataset_; }
+  SnapshotHandle SearchedSnapshot() const override { return snapshot_; }
 
   /// \brief Node counts and sizes (compare against TrieSearcher::Stats for
   /// the Fig. 4 compression ratio).
@@ -63,12 +71,13 @@ class CompressedTrieSearcher final : public Searcher {
  private:
   // Tag ctor used by LoadIndex: members initialized, no build.
   struct SkipBuild {};
-  CompressedTrieSearcher(const Dataset& dataset, TriePruning pruning,
+  CompressedTrieSearcher(SnapshotHandle snapshot, TriePruning pruning,
                          bool frequency_bounds, SkipBuild)
-      : dataset_(dataset),
+      : snapshot_(std::move(snapshot)),
+        dataset_(snapshot_->dataset()),
         pruning_(pruning),
         frequency_bounds_(frequency_bounds),
-        buckets_(dataset.alphabet()) {}
+        buckets_(dataset_.alphabet()) {}
 
   Status SearchBanded(const Query& query, const SearchContext& ctx,
                       MatchList* out) const;
@@ -105,7 +114,8 @@ class CompressedTrieSearcher final : public Searcher {
   bool FrequencyCompatible(const Node& node, const FrequencyVector& qv,
                            int k) const noexcept;
 
-  const Dataset& dataset_;
+  SnapshotHandle snapshot_;
+  const Dataset& dataset_;  // == snapshot_->dataset()
   TriePruning pruning_;
   bool frequency_bounds_;
   SymbolBuckets buckets_;

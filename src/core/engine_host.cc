@@ -1,0 +1,162 @@
+#include "core/engine_host.h"
+
+#include <utility>
+
+#include "core/auto_searcher.h"
+#include "io/reader.h"
+#include "util/failpoint.h"
+#include "util/stopwatch.h"
+
+namespace sss {
+
+Result<EngineSpec> ParseEngineSpec(const std::string& name) {
+  if (name == "scan") return EngineSpec::For(EngineKind::kSequentialScan);
+  if (name == "trie") return EngineSpec::For(EngineKind::kTrieIndex);
+  if (name == "ctrie") {
+    return EngineSpec::For(EngineKind::kCompressedTrieIndex);
+  }
+  if (name == "qgram") return EngineSpec::For(EngineKind::kQGramIndex);
+  if (name == "partition") return EngineSpec::For(EngineKind::kPartitionIndex);
+  if (name == "packed") return EngineSpec::For(EngineKind::kPackedDnaScan);
+  if (name == "bktree") return EngineSpec::For(EngineKind::kBKTree);
+  if (name == "auto") return EngineSpec::Auto();
+  return Status::Invalid("unknown engine '" + name + "'");
+}
+
+EngineHost::EngineHost(std::vector<EngineSpec> specs, EngineHostOptions options)
+    : specs_(std::move(specs)), options_(options) {}
+
+Status EngineHost::BuildSet(SnapshotHandle snapshot, const SearchContext& ctx,
+                            std::shared_ptr<EngineSet>* out) const {
+  if (specs_.empty()) {
+    return Status::Invalid("EngineHost: no engine specs");
+  }
+  auto set = std::make_shared<EngineSet>();
+  set->snapshot = snapshot;
+  set->generation = snapshot->version();
+  for (const EngineSpec& spec : specs_) {
+    // Constructors are not interruptible, so between-builds is the
+    // cancellation granularity: a stop request takes effect before the next
+    // engine starts, and nothing half-built is ever published.
+    if (ctx.StopRequested()) return ctx.StopStatus();
+    SSS_FAILPOINT_STATUS("engine_host:build");
+    if (set->by_id[spec.id] != nullptr) {
+      return Status::Invalid("EngineHost: duplicate engine id " +
+                             std::to_string(spec.id));
+    }
+    std::unique_ptr<Searcher> engine;
+    if (spec.auto_router) {
+      engine = std::make_unique<AutoSearcher>(snapshot);
+    } else {
+      Result<std::unique_ptr<Searcher>> made = MakeSearcher(spec.kind, snapshot);
+      if (!made.ok()) return made.status();
+      engine = std::move(*made);
+    }
+    set->by_id[spec.id] = engine.get();
+    if (set->default_engine == nullptr) set->default_engine = engine.get();
+    set->engines.push_back(std::move(engine));
+  }
+  *out = std::move(set);
+  return Status::OK();
+}
+
+Status EngineHost::Load(SnapshotHandle snapshot, const SearchContext& ctx) {
+  if (snapshot == nullptr) {
+    return Status::Invalid("EngineHost: null snapshot");
+  }
+  std::unique_lock<std::mutex> lock(reload_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    counters_.reloads_rejected.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("EngineHost: reload already in progress");
+  }
+
+  Stopwatch build_timer;
+  std::shared_ptr<EngineSet> set;
+  Status built = BuildSet(snapshot, ctx, &set);
+  const uint64_t build_micros =
+      static_cast<uint64_t>(build_timer.ElapsedNanos() / 1000);
+  counters_.last_build_micros.store(build_micros, std::memory_order_relaxed);
+  if (!built.ok()) {
+    counters_.reloads_failed.fetch_add(1, std::memory_order_relaxed);
+    if (options_.stats != nullptr) {
+      SearchStats delta;
+      delta.host_reloads_failed = 1;
+      delta.host_reload_build_micros = build_micros;
+      options_.stats->Record(delta);
+    }
+    return built;
+  }
+
+  SSS_FAILPOINT("engine_host:publish");
+  // The retired generation leaves the critical section alive and is torn
+  // down only after the swap: destruction of a full engine set (tries,
+  // indexes, the old collection) takes orders of magnitude longer than the
+  // pointer exchange and must block neither Acquire() nor the publish
+  // window last_publish_nanos reports.
+  EngineSetHandle retired;
+  Stopwatch publish_timer;
+  {
+    std::lock_guard<std::mutex> publish_lock(current_mu_);
+    retired = std::move(current_);
+    current_ = std::move(set);
+  }
+  counters_.last_publish_nanos.store(
+      static_cast<uint64_t>(publish_timer.ElapsedNanos()),
+      std::memory_order_relaxed);
+  retired.reset();
+  counters_.reloads_ok.fetch_add(1, std::memory_order_relaxed);
+  if (!snapshot->source_path().empty()) {
+    source_path_ = snapshot->source_path();
+  }
+  if (options_.stats != nullptr) {
+    SearchStats delta;
+    delta.host_reloads_ok = 1;
+    delta.host_reload_build_micros = build_micros;
+    options_.stats->Record(delta);
+  }
+  return Status::OK();
+}
+
+Status EngineHost::LoadFile(const std::string& path, const SearchContext& ctx) {
+  // The failpoint evaluates inside the lambda so an injected read fault takes
+  // the same accounting path as a real one.
+  Result<Dataset> dataset = [&]() -> Result<Dataset> {
+    SSS_FAILPOINT_STATUS("engine_host:read");
+    return ReadDatasetFile(path, "host_data", options_.alphabet);
+  }();
+  if (!dataset.ok()) {
+    // A failed read never reaches Load, so count it here: the caller sees
+    // one failure per attempt either way.
+    counters_.reloads_failed.fetch_add(1, std::memory_order_relaxed);
+    if (options_.stats != nullptr) {
+      SearchStats delta;
+      delta.host_reloads_failed = 1;
+      options_.stats->Record(delta);
+    }
+    return dataset.status();
+  }
+  return Load(CollectionSnapshot::Create(std::move(*dataset), path), ctx);
+}
+
+Status EngineHost::Reload(const SearchContext& ctx) {
+  std::string path;
+  {
+    std::unique_lock<std::mutex> lock(reload_mu_, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      counters_.reloads_rejected.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable("EngineHost: reload already in progress");
+    }
+    path = source_path_;
+  }
+  if (path.empty()) {
+    return Status::Invalid("EngineHost: no source path to reload from");
+  }
+  return LoadFile(path, ctx);
+}
+
+std::string EngineHost::source_path() const {
+  std::lock_guard<std::mutex> lock(reload_mu_);
+  return source_path_;
+}
+
+}  // namespace sss

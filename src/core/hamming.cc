@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cstring>
+#include <utility>
 
 #include "util/macros.h"
 #include "util/search_stats.h"
@@ -59,8 +60,8 @@ int BoundedHamming(std::string_view x, std::string_view y, int k) {
   return mismatches;
 }
 
-HammingScanSearcher::HammingScanSearcher(const Dataset& dataset)
-    : dataset_(dataset) {}
+HammingScanSearcher::HammingScanSearcher(SnapshotHandle snapshot)
+    : snapshot_(std::move(snapshot)), dataset_(snapshot_->dataset()) {}
 
 Status HammingScanSearcher::Search(const Query& query,
                                    const SearchContext& ctx,
@@ -96,11 +97,11 @@ Status HammingScanSearcher::SearchRange(const Query& query, uint32_t begin,
   return Status::OK();
 }
 
-HammingTrieSearcher::HammingTrieSearcher(const Dataset& dataset)
-    : dataset_(dataset) {
+HammingTrieSearcher::HammingTrieSearcher(SnapshotHandle snapshot)
+    : snapshot_(std::move(snapshot)), dataset_(snapshot_->dataset()) {
   nodes_.emplace_back();
-  for (size_t id = 0; id < dataset.size(); ++id) {
-    Insert(dataset.View(id), static_cast<uint32_t>(id));
+  for (size_t id = 0; id < dataset_.size(); ++id) {
+    Insert(dataset_.View(id), static_cast<uint32_t>(id));
   }
 }
 

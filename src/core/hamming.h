@@ -40,20 +40,26 @@ inline bool WithinHamming(std::string_view x, std::string_view y, int k) {
 /// \brief Sequential scan under Hamming distance.
 class HammingScanSearcher final : public Searcher {
  public:
-  explicit HammingScanSearcher(const Dataset& dataset);
+  explicit HammingScanSearcher(SnapshotHandle snapshot);
+
+  /// Legacy borrowed-dataset overload: `dataset` must outlive this
+  /// searcher.
+  explicit HammingScanSearcher(const Dataset& dataset)
+      : HammingScanSearcher(CollectionSnapshot::Borrow(dataset)) {}
 
   using Searcher::Search;
   Status Search(const Query& query, const SearchContext& ctx,
                 MatchList* out) const override;
   std::string name() const override { return "hamming_scan"; }
 
-  const Dataset* SearchedDataset() const override { return &dataset_; }
+  SnapshotHandle SearchedSnapshot() const override { return snapshot_; }
   bool SupportsRangeSearch() const override { return true; }
   Status SearchRange(const Query& query, uint32_t begin, uint32_t end,
                      const SearchContext& ctx, MatchList* out) const override;
 
  private:
-  const Dataset& dataset_;
+  SnapshotHandle snapshot_;
+  const Dataset& dataset_;  // == snapshot_->dataset()
 };
 
 /// \brief Prefix trie under Hamming distance: descend counting mismatches;
@@ -62,14 +68,19 @@ class HammingScanSearcher final : public Searcher {
 /// range is decisively selective).
 class HammingTrieSearcher final : public Searcher {
  public:
-  explicit HammingTrieSearcher(const Dataset& dataset);
+  explicit HammingTrieSearcher(SnapshotHandle snapshot);
+
+  /// Legacy borrowed-dataset overload: `dataset` must outlive this
+  /// searcher.
+  explicit HammingTrieSearcher(const Dataset& dataset)
+      : HammingTrieSearcher(CollectionSnapshot::Borrow(dataset)) {}
 
   using Searcher::Search;
   Status Search(const Query& query, const SearchContext& ctx,
                 MatchList* out) const override;
   std::string name() const override { return "hamming_trie"; }
   size_t memory_bytes() const override;
-  const Dataset* SearchedDataset() const override { return &dataset_; }
+  SnapshotHandle SearchedSnapshot() const override { return snapshot_; }
 
  private:
   struct Node {
@@ -81,7 +92,8 @@ class HammingTrieSearcher final : public Searcher {
 
   void Insert(std::string_view s, uint32_t id);
 
-  const Dataset& dataset_;
+  SnapshotHandle snapshot_;
+  const Dataset& dataset_;  // == snapshot_->dataset()
   std::vector<Node> nodes_;
 };
 

@@ -7,9 +7,13 @@
 namespace sss {
 
 Result<std::unique_ptr<PackedDnaScanSearcher>> PackedDnaScanSearcher::Make(
-    const Dataset& dataset) {
+    SnapshotHandle snapshot) {
+  if (snapshot == nullptr) {
+    return Status::Invalid("PackedDnaScanSearcher: null snapshot");
+  }
   std::unique_ptr<PackedDnaScanSearcher> searcher(
-      new PackedDnaScanSearcher(dataset));
+      new PackedDnaScanSearcher(std::move(snapshot)));
+  const Dataset& dataset = searcher->dataset_;
   for (size_t id = 0; id < dataset.size(); ++id) {
     Result<uint32_t> added = searcher->pool_.Add(dataset.View(id));
     if (!added.ok()) {

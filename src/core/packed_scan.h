@@ -20,17 +20,24 @@ namespace sss {
 /// \brief Sequential scan over 3-bit-packed DNA storage.
 class PackedDnaScanSearcher final : public Searcher {
  public:
-  /// \brief Packs `dataset` (which must outlive this searcher and contain
-  /// only {A,C,G,N,T}); fails with Invalid otherwise.
+  /// \brief Packs `snapshot`'s dataset (pinned for the searcher's lifetime;
+  /// must contain only {A,C,G,N,T}); fails with Invalid otherwise.
   static Result<std::unique_ptr<PackedDnaScanSearcher>> Make(
-      const Dataset& dataset);
+      SnapshotHandle snapshot);
+
+  /// Legacy borrowed-dataset overload: `dataset` must outlive this
+  /// searcher.
+  static Result<std::unique_ptr<PackedDnaScanSearcher>> Make(
+      const Dataset& dataset) {
+    return Make(CollectionSnapshot::Borrow(dataset));
+  }
 
   using Searcher::Search;
   Status Search(const Query& query, const SearchContext& ctx,
                 MatchList* out) const override;
   std::string name() const override { return "packed_dna_scan"; }
 
-  const Dataset* SearchedDataset() const override { return &dataset_; }
+  SnapshotHandle SearchedSnapshot() const override { return snapshot_; }
 
   /// Like the byte scan, the packed pool is laid out in id order, so an id
   /// shard is a sub-scan.
@@ -48,10 +55,11 @@ class PackedDnaScanSearcher final : public Searcher {
   }
 
  private:
-  explicit PackedDnaScanSearcher(const Dataset& dataset)
-      : dataset_(dataset) {}
+  explicit PackedDnaScanSearcher(SnapshotHandle snapshot)
+      : snapshot_(std::move(snapshot)), dataset_(snapshot_->dataset()) {}
 
-  const Dataset& dataset_;
+  SnapshotHandle snapshot_;
+  const Dataset& dataset_;  // == snapshot_->dataset()
   PackedDnaPool pool_;
 };
 

@@ -52,9 +52,11 @@ uint64_t PartitionIndexSearcher::MakeKey(std::string_view piece, size_t len,
   return h;
 }
 
-PartitionIndexSearcher::PartitionIndexSearcher(const Dataset& dataset,
+PartitionIndexSearcher::PartitionIndexSearcher(SnapshotHandle snapshot,
                                                PartitionIndexOptions options)
-    : dataset_(dataset), options_(options) {
+    : snapshot_(std::move(snapshot)),
+      dataset_(snapshot_->dataset()),
+      options_(options) {
   SSS_CHECK(options_.max_k >= 0);
   const int pieces = options_.max_k + 1;
   entries_.reserve(dataset_.size() * static_cast<size_t>(pieces));

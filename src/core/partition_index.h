@@ -35,15 +35,24 @@ struct PartitionIndexOptions {
 /// \brief Pigeonhole partition index engine.
 class PartitionIndexSearcher final : public Searcher {
  public:
-  PartitionIndexSearcher(const Dataset& dataset,
+  /// Builds the piece tables over `snapshot` (pinned for the searcher's
+  /// lifetime).
+  PartitionIndexSearcher(SnapshotHandle snapshot,
                          PartitionIndexOptions options = {});
+
+  /// Legacy borrowed-dataset overload: `dataset` must outlive this
+  /// searcher.
+  PartitionIndexSearcher(const Dataset& dataset,
+                         PartitionIndexOptions options = {})
+      : PartitionIndexSearcher(CollectionSnapshot::Borrow(dataset), options) {
+  }
 
   using Searcher::Search;
   Status Search(const Query& query, const SearchContext& ctx,
                 MatchList* out) const override;
   std::string name() const override { return "partition_index"; }
   size_t memory_bytes() const override;
-  const Dataset* SearchedDataset() const override { return &dataset_; }
+  SnapshotHandle SearchedSnapshot() const override { return snapshot_; }
 
   int max_k() const noexcept { return options_.max_k; }
 
@@ -66,7 +75,8 @@ class PartitionIndexSearcher final : public Searcher {
   Status ScanFallback(const Query& query, const SearchContext& ctx,
                       MatchList* out) const;
 
-  const Dataset& dataset_;
+  SnapshotHandle snapshot_;
+  const Dataset& dataset_;  // == snapshot_->dataset()
   PartitionIndexOptions options_;
   std::vector<Entry> entries_;  // sorted by (key, id)
   // Strings shorter than max_k + 1 (empty pieces make the pigeonhole

@@ -30,13 +30,15 @@ size_t RoundUpToPowerOfTwo(size_t n) {
 
 }  // namespace
 
-QGramIndexSearcher::QGramIndexSearcher(const Dataset& dataset,
+QGramIndexSearcher::QGramIndexSearcher(SnapshotHandle snapshot,
                                        QGramIndexOptions options)
-    : dataset_(dataset), options_(options) {
+    : snapshot_(std::move(snapshot)),
+      dataset_(snapshot_->dataset()),
+      options_(options) {
   SSS_CHECK(options_.q >= 1);
   // Bucket count: roughly one bucket per two grams keeps lists short
   // without exploding memory on small datasets.
-  const size_t total_grams_estimate = dataset.pool().total_bytes();
+  const size_t total_grams_estimate = dataset_.pool().total_bytes();
   const size_t buckets = std::max<size_t>(
       64, RoundUpToPowerOfTwo(total_grams_estimate / 2 + 1));
   bucket_mask_ = buckets - 1;

@@ -33,16 +33,21 @@ struct QGramIndexOptions {
 /// \brief Inverted q-gram index engine.
 class QGramIndexSearcher final : public Searcher {
  public:
-  /// Builds posting lists over `dataset` (which must outlive this
-  /// searcher).
-  QGramIndexSearcher(const Dataset& dataset, QGramIndexOptions options = {});
+  /// Builds posting lists over `snapshot` (pinned for the searcher's
+  /// lifetime).
+  QGramIndexSearcher(SnapshotHandle snapshot, QGramIndexOptions options = {});
+
+  /// Legacy borrowed-dataset overload: `dataset` must outlive this
+  /// searcher.
+  QGramIndexSearcher(const Dataset& dataset, QGramIndexOptions options = {})
+      : QGramIndexSearcher(CollectionSnapshot::Borrow(dataset), options) {}
 
   using Searcher::Search;
   Status Search(const Query& query, const SearchContext& ctx,
                 MatchList* out) const override;
   std::string name() const override { return "qgram_index"; }
   size_t memory_bytes() const override;
-  const Dataset* SearchedDataset() const override { return &dataset_; }
+  SnapshotHandle SearchedSnapshot() const override { return snapshot_; }
 
   int q() const noexcept { return options_.q; }
 
@@ -65,7 +70,8 @@ class QGramIndexSearcher final : public Searcher {
   Status ScanFallback(const Query& query, const SearchContext& ctx,
                       MatchList* out) const;
 
-  const Dataset& dataset_;
+  SnapshotHandle snapshot_;
+  const Dataset& dataset_;  // == snapshot_->dataset()
   QGramIndexOptions options_;
 
   // Postings, bucketed by hashed gram: ids of strings containing at least

@@ -7,9 +7,11 @@
 
 namespace sss {
 
-SequentialScanSearcher::SequentialScanSearcher(const Dataset& dataset,
+SequentialScanSearcher::SequentialScanSearcher(SnapshotHandle snapshot,
                                                ScanOptions options)
-    : dataset_(dataset), options_(options) {
+    : snapshot_(std::move(snapshot)),
+      dataset_(snapshot_->dataset()),
+      options_(options) {
   if (options_.sort_by_length) {
     const size_t max_len = dataset_.pool().max_length();
     // Counting sort of ids by length: length_starts_[L] is the first slot of

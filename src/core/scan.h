@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/edit_distance.h"
@@ -58,9 +59,15 @@ struct ScanOptions {
 /// internally, so any ExecutionStrategy may drive it.
 class SequentialScanSearcher final : public Searcher {
  public:
-  /// Builds the (cheap) scan-side auxiliary structures. The dataset must
-  /// outlive this searcher.
-  SequentialScanSearcher(const Dataset& dataset, ScanOptions options);
+  /// Builds the (cheap) scan-side auxiliary structures over `snapshot`,
+  /// which the searcher pins for its lifetime.
+  SequentialScanSearcher(SnapshotHandle snapshot, ScanOptions options);
+
+  /// Legacy borrowed-dataset overload: `dataset` must outlive this
+  /// searcher.
+  SequentialScanSearcher(const Dataset& dataset, ScanOptions options)
+      : SequentialScanSearcher(CollectionSnapshot::Borrow(dataset),
+                               std::move(options)) {}
 
   using Searcher::Search;
   Status Search(const Query& query, const SearchContext& ctx,
@@ -68,7 +75,7 @@ class SequentialScanSearcher final : public Searcher {
   std::string name() const override { return "sequential_scan"; }
   size_t memory_bytes() const override;
 
-  const Dataset* SearchedDataset() const override { return &dataset_; }
+  SnapshotHandle SearchedSnapshot() const override { return snapshot_; }
 
   /// The scan's data layout is the id order itself, so an id shard is just
   /// a sub-scan. Historical ladder rungs (step != kSimpleTypes) run their
@@ -96,7 +103,8 @@ class SequentialScanSearcher final : public Searcher {
   Status ScanByLength(const Query& query, const SearchContext& ctx,
                       EditDistanceWorkspace* ws, MatchList* out) const;
 
-  const Dataset& dataset_;
+  SnapshotHandle snapshot_;
+  const Dataset& dataset_;  // == snapshot_->dataset(), for terse hot loops
   ScanOptions options_;
 
   // sort_by_length: ids grouped by string length.

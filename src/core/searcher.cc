@@ -179,7 +179,12 @@ BatchResult Searcher::RunShardedBatch(const QuerySet& queries,
     return result;
   }
 
-  const Dataset* dataset = SearchedDataset();
+  // Pin the snapshot for the whole batch: the planner's length bounds and
+  // the shard geometry below must describe the same collection every task
+  // searches, even if the engine's owner republishes mid-batch.
+  const SnapshotHandle snapshot = SearchedSnapshot();
+  const Dataset* dataset =
+      snapshot == nullptr ? nullptr : &snapshot->dataset();
   if (dataset != nullptr && dataset->empty()) return result;
 
   // Plan: group by (threshold, length bucket), length-filter once per group.
@@ -401,17 +406,21 @@ std::string ToString(ExecutionStrategy strategy) {
 }
 
 Result<std::unique_ptr<Searcher>> MakeSearcher(EngineKind kind,
-                                               const Dataset& dataset) {
+                                               SnapshotHandle snapshot) {
+  if (snapshot == nullptr) {
+    return Status::Invalid("MakeSearcher: null snapshot");
+  }
+  const Dataset& dataset = snapshot->dataset();
   switch (kind) {
     case EngineKind::kSequentialScan:
       return std::unique_ptr<Searcher>(
-          new SequentialScanSearcher(dataset, ScanOptions{}));
+          new SequentialScanSearcher(std::move(snapshot), ScanOptions{}));
     case EngineKind::kTrieIndex: {
-      auto trie = std::make_unique<TrieSearcher>(dataset);
+      auto trie = std::make_unique<TrieSearcher>(std::move(snapshot));
       return std::unique_ptr<Searcher>(std::move(trie));
     }
     case EngineKind::kCompressedTrieIndex: {
-      auto trie = std::make_unique<CompressedTrieSearcher>(dataset);
+      auto trie = std::make_unique<CompressedTrieSearcher>(std::move(snapshot));
       return std::unique_ptr<Searcher>(std::move(trie));
     }
     case EngineKind::kQGramIndex: {
@@ -419,24 +428,30 @@ Result<std::unique_ptr<Searcher>> MakeSearcher(EngineKind kind,
       // Longer grams pay off on long low-entropy strings.
       options.q = dataset.alphabet() == AlphabetKind::kDna ? 6 : 3;
       return std::unique_ptr<Searcher>(
-          new QGramIndexSearcher(dataset, options));
+          new QGramIndexSearcher(std::move(snapshot), options));
     }
     case EngineKind::kPartitionIndex: {
       PartitionIndexOptions options;
       // Cover the workload's Table-I threshold ladder.
       options.max_k = dataset.alphabet() == AlphabetKind::kDna ? 16 : 3;
       return std::unique_ptr<Searcher>(
-          new PartitionIndexSearcher(dataset, options));
+          new PartitionIndexSearcher(std::move(snapshot), options));
     }
     case EngineKind::kPackedDnaScan: {
       SSS_ASSIGN_OR_RETURN(std::unique_ptr<PackedDnaScanSearcher> packed,
-                           PackedDnaScanSearcher::Make(dataset));
+                           PackedDnaScanSearcher::Make(std::move(snapshot)));
       return std::unique_ptr<Searcher>(std::move(packed));
     }
     case EngineKind::kBKTree:
-      return std::unique_ptr<Searcher>(new BKTreeSearcher(dataset));
+      return std::unique_ptr<Searcher>(
+          new BKTreeSearcher(std::move(snapshot)));
   }
   return Status::Invalid("unknown engine kind");
+}
+
+Result<std::unique_ptr<Searcher>> MakeSearcher(EngineKind kind,
+                                               const Dataset& dataset) {
+  return MakeSearcher(kind, CollectionSnapshot::Borrow(dataset));
 }
 
 }  // namespace sss

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "io/dataset.h"
+#include "io/snapshot.h"
 #include "util/cancellation.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -98,12 +99,23 @@ class Searcher {
   /// filter tables; excludes the dataset itself).
   virtual size_t memory_bytes() const { return 0; }
 
-  /// \brief The collection this engine answers over, used by the kSharded
-  /// planner for its group-level length filter and shard geometry. Engines
-  /// return their backing dataset; decorators forward to the inner engine.
-  /// nullptr (the default) disables plan-time skipping and dataset sharding
-  /// but keeps grouped execution correct.
-  virtual const Dataset* SearchedDataset() const { return nullptr; }
+  /// \brief The snapshot this engine was built over. Engines return (a copy
+  /// of) the handle they hold, so the caller pins the collection — and its
+  /// version id — for as long as the returned handle lives; decorators
+  /// forward to the inner engine. nullptr (the default) means "no backing
+  /// collection": plan-time skipping and dataset sharding are disabled but
+  /// grouped execution stays correct.
+  virtual SnapshotHandle SearchedSnapshot() const { return nullptr; }
+
+  /// \brief Convenience over SearchedSnapshot() for callers that only need
+  /// the collection (the kSharded planner's group-level length filter and
+  /// shard geometry). The pointer is valid for the engine's lifetime (the
+  /// engine's own handle keeps the snapshot alive); callers that must
+  /// outlive the engine hold the SearchedSnapshot() handle instead.
+  const Dataset* SearchedDataset() const {
+    const SnapshotHandle snapshot = SearchedSnapshot();
+    return snapshot == nullptr ? nullptr : &snapshot->dataset();
+  }
 
   /// \brief True iff SearchRange answers a query restricted to an id range
   /// at proportional cost — the scans, whose data layout *is* the id order.
@@ -150,8 +162,16 @@ std::string ToString(EngineKind kind);
 /// \brief Strategy name for reports ("serial", "thread_per_query", ...).
 std::string ToString(ExecutionStrategy strategy);
 
-/// \brief Builds an engine of `kind` over `dataset` with default engine
-/// options. The dataset must outlive the returned searcher.
+/// \brief Builds an engine of `kind` over `snapshot` with default engine
+/// options. The searcher keeps a handle, so the snapshot (and its dataset)
+/// live at least as long as the engine.
+Result<std::unique_ptr<Searcher>> MakeSearcher(EngineKind kind,
+                                               SnapshotHandle snapshot);
+
+/// \brief Legacy convenience: wraps `dataset` in a borrowed (non-owning)
+/// snapshot. The dataset must outlive the returned searcher — prefer the
+/// SnapshotHandle overload anywhere the collection can be replaced at
+/// runtime.
 Result<std::unique_ptr<Searcher>> MakeSearcher(EngineKind kind,
                                                const Dataset& dataset);
 

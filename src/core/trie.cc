@@ -8,11 +8,13 @@
 
 namespace sss {
 
-TrieSearcher::TrieSearcher(const Dataset& dataset, TriePruning pruning)
-    : dataset_(dataset), pruning_(pruning) {
+TrieSearcher::TrieSearcher(SnapshotHandle snapshot, TriePruning pruning)
+    : snapshot_(std::move(snapshot)),
+      dataset_(snapshot_->dataset()),
+      pruning_(pruning) {
   nodes_.emplace_back();  // root
-  for (size_t id = 0; id < dataset.size(); ++id) {
-    Insert(dataset.View(id), static_cast<uint32_t>(id));
+  for (size_t id = 0; id < dataset_.size(); ++id) {
+    Insert(dataset_.View(id), static_cast<uint32_t>(id));
   }
 }
 

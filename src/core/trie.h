@@ -46,16 +46,22 @@ enum class TriePruning {
 /// \brief The uncompressed prefix-trie engine (paper §4.1).
 class TrieSearcher final : public Searcher {
  public:
-  /// Builds the trie over `dataset` (which must outlive this searcher).
-  explicit TrieSearcher(const Dataset& dataset,
+  /// Builds the trie over `snapshot`, pinned for the searcher's lifetime.
+  explicit TrieSearcher(SnapshotHandle snapshot,
                         TriePruning pruning = TriePruning::kBandedRows);
+
+  /// Legacy borrowed-dataset overload: `dataset` must outlive this
+  /// searcher.
+  explicit TrieSearcher(const Dataset& dataset,
+                        TriePruning pruning = TriePruning::kBandedRows)
+      : TrieSearcher(CollectionSnapshot::Borrow(dataset), pruning) {}
 
   using Searcher::Search;
   Status Search(const Query& query, const SearchContext& ctx,
                 MatchList* out) const override;
   std::string name() const override { return "trie_index"; }
   size_t memory_bytes() const override { return Stats().memory_bytes; }
-  const Dataset* SearchedDataset() const override { return &dataset_; }
+  SnapshotHandle SearchedSnapshot() const override { return snapshot_; }
 
   /// \brief Node counts and sizes.
   TrieStats Stats() const;
@@ -82,7 +88,8 @@ class TrieSearcher final : public Searcher {
   void Insert(std::string_view s, uint32_t id);
   uint32_t ChildOrNull(const Node& node, unsigned char c) const;
 
-  const Dataset& dataset_;
+  SnapshotHandle snapshot_;
+  const Dataset& dataset_;  // == snapshot_->dataset()
   TriePruning pruning_;
   std::vector<Node> nodes_;  // nodes_[0] is the root
 };

@@ -184,7 +184,7 @@ CompressedTrieSearcher::LoadIndex(const std::string& path,
 
   std::unique_ptr<CompressedTrieSearcher> searcher(
       new CompressedTrieSearcher(
-          dataset,
+          CollectionSnapshot::Borrow(dataset),
           pruning_raw == 1 ? TriePruning::kPaperRule
                            : TriePruning::kBandedRows,
           freq_raw == 1, SkipBuild{}));

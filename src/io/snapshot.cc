@@ -1,0 +1,44 @@
+#include "io/snapshot.h"
+
+#include <atomic>
+
+namespace sss {
+namespace {
+
+// Process-wide version source. Starts at 1 so 0 can mean "no generation"
+// (e.g. a server response produced outside any EngineHost).
+std::atomic<uint64_t> g_next_version{1};
+
+uint64_t NextVersion() noexcept {
+  return g_next_version.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+CollectionSnapshot::CollectionSnapshot(OwnedTag, Dataset dataset,
+                                       std::string source_path)
+    : owned_(std::move(dataset)),
+      view_(&owned_),
+      version_(NextVersion()),
+      source_path_(std::move(source_path)) {}
+
+CollectionSnapshot::CollectionSnapshot(BorrowedTag, const Dataset& dataset)
+    : view_(&dataset), version_(NextVersion()) {}
+
+SnapshotHandle CollectionSnapshot::Create(Dataset dataset,
+                                          std::string source_path) {
+  // Plain `new` (not make_shared): the constructors are private, and a
+  // snapshot's one-allocation difference is irrelevant at collection scale.
+  return SnapshotHandle(new CollectionSnapshot(OwnedTag{}, std::move(dataset),
+                                               std::move(source_path)));
+}
+
+SnapshotHandle CollectionSnapshot::Borrow(const Dataset& dataset) {
+  return SnapshotHandle(new CollectionSnapshot(BorrowedTag{}, dataset));
+}
+
+uint64_t CollectionSnapshot::LatestVersion() noexcept {
+  return g_next_version.load(std::memory_order_relaxed) - 1;
+}
+
+}  // namespace sss

@@ -1,0 +1,80 @@
+// CollectionSnapshot — the unit of dataset ownership for every engine.
+//
+// The paper's engines are built once over a frozen collection (§3 step 4's
+// contiguous string pool), and the original reproduction encoded that as a
+// borrowed `const Dataset&` in every searcher: correct while the process
+// serves exactly one dataset forever, fatal the moment the data must be
+// replaced under live traffic. A CollectionSnapshot wraps one immutable
+// Dataset together with a process-wide monotonically increasing version id,
+// and is always held through a refcounted SnapshotHandle:
+//
+//   * engines keep a handle, so the collection they were built over cannot
+//     be destroyed while any engine (or any in-flight query pinning an
+//     engine set) still references it;
+//   * the version id names the data generation in responses, stats and
+//     benches, so results are attributable to the snapshot that produced
+//     them across a live reload (see core/engine_host.h).
+//
+// Snapshots are immutable after construction; "changing the data" always
+// means building a new snapshot and republishing (EngineHost::Reload).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "io/dataset.h"
+
+namespace sss {
+
+class CollectionSnapshot;
+
+/// \brief How every layer holds a snapshot. Copying a handle pins the
+/// collection (and its version) for as long as the copy lives.
+using SnapshotHandle = std::shared_ptr<const CollectionSnapshot>;
+
+/// \brief An immutable, versioned string collection.
+class CollectionSnapshot {
+ public:
+  /// \brief Takes ownership of `dataset` and assigns the next process-wide
+  /// version id. `source_path` records where the data came from (empty for
+  /// generated/in-memory collections); EngineHost uses it for path-less
+  /// reloads.
+  static SnapshotHandle Create(Dataset dataset, std::string source_path = "");
+
+  /// \brief Non-owning view over a caller-owned Dataset, for call sites
+  /// that manage dataset lifetime themselves (benches, tests, one-shot CLI
+  /// runs). The dataset must outlive every handle — exactly the borrowed
+  /// `const Dataset&` contract this type replaces; prefer Create() anywhere
+  /// the collection can be swapped at runtime.
+  static SnapshotHandle Borrow(const Dataset& dataset);
+
+  const Dataset& dataset() const noexcept { return *view_; }
+  uint64_t version() const noexcept { return version_; }
+  const std::string& source_path() const noexcept { return source_path_; }
+  /// \brief True iff this snapshot owns its dataset (Create, not Borrow).
+  bool owns_dataset() const noexcept { return view_ == &owned_; }
+
+  /// \brief The most recently assigned version id (0 before any snapshot
+  /// exists). Version ids are process-wide: every snapshot gets a strictly
+  /// larger id than all snapshots created before it, whichever host or test
+  /// created them.
+  static uint64_t LatestVersion() noexcept;
+
+  CollectionSnapshot(const CollectionSnapshot&) = delete;
+  CollectionSnapshot& operator=(const CollectionSnapshot&) = delete;
+
+ private:
+  struct OwnedTag {};
+  struct BorrowedTag {};
+  CollectionSnapshot(OwnedTag, Dataset dataset, std::string source_path);
+  CollectionSnapshot(BorrowedTag, const Dataset& dataset);
+
+  Dataset owned_;             // meaningful only for owning snapshots
+  const Dataset* view_;       // always valid: &owned_ or the borrowed one
+  uint64_t version_;
+  std::string source_path_;
+};
+
+}  // namespace sss

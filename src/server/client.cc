@@ -59,4 +59,19 @@ Status Client::Search(std::string_view query, uint32_t k,
   return Call(std::move(request), out);
 }
 
+Status Client::Reload(std::string_view path, Response* out) {
+  Request request;
+  request.type = FrameType::kAdmin;
+  request.k = kAdminOpReload;
+  request.query.assign(path);
+  return Call(std::move(request), out);
+}
+
+Status Client::GetGeneration(Response* out) {
+  Request request;
+  request.type = FrameType::kAdmin;
+  request.k = kAdminOpGetGeneration;
+  return Call(std::move(request), out);
+}
+
 }  // namespace sss::server

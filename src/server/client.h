@@ -47,6 +47,15 @@ class Client {
   Status Search(std::string_view query, uint32_t k, uint32_t deadline_ms,
                 Response* out);
 
+  /// \brief Admin: ask the server to publish a fresh engine generation from
+  /// `path` (empty = re-read its current source). On a kOk response,
+  /// out->generation is the newly published generation id.
+  Status Reload(std::string_view path, Response* out);
+
+  /// \brief Admin: read the server's current generation id into
+  /// out->generation (0 = the server serves no versioned generation).
+  Status GetGeneration(Response* out);
+
   void Close() noexcept { socket_.Close(); }
 
   /// \brief Wire bytes this client has sent / received (for loadgen's

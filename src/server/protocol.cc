@@ -36,7 +36,7 @@ void EncodeRequest(const Request& request, std::string* out) {
   out->reserve(out->size() + kRequestHeaderBytes + request.query.size());
   PutU32(out, kRequestMagic);
   out->push_back(static_cast<char>(kProtocolVersion));
-  out->push_back(static_cast<char>(FrameType::kSearch));
+  out->push_back(static_cast<char>(request.type));
   out->push_back(static_cast<char>(request.engine));
   out->push_back(0);  // reserved
   PutU64(out, request.request_id);
@@ -61,6 +61,7 @@ void EncodeResponse(const Response& response, std::string* out) {
   PutU64(out, response.request_id);
   PutU32(out, count);
   PutU32(out, payload_len);
+  PutU64(out, response.generation);
   if (ok) {
     for (const uint32_t id : response.matches) PutU32(out, id);
   } else {
@@ -83,18 +84,26 @@ Status DecodeRequestHeader(const uint8_t* header,
     return Status::Invalid("request frame: unsupported version " +
                            std::to_string(header[4]));
   }
-  if (header[5] != static_cast<uint8_t>(FrameType::kSearch)) {
+  if (header[5] != static_cast<uint8_t>(FrameType::kSearch) &&
+      header[5] != static_cast<uint8_t>(FrameType::kAdmin)) {
     return Status::Invalid("request frame: unexpected type " +
                            std::to_string(header[5]));
   }
   if (header[7] != 0 || GetU32(header + 28) != 0) {
     return Status::Invalid("request frame: nonzero reserved bytes");
   }
+  out->type = static_cast<FrameType>(header[5]);
   out->engine = header[6];
   out->k = GetU32(header + 16);
   out->deadline_ms = GetU32(header + 20);
   const uint32_t len = GetU32(header + 24);
-  if (out->k > limits.max_k) {
+  if (out->type == FrameType::kAdmin) {
+    // k is the admin op; an unknown op is a peer bug, not a search.
+    if (out->k != kAdminOpReload && out->k != kAdminOpGetGeneration) {
+      return Status::Invalid("request frame: unknown admin op " +
+                             std::to_string(out->k));
+    }
+  } else if (out->k > limits.max_k) {
     return Status::Invalid("request frame: k " + std::to_string(out->k) +
                            " exceeds limit " + std::to_string(limits.max_k));
   }
@@ -156,6 +165,7 @@ Status DecodeResponseHeader(const uint8_t* header,
   }
   const uint32_t count = GetU32(header + 16);
   const uint32_t len = GetU32(header + 20);
+  out->generation = GetU64(header + 24);
   if (len > limits.max_response_payload) {
     return Status::Invalid("response frame: payload " + std::to_string(len) +
                            " exceeds limit " +

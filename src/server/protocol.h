@@ -6,18 +6,23 @@
 //
 //   offset  size  field
 //   0       4     magic        "SSSQ" (0x51535353)
-//   4       1     version      kProtocolVersion (1)
-//   5       1     type         FrameType::kSearch (1)
-//   6       1     engine       EngineKind value, or kAnyEngine (0xFF)
+//   4       1     version      kProtocolVersion (2)
+//   5       1     type         FrameType::kSearch (1) or kAdmin (3)
+//   6       1     engine       EngineKind value, or kAnyEngine (0xFF);
+//                              ignored for kAdmin
 //   7       1     reserved     must be 0
 //   8       8     request_id   echoed verbatim in the response
-//   16      4     k            edit-distance threshold (<= limits.max_k)
+//   16      4     k            kSearch: edit-distance threshold
+//                              (<= limits.max_k); kAdmin: the admin op
+//                              (kAdminOpReload / kAdminOpGetGeneration)
 //   20      4     deadline_ms  per-request budget (0 = none)
 //   24      4     query_len    bytes of query text following the header
+//                              (kAdmin reload: optional dataset path;
+//                              empty = reload the server's current source)
 //   28      4     reserved     must be 0
 //   32      ...   query bytes  (<= limits.max_query_bytes)
 //
-// Response frame (24-byte header + payload):
+// Response frame (32-byte header + payload):
 //
 //   offset  size  field
 //   0       4     magic        "SSSP" (0x50535353)
@@ -29,7 +34,16 @@
 //   16      4     count        match ids (OK) / message bytes (error)
 //   20      4     payload_len  bytes following the header; must equal
 //                              count*4 (OK) or count (error)
-//   24      ...   payload      u32 match ids ascending, or message text
+//   24      8     generation   id of the engine generation (collection
+//                              snapshot version) that answered; 0 when the
+//                              server serves no versioned generation.
+//                              Admin responses carry the post-op generation.
+//   32      ...   payload      u32 match ids ascending, or message text
+//
+// v1 → v2: the response header grew from 24 to 32 bytes (the generation
+// field) and kAdmin frames were added. Version bytes are checked on both
+// sides, so a v1 peer gets a clean "unsupported version" error instead of a
+// misparse.
 //
 // Decoding is defensive by construction: every field is range-checked
 // against ProtocolLimits before any allocation sized from the wire, and the
@@ -50,7 +64,7 @@ namespace sss::server {
 
 inline constexpr uint32_t kRequestMagic = 0x51535353;   // "SSSQ"
 inline constexpr uint32_t kResponseMagic = 0x50535353;  // "SSSP"
-inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr uint8_t kProtocolVersion = 2;
 
 /// \brief Engine selector meaning "whatever the server's default is".
 inline constexpr uint8_t kAnyEngine = 0xFF;
@@ -58,10 +72,15 @@ inline constexpr uint8_t kAnyEngine = 0xFF;
 enum class FrameType : uint8_t {
   kSearch = 1,
   kResponse = 2,
+  kAdmin = 3,
 };
 
+/// \brief Admin ops (the request's k field when type == kAdmin).
+inline constexpr uint32_t kAdminOpReload = 1;
+inline constexpr uint32_t kAdminOpGetGeneration = 2;
+
 inline constexpr size_t kRequestHeaderBytes = 32;
-inline constexpr size_t kResponseHeaderBytes = 24;
+inline constexpr size_t kResponseHeaderBytes = 32;
 
 /// \brief Hard ceilings a decoder enforces before trusting any
 /// length-prefixed field. Both sides of a connection must agree on limits
@@ -75,9 +94,13 @@ struct ProtocolLimits {
   uint32_t max_response_payload = 1u << 26;
 };
 
-/// \brief One search request, decoded (or about to be encoded).
+/// \brief One request, decoded (or about to be encoded). `type` selects the
+/// interpretation: kSearch uses every field as named; kAdmin reuses `k` as
+/// the admin op and `query` as the op's argument (reload: dataset path,
+/// empty = current source).
 struct Request {
   uint64_t request_id = 0;
+  FrameType type = FrameType::kSearch;
   uint8_t engine = kAnyEngine;
   uint32_t k = 0;
   uint32_t deadline_ms = 0;  // 0 = no per-request deadline
@@ -90,6 +113,10 @@ struct Request {
 struct Response {
   uint64_t request_id = 0;
   StatusCode code = StatusCode::kOk;
+  /// Engine generation (collection snapshot version) that answered — 0 when
+  /// the server serves no versioned generation. Admin responses carry the
+  /// generation after the op.
+  uint64_t generation = 0;
   std::string message;            // non-OK only
   std::vector<uint32_t> matches;  // OK only, ascending ids
 };
@@ -113,7 +140,7 @@ Status DecodeRequestHeader(const uint8_t* header, const ProtocolLimits& limits,
 Status DecodeRequest(std::string_view frame, const ProtocolLimits& limits,
                      Request* out);
 
-/// \brief Validates a 24-byte response header; `payload_len` is the byte
+/// \brief Validates a 32-byte response header; `payload_len` is the byte
 /// count still to be read from the stream.
 Status DecodeResponseHeader(const uint8_t* header,
                             const ProtocolLimits& limits, Response* out,

@@ -12,7 +12,7 @@ Status Server::RegisterEngine(uint8_t engine_id, const Searcher* searcher) {
   if (searcher == nullptr) {
     return Status::Invalid("RegisterEngine: null searcher");
   }
-  if (running()) {
+  if (started_.load(std::memory_order_acquire)) {
     return Status::Invalid("RegisterEngine: server already started");
   }
   engines_[engine_id] = searcher;
@@ -20,11 +20,39 @@ Status Server::RegisterEngine(uint8_t engine_id, const Searcher* searcher) {
   return Status::OK();
 }
 
+Status Server::RegisterHost(EngineHost* host) {
+  if (host == nullptr) return Status::Invalid("RegisterHost: null host");
+  if (started_.load(std::memory_order_acquire)) {
+    return Status::Invalid("RegisterHost: server already started");
+  }
+  host_ = host;
+  return Status::OK();
+}
+
+Status Server::Reload(const std::string& path) {
+  if (host_ == nullptr) {
+    return Status::Invalid("Reload: no EngineHost registered");
+  }
+  // The server-wide token rides along so Stop()+CancelInflight() can also
+  // abandon a build in progress.
+  SearchContext ctx;
+  ctx.cancellation = &cancel_;
+  const Status st =
+      path.empty() ? host_->Reload(ctx) : host_->LoadFile(path, ctx);
+  if (st.ok()) {
+    counters_.reloads_ok.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    counters_.reloads_failed.fetch_add(1, std::memory_order_relaxed);
+  }
+  return st;
+}
+
 Status Server::Start() {
   if (running()) return Status::Invalid("Start: already running");
-  if (default_engine_ == nullptr) {
+  if (default_engine_ == nullptr && host_ == nullptr) {
     return Status::Invalid("Start: no engine registered");
   }
+  started_.store(true, std::memory_order_release);
   SSS_ASSIGN_OR_RETURN(
       listener_,
       net::ListenTcp(options_.host, options_.port, options_.backlog));
@@ -144,7 +172,46 @@ Status Server::WriteResponse(int fd, const Response& response) {
   return Status::OK();
 }
 
+Response Server::HandleAdmin(const Request& request) {
+  Response response;
+  response.request_id = request.request_id;
+  if (host_ == nullptr) {
+    response.code = StatusCode::kInvalid;
+    response.message = "admin frame: no EngineHost registered";
+    counters_.requests_rejected.fetch_add(1, std::memory_order_relaxed);
+    return response;
+  }
+  switch (request.k) {
+    case kAdminOpReload: {
+      const Status st = Reload(request.query);
+      if (!st.ok()) {
+        response.code = st.code();
+        response.message = st.message();
+      }
+      break;
+    }
+    case kAdminOpGetGeneration:
+      break;  // generation is filled below for every admin response
+    default:
+      // Unknown ops are rejected by the decoder; belt and braces here.
+      response.code = StatusCode::kInvalid;
+      response.message = "unknown admin op " + std::to_string(request.k);
+      break;
+  }
+  response.generation = host_->generation();
+  if (response.code == StatusCode::kOk) {
+    counters_.requests_ok.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    counters_.requests_rejected.fetch_add(1, std::memory_order_relaxed);
+  }
+  return response;
+}
+
 Response Server::HandleRequest(const Request& request) {
+  // Admin frames bypass admission: a reload must get through exactly when
+  // the server is shedding search load, and ops touch no engine slot.
+  if (request.type == FrameType::kAdmin) return HandleAdmin(request);
+
   Response response;
   response.request_id = request.request_id;
 
@@ -167,9 +234,29 @@ Response Server::HandleRequest(const Request& request) {
     return response;
   }
 
-  const Searcher* engine = request.engine == kAnyEngine
-                               ? default_engine_
-                               : engines_[request.engine];
+  // Pin the host's current generation for the whole request: `pinned` keeps
+  // the snapshot and every engine built over it alive even if a reload
+  // publishes a successor mid-search. Static engines (no host) have no
+  // generation to pin.
+  EngineSetHandle pinned;
+  const Searcher* engine = nullptr;
+  if (host_ != nullptr) {
+    pinned = host_->Acquire();
+    if (pinned == nullptr) {
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      counters_.requests_rejected.fetch_add(1, std::memory_order_relaxed);
+      response.code = StatusCode::kUnavailable;
+      response.message = "no engine generation published yet";
+      if (options_.stats != nullptr) options_.stats->Record(delta);
+      return response;
+    }
+    response.generation = pinned->generation;
+    engine = request.engine == kAnyEngine ? pinned->default_engine
+                                          : pinned->Find(request.engine);
+  } else {
+    engine = request.engine == kAnyEngine ? default_engine_
+                                          : engines_[request.engine];
+  }
   if (engine == nullptr) {
     inflight_.fetch_sub(1, std::memory_order_acq_rel);
     counters_.requests_rejected.fetch_add(1, std::memory_order_relaxed);
@@ -178,6 +265,12 @@ Response Server::HandleRequest(const Request& request) {
         "no engine registered under id " + std::to_string(request.engine);
     if (options_.stats != nullptr) options_.stats->Record(delta);
     return response;
+  }
+  if (pinned == nullptr) {
+    // Static engines still serve a versioned collection; report it so
+    // clients can tell generations apart however the engines were wired.
+    const SnapshotHandle snapshot = engine->SearchedSnapshot();
+    if (snapshot != nullptr) response.generation = snapshot->version();
   }
 
   SearchContext ctx;

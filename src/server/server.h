@@ -39,6 +39,7 @@
 
 #include <mutex>
 
+#include "core/engine_host.h"
 #include "core/searcher.h"
 #include "server/protocol.h"
 #include "util/cancellation.h"
@@ -77,6 +78,8 @@ struct ServerCounters {
   std::atomic<uint64_t> protocol_errors{0};     // malformed frames
   std::atomic<uint64_t> bytes_in{0};
   std::atomic<uint64_t> bytes_out{0};
+  std::atomic<uint64_t> reloads_ok{0};          // published generations
+  std::atomic<uint64_t> reloads_failed{0};      // failed/rejected reloads
 };
 
 class Server {
@@ -86,10 +89,36 @@ class Server {
 
   SSS_DISALLOW_COPY_AND_ASSIGN(Server);
 
-  /// \brief Registers `searcher` (borrowed; must outlive the server) under
-  /// `engine_id` — conventionally uint8_t(EngineKind). The first registered
-  /// engine also answers kAnyEngine requests. Call before Start().
+  /// \brief Registers `searcher` (borrowed) under `engine_id` —
+  /// conventionally uint8_t(EngineKind). The first registered engine also
+  /// answers kAnyEngine requests.
+  ///
+  /// Lifetime rules, enforced and assumed in that order:
+  ///   * must be called before the first Start() — handler threads read the
+  ///     engine table without locks, so it is immutable once the server has
+  ///     ever run (registration after Start() returns kInvalid, even once
+  ///     the server is stopped again);
+  ///   * `searcher` — and the collection snapshot it pins via
+  ///     SearchedSnapshot() — must outlive the server. Statically registered
+  ///     engines never change generation; for a collection that can be
+  ///     republished at runtime, register an EngineHost instead, whose
+  ///     Acquire() pins a snapshot per request.
   Status RegisterEngine(uint8_t engine_id, const Searcher* searcher);
+
+  /// \brief Registers `host` (borrowed; must outlive the server) as the
+  /// source of engines. Each request pins the host's current EngineSet for
+  /// its whole search, so a concurrent Reload never invalidates in-flight
+  /// work — old generations drain, new requests see the new set. A host
+  /// takes precedence over statically registered engines and answers both
+  /// engine dispatch and kAdmin frames. Same before-first-Start() rule as
+  /// RegisterEngine.
+  Status RegisterHost(EngineHost* host);
+
+  /// \brief Publishes a fresh generation via the registered host: from
+  /// `path` when non-empty, else by re-reading the host's current source.
+  /// kInvalid without a host; kUnavailable while another reload runs. Safe
+  /// while serving — this is the SIGHUP / kAdmin entry point.
+  Status Reload(const std::string& path = "");
 
   /// \brief Binds, listens, and starts the accept loop.
   Status Start();
@@ -133,18 +162,26 @@ class Server {
   Status WriteResponse(int fd, const Response& response);
   /// Admission + engine dispatch + stats for one decoded request.
   Response HandleRequest(const Request& request);
+  /// kAdmin dispatch: reload / get-generation. No admission slot — admin
+  /// ops must succeed exactly when the server sheds search load.
+  Response HandleAdmin(const Request& request);
   /// Joins and frees connections whose handler has finished.
   void ReapFinishedLocked();
 
   ServerOptions options_;
   const Searcher* engines_[256] = {};
   const Searcher* default_engine_ = nullptr;
+  EngineHost* host_ = nullptr;
 
   net::Socket listener_;
   uint16_t port_ = 0;
   std::thread accept_thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};
+  /// Latches true at the first Start() and never resets: the engine table
+  /// and host pointer are read lock-free by handler threads, so they are
+  /// frozen from that point on (even across Stop()/Start() cycles).
+  std::atomic<bool> started_{false};
 
   std::mutex conn_mu_;
   std::vector<std::unique_ptr<Connection>> connections_;

@@ -56,7 +56,10 @@ namespace sss {
   X(server_requests_shed)           \
   X(server_requests_cancelled)      \
   X(server_bytes_in)                \
-  X(server_bytes_out)
+  X(server_bytes_out)               \
+  X(host_reloads_ok)                \
+  X(host_reloads_failed)            \
+  X(host_reload_build_micros)
 
 /// \brief Per-call counters the edit-distance kernels maintain inside the
 /// EditDistanceWorkspace they already receive. Engines snapshot the
@@ -86,7 +89,11 @@ struct KernelCounters {
 ///   * serving layer — server_requests_* and server_bytes_* reported per
 ///     request by sss::server::Server (and mirrored client-side by
 ///     sss_loadgen, which observes the same events from the other end of
-///     the connection).
+///     the connection);
+///   * lifecycle — host_reloads_* and host_reload_build_micros reported by
+///     EngineHost once per Load/Reload attempt (build_micros is the wall
+///     time spent constructing the engine set that was, or failed to be,
+///     published).
 struct SearchStats {
 #define SSS_DECLARE_STAT(name) uint64_t name = 0;
   SSS_FOR_EACH_SEARCH_STAT(SSS_DECLARE_STAT)

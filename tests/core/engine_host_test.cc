@@ -1,0 +1,264 @@
+// EngineHost lifecycle tests: generation publishing, per-request pinning
+// under concurrent reloads (never a mixed-generation answer), cancellation
+// and failure leaving the old generation serving, and snapshot version
+// monotonicity.
+#include "core/engine_host.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/snapshot.h"
+#include "test_util.h"
+#include "util/random.h"
+#include "util/search_stats.h"
+
+namespace sss {
+namespace {
+
+using testing::RandomDataset;
+
+constexpr std::string_view kAlpha = "abcdefghij";
+
+/// A dataset of `n` copies of "aaaa" — every k=0 "aaaa" query matches all n,
+/// so the match count identifies which generation answered.
+Dataset UniformDataset(size_t n) {
+  Dataset d("uniform", AlphabetKind::kGeneric);
+  for (size_t i = 0; i < n; ++i) d.Add("aaaa");
+  return d;
+}
+
+std::vector<EngineSpec> ScanOnly() {
+  return {EngineSpec::For(EngineKind::kSequentialScan)};
+}
+
+TEST(EngineSpecTest, ParseKnownNames) {
+  auto scan = ParseEngineSpec("scan");
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->id, static_cast<uint8_t>(EngineKind::kSequentialScan));
+  EXPECT_FALSE(scan->auto_router);
+
+  auto autor = ParseEngineSpec("auto");
+  ASSERT_TRUE(autor.ok());
+  EXPECT_EQ(autor->id, kAutoEngineId);
+  EXPECT_TRUE(autor->auto_router);
+
+  EXPECT_FALSE(ParseEngineSpec("no_such_engine").ok());
+}
+
+TEST(EngineHostTest, NoGenerationBeforeFirstLoad) {
+  EngineHost host(ScanOnly());
+  EXPECT_EQ(host.Acquire(), nullptr);
+  EXPECT_EQ(host.generation(), 0u);
+  EXPECT_FALSE(host.Reload().ok());  // no source path yet
+}
+
+TEST(EngineHostTest, LoadPublishesEveryEngineAndTheSnapshotVersion) {
+  Xoshiro256 rng(0x10ad);
+  std::vector<EngineSpec> specs = {
+      EngineSpec::For(EngineKind::kSequentialScan),
+      EngineSpec::For(EngineKind::kTrieIndex),
+      EngineSpec::Auto(),
+  };
+  EngineHost host(specs);
+  const SnapshotHandle snapshot =
+      CollectionSnapshot::Create(RandomDataset(&rng, kAlpha, 200, 3, 10));
+  ASSERT_TRUE(host.Load(snapshot).ok());
+
+  const EngineSetHandle set = host.Acquire();
+  ASSERT_NE(set, nullptr);
+  EXPECT_EQ(set->generation, snapshot->version());
+  EXPECT_EQ(host.generation(), snapshot->version());
+  EXPECT_EQ(set->engines.size(), specs.size());
+  for (const EngineSpec& spec : specs) {
+    EXPECT_NE(set->Find(spec.id), nullptr) << unsigned{spec.id};
+  }
+  EXPECT_EQ(set->default_engine, set->Find(specs[0].id));
+  EXPECT_EQ(set->Find(0x7E), nullptr);
+  // Every engine pins the same snapshot the set advertises.
+  for (const auto& engine : set->engines) {
+    EXPECT_EQ(engine->SearchedSnapshot(), snapshot);
+  }
+}
+
+TEST(EngineHostTest, GenerationIdsAreMonotonicAcrossLoads) {
+  EngineHost host(ScanOnly());
+  uint64_t previous = 0;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        host.Load(CollectionSnapshot::Create(UniformDataset(10 + i))).ok());
+    EXPECT_GT(host.generation(), previous);
+    previous = host.generation();
+  }
+  EXPECT_EQ(host.counters().reloads_ok.load(), 4u);
+}
+
+TEST(EngineHostTest, DuplicateEngineIdFailsTheLoad) {
+  EngineHost host({EngineSpec::For(EngineKind::kSequentialScan),
+                   EngineSpec::For(EngineKind::kSequentialScan)});
+  const Status st = host.Load(CollectionSnapshot::Create(UniformDataset(5)));
+  EXPECT_TRUE(st.IsInvalid()) << st.ToString();
+  EXPECT_EQ(host.Acquire(), nullptr);
+  EXPECT_EQ(host.counters().reloads_failed.load(), 1u);
+}
+
+TEST(EngineHostTest, CancelledBuildLeavesOldGenerationServing) {
+  EngineHost host(ScanOnly());
+  ASSERT_TRUE(host.Load(CollectionSnapshot::Create(UniformDataset(7))).ok());
+  const uint64_t before = host.generation();
+  const EngineSetHandle old_set = host.Acquire();
+
+  CancellationToken cancel;
+  cancel.Cancel();
+  SearchContext ctx;
+  ctx.cancellation = &cancel;
+  const Status st =
+      host.Load(CollectionSnapshot::Create(UniformDataset(9)), ctx);
+  EXPECT_TRUE(st.IsCancelled()) << st.ToString();
+  EXPECT_EQ(host.generation(), before);
+  EXPECT_EQ(host.Acquire(), old_set);
+  EXPECT_EQ(host.counters().reloads_failed.load(), 1u);
+}
+
+TEST(EngineHostTest, FailedFileLoadLeavesOldGenerationServing) {
+  StatsSink sink;
+  EngineHostOptions options;
+  options.stats = &sink;
+  EngineHost host(ScanOnly(), options);
+  ASSERT_TRUE(host.Load(CollectionSnapshot::Create(UniformDataset(7))).ok());
+  const uint64_t before = host.generation();
+
+  EXPECT_FALSE(host.LoadFile("/nonexistent/sss_host_test.txt").ok());
+  EXPECT_EQ(host.generation(), before);
+  ASSERT_NE(host.Acquire(), nullptr);
+  EXPECT_EQ(host.counters().reloads_failed.load(), 1u);
+  const SearchStats collected = sink.Collected();
+  EXPECT_EQ(collected.host_reloads_failed, 1u);
+  EXPECT_EQ(collected.host_reloads_ok, 1u);
+}
+
+TEST(EngineHostTest, LoadFileRemembersThePathForReload) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("sss_engine_host_test_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "data.txt").string();
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "alpha\nbeta\ngamma\n";
+  }
+
+  EngineHost host(ScanOnly());
+  ASSERT_TRUE(host.LoadFile(path).ok());
+  EXPECT_EQ(host.source_path(), path);
+  const uint64_t first = host.generation();
+  ASSERT_NE(host.Acquire(), nullptr);
+  EXPECT_EQ(host.Acquire()->snapshot->dataset().size(), 3u);
+
+  // Grow the file; Reload() must pick up the new contents under a new id.
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "delta\n";
+  }
+  ASSERT_TRUE(host.Reload().ok());
+  EXPECT_GT(host.generation(), first);
+  EXPECT_EQ(host.Acquire()->snapshot->dataset().size(), 4u);
+
+  std::filesystem::remove_all(dir);
+}
+
+// The tentpole guarantee: a search pinned to a generation answers entirely
+// from that generation's snapshot, no matter how many reloads land while it
+// runs. Readers hammer Acquire()+Search while the main thread republishes
+// collections of distinct sizes; every answer must equal the match count of
+// exactly the pinned generation — a mixed answer (partly old, partly new
+// collection) can produce no other count.
+TEST(EngineHostTest, ConcurrentSearchDuringReloadNeverMixesGenerations) {
+  constexpr size_t kSizeA = 300;
+  constexpr size_t kSizeB = 500;
+  EngineHost host(ScanOnly());
+  ASSERT_TRUE(host.Load(CollectionSnapshot::Create(UniformDataset(kSizeA)))
+                  .ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> searches{0};
+  std::atomic<uint64_t> mixed{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      Query query;
+      query.text = "aaaa";
+      query.max_distance = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const EngineSetHandle set = host.Acquire();
+        ASSERT_NE(set, nullptr);
+        const size_t expected = set->snapshot->dataset().size();
+        const MatchList matches = set->default_engine->Search(query);
+        if (matches.size() != expected) {
+          mixed.fetch_add(1, std::memory_order_relaxed);
+        }
+        searches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Republishing flips the collection size every time; every flip is a
+  // chance for an unpinned reader to see a half-switched world.
+  uint64_t last_generation = host.generation();
+  for (int i = 0; i < 50; ++i) {
+    const size_t size = (i % 2 == 0) ? kSizeB : kSizeA;
+    ASSERT_TRUE(
+        host.Load(CollectionSnapshot::Create(UniformDataset(size))).ok());
+    EXPECT_GT(host.generation(), last_generation);
+    last_generation = host.generation();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(mixed.load(), 0u);
+  EXPECT_GT(searches.load(), 0u);
+}
+
+// Dropping the last pin destroys the replaced generation: after a reload,
+// the old set's snapshot must die with the old set.
+TEST(EngineHostTest, ReplacedGenerationDiesWhenLastPinDrops) {
+  EngineHost host(ScanOnly());
+  ASSERT_TRUE(host.Load(CollectionSnapshot::Create(UniformDataset(5))).ok());
+  EngineSetHandle pinned = host.Acquire();
+  std::weak_ptr<const EngineSet> watch = pinned;
+
+  ASSERT_TRUE(host.Load(CollectionSnapshot::Create(UniformDataset(6))).ok());
+  EXPECT_FALSE(watch.expired());  // the pin still holds the old world
+  // The pinned set keeps answering from the old collection.
+  Query query;
+  query.text = "aaaa";
+  query.max_distance = 0;
+  EXPECT_EQ(pinned->default_engine->Search(query).size(), 5u);
+
+  pinned.reset();
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(SnapshotTest, OwnedAndBorrowedSnapshotsGetDistinctRisingVersions) {
+  Dataset borrowed_from("b", AlphabetKind::kGeneric);
+  borrowed_from.Add("x");
+  const SnapshotHandle owned =
+      CollectionSnapshot::Create(UniformDataset(2), "somewhere.txt");
+  const SnapshotHandle borrowed = CollectionSnapshot::Borrow(borrowed_from);
+  EXPECT_GT(borrowed->version(), owned->version());
+  EXPECT_TRUE(owned->owns_dataset());
+  EXPECT_FALSE(borrowed->owns_dataset());
+  EXPECT_EQ(owned->source_path(), "somewhere.txt");
+  EXPECT_EQ(&borrowed->dataset(), &borrowed_from);
+  EXPECT_GE(CollectionSnapshot::LatestVersion(), borrowed->version());
+}
+
+}  // namespace
+}  // namespace sss

@@ -20,6 +20,7 @@
 #include <memory>
 #include <thread>
 
+#include "core/engine_host.h"
 #include "core/searcher.h"
 #include "io/binary_format.h"
 #include "io/reader.h"
@@ -380,6 +381,86 @@ TEST_F(ServerFaultTest, SlowReadDelaysButDeliversResponse) {
   const Stopwatch timer;
   ExpectServes();
   EXPECT_LT(timer.ElapsedSeconds(), 30.0);  // delayed, not deadlocked
+}
+
+// ---------------------------------------------------------------------------
+// Reload path: injected faults fail the reload, never the serving generation
+// ---------------------------------------------------------------------------
+
+class HostFaultTest : public FaultInjectionTest {
+ protected:
+  void SetUp() override {
+    FaultInjectionTest::SetUp();
+    path_ = WriteLines("host.txt", {"aaaa", "aaaa", "aaaa"});
+    host_ = std::make_unique<EngineHost>(
+        std::vector<EngineSpec>{EngineSpec::For(EngineKind::kSequentialScan)});
+    ASSERT_TRUE(host_->LoadFile(path_).ok());
+    baseline_ = host_->generation();
+    ASSERT_NE(baseline_, 0u);
+  }
+
+  // The serving contract after any failed reload: the old generation still
+  // answers, and a clean retry succeeds under a newer id.
+  void ExpectOldGenerationServesThenRecovers() {
+    EXPECT_EQ(host_->generation(), baseline_);
+    const EngineSetHandle set = host_->Acquire();
+    ASSERT_NE(set, nullptr);
+    EXPECT_EQ(set->generation, baseline_);
+    Query query;
+    query.text = "aaaa";
+    query.max_distance = 0;
+    EXPECT_EQ(set->default_engine->Search(query).size(), 3u);
+    FailPoints::Instance().DisableAll();
+    ASSERT_TRUE(host_->Reload().ok());
+    EXPECT_GT(host_->generation(), baseline_);
+  }
+
+  std::string path_;
+  std::unique_ptr<EngineHost> host_;
+  uint64_t baseline_ = 0;
+};
+
+TEST_F(HostFaultTest, InjectedReadFaultFailsReloadNotServing) {
+  FailPoints::Instance().Fail("engine_host:read", Status::IOError("injected"),
+                              /*times=*/1);
+  const Status st = host_->Reload();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsIOError());
+  EXPECT_EQ(host_->counters().reloads_failed.load(), 1u);
+  ExpectOldGenerationServesThenRecovers();
+}
+
+TEST_F(HostFaultTest, InjectedBuildFaultFailsReloadNotServing) {
+  FailPoints::Instance().Fail("engine_host:build",
+                              Status::UnknownError("injected build failure"),
+                              /*times=*/1);
+  ASSERT_FALSE(host_->Reload().ok());
+  EXPECT_EQ(host_->counters().reloads_failed.load(), 1u);
+  ExpectOldGenerationServesThenRecovers();
+}
+
+TEST_F(HostFaultTest, SlowPublishStallsTheSwapNotTheReaders) {
+  // The swap itself stalls 50 ms; readers keep acquiring the old set the
+  // whole time, so a slow publish delays the new world without ever leaving
+  // a gap where Acquire() returns nothing.
+  FailPoints::Instance().Sleep("engine_host:publish",
+                               std::chrono::milliseconds(50), /*times=*/1);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> null_acquires{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      if (host_->Acquire() == nullptr) {
+        null_acquires.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  const Stopwatch timer;
+  ASSERT_TRUE(host_->Reload().ok());
+  EXPECT_LT(timer.ElapsedSeconds(), 30.0);
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(null_acquires.load(), 0u);
+  EXPECT_GT(host_->generation(), baseline_);
 }
 
 }  // namespace

@@ -79,6 +79,70 @@ TEST(ProtocolTest, ErrorResponseRoundTrip) {
   EXPECT_TRUE(out.matches.empty());
 }
 
+TEST(ProtocolTest, AdminRequestRoundTrip) {
+  Request in;
+  in.request_id = 77;
+  in.type = FrameType::kAdmin;
+  in.k = kAdminOpReload;
+  in.query = "/data/new_collection.txt";  // reload path rides in the query
+  std::string frame;
+  EncodeRequest(in, &frame);
+
+  Request out;
+  ASSERT_TRUE(DecodeRequest(frame, ProtocolLimits(), &out).ok());
+  EXPECT_EQ(out.type, FrameType::kAdmin);
+  EXPECT_EQ(out.k, kAdminOpReload);
+  EXPECT_EQ(out.query, in.query);
+}
+
+TEST(ProtocolTest, UnknownAdminOpIsInvalid) {
+  Request in;
+  in.type = FrameType::kAdmin;
+  in.k = 999;  // not a defined admin op
+  std::string frame;
+  EncodeRequest(in, &frame);
+  Request out;
+  EXPECT_TRUE(DecodeRequest(frame, ProtocolLimits(), &out).IsInvalid());
+}
+
+TEST(ProtocolTest, AdminOpIsNotBoundedByMaxK) {
+  // kAdmin reuses the k field as the op id; the search threshold limit must
+  // not apply (ops are validated against the op table instead).
+  ProtocolLimits limits;
+  limits.max_k = 1;
+  Request in;
+  in.type = FrameType::kAdmin;
+  in.k = kAdminOpGetGeneration;  // 2 > max_k, still valid
+  std::string frame;
+  EncodeRequest(in, &frame);
+  Request out;
+  EXPECT_TRUE(DecodeRequest(frame, limits, &out).ok());
+}
+
+TEST(ProtocolTest, ResponseGenerationRoundTrips) {
+  Response in;
+  in.request_id = 5;
+  in.generation = 0x0123456789ABCDEFull;
+  in.matches = {4};
+  std::string frame;
+  EncodeResponse(in, &frame);
+
+  Response out;
+  ASSERT_TRUE(DecodeResponse(frame, ProtocolLimits(), &out).ok());
+  EXPECT_EQ(out.generation, in.generation);
+
+  // Error responses carry the generation too.
+  Response err;
+  err.request_id = 6;
+  err.code = StatusCode::kUnavailable;
+  err.generation = 3;
+  err.message = "shed";
+  frame.clear();
+  EncodeResponse(err, &frame);
+  ASSERT_TRUE(DecodeResponse(frame, ProtocolLimits(), &out).ok());
+  EXPECT_EQ(out.generation, 3u);
+}
+
 TEST(ProtocolTest, BadMagicIsInvalid) {
   std::string frame;
   EncodeRequest(MakeRequest(), &frame);

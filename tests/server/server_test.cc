@@ -2,14 +2,20 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/engine_host.h"
 #include "core/searcher.h"
 #include "server/client.h"
 #include "server/protocol.h"
@@ -421,6 +427,221 @@ TEST_F(ServerRobustnessTest, HugeAnnouncedQueryIsRejectedBeforeAllocation) {
   EXPECT_EQ(response.code, StatusCode::kInvalid);
   EXPECT_EQ(response.request_id, 6u);  // id recovered from the bad header
   ExpectStillServing(*server);
+}
+
+// ---------------------------------------------------------------------------
+// EngineHost-backed serving: generation ids in responses, admin frames, and
+// zero-downtime reload under concurrent load.
+
+class ServerHostTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("sss_server_host_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    data_path_ = (dir_ / "data.txt").string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  // Writes `n` copies of "aaaa": a k=0 "aaaa" query matches all n, so the
+  // match count identifies the generation that answered.
+  void WriteUniformDataset(size_t n) {
+    std::ofstream out(data_path_, std::ios::trunc);
+    for (size_t i = 0; i < n; ++i) out << "aaaa\n";
+  }
+
+  std::filesystem::path dir_;
+  std::string data_path_;
+};
+
+TEST_F(ServerHostTest, RegistrationAfterStartIsRejectedEvenOnceStopped) {
+  WriteUniformDataset(10);
+  EngineHost host({EngineSpec::For(EngineKind::kSequentialScan)});
+  ASSERT_TRUE(host.LoadFile(data_path_).ok());
+
+  ServerOptions options;
+  options.host = "127.0.0.1";
+  Server server(options);
+  ASSERT_TRUE(server.RegisterHost(&host).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  // The engine table is read lock-free by handler threads: once the server
+  // has ever started, registration stays closed — including after Stop(),
+  // when handlers may still be draining.
+  Dataset extra("x", AlphabetKind::kGeneric);
+  extra.Add("zz");
+  auto other = MakeSearcher(EngineKind::kSequentialScan, extra);
+  ASSERT_TRUE(other.ok());
+  EXPECT_TRUE(server.RegisterEngine(7, other->get()).IsInvalid());
+  EXPECT_TRUE(server.RegisterHost(&host).IsInvalid());
+  server.Stop();
+  EXPECT_TRUE(server.RegisterEngine(7, other->get()).IsInvalid());
+  EXPECT_TRUE(server.RegisterHost(&host).IsInvalid());
+}
+
+TEST_F(ServerHostTest, ResponsesCarryTheGenerationAndAdminReadsIt) {
+  WriteUniformDataset(12);
+  EngineHost host({EngineSpec::For(EngineKind::kSequentialScan)});
+  ASSERT_TRUE(host.LoadFile(data_path_).ok());
+  const uint64_t generation = host.generation();
+  ASSERT_NE(generation, 0u);
+
+  ServerOptions options;
+  options.host = "127.0.0.1";
+  Server server(options);
+  ASSERT_TRUE(server.RegisterHost(&host).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  Response response;
+  ASSERT_TRUE(client->Search("aaaa", 0, 0, &response).ok());
+  EXPECT_EQ(response.code, StatusCode::kOk);
+  EXPECT_EQ(response.matches.size(), 12u);
+  EXPECT_EQ(response.generation, generation);
+
+  ASSERT_TRUE(client->GetGeneration(&response).ok());
+  EXPECT_EQ(response.code, StatusCode::kOk);
+  EXPECT_EQ(response.generation, generation);
+  server.Stop();
+}
+
+TEST_F(ServerHostTest, AdminReloadPublishesANewGenerationAndNewAnswers) {
+  WriteUniformDataset(5);
+  EngineHost host({EngineSpec::For(EngineKind::kSequentialScan)});
+  ASSERT_TRUE(host.LoadFile(data_path_).ok());
+  const uint64_t first = host.generation();
+
+  ServerOptions options;
+  options.host = "127.0.0.1";
+  Server server(options);
+  ASSERT_TRUE(server.RegisterHost(&host).ok());
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  WriteUniformDataset(9);
+  Response response;
+  ASSERT_TRUE(client->Reload("", &response).ok());
+  EXPECT_EQ(response.code, StatusCode::kOk);
+  EXPECT_GT(response.generation, first);
+  EXPECT_EQ(server.counters().reloads_ok.load(), 1u);
+
+  ASSERT_TRUE(client->Search("aaaa", 0, 0, &response).ok());
+  EXPECT_EQ(response.matches.size(), 9u);
+  EXPECT_EQ(response.generation, host.generation());
+
+  // A failed admin reload reports the error and keeps the old generation.
+  const uint64_t current = host.generation();
+  ASSERT_TRUE(client->Reload("/nonexistent/sss.txt", &response).ok());
+  EXPECT_NE(response.code, StatusCode::kOk);
+  EXPECT_EQ(response.generation, current);
+  EXPECT_EQ(server.counters().reloads_failed.load(), 1u);
+  ASSERT_TRUE(client->Search("aaaa", 0, 0, &response).ok());
+  EXPECT_EQ(response.matches.size(), 9u);
+  server.Stop();
+}
+
+TEST_F(ServerHostTest, AdminFramesWithoutAHostAreRejectedNotFatal) {
+  Xoshiro256 rng(0x05E1);
+  Dataset dataset = RandomDataset(&rng, kAlpha, 50, 3, 8);
+  auto scan = MakeSearcher(EngineKind::kSequentialScan, dataset);
+  ASSERT_TRUE(scan.ok());
+
+  ServerOptions options;
+  options.host = "127.0.0.1";
+  Server server(options);
+  ASSERT_TRUE(server
+                  .RegisterEngine(
+                      static_cast<uint8_t>(EngineKind::kSequentialScan),
+                      scan->get())
+                  .ok());
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  Response response;
+  ASSERT_TRUE(client->Reload("", &response).ok());
+  EXPECT_EQ(response.code, StatusCode::kInvalid);
+  // Statically registered engines still report their snapshot's version.
+  ASSERT_TRUE(client->Search("abc", 1, 0, &response).ok());
+  EXPECT_EQ(response.code, StatusCode::kOk);
+  EXPECT_NE(response.generation, 0u);
+  server.Stop();
+}
+
+// The zero-downtime acceptance run, in-process: clients hammer the server
+// while the dataset file is rewritten and reloaded mid-flight. Required:
+// zero transport errors, every response OK, every answer consistent with
+// exactly one generation (old count or new count, never a mix), and both
+// generations observed across the run.
+TEST_F(ServerHostTest, ReloadUnderLoadLosesNoRequestsAndMixesNoGenerations) {
+  constexpr size_t kOldSize = 40;
+  constexpr size_t kNewSize = 70;
+  WriteUniformDataset(kOldSize);
+  EngineHost host({EngineSpec::For(EngineKind::kSequentialScan)});
+  ASSERT_TRUE(host.LoadFile(data_path_).ok());
+  const uint64_t old_generation = host.generation();
+
+  ServerOptions options;
+  options.host = "127.0.0.1";
+  options.max_inflight = 256;  // shedding would hide lost requests
+  Server server(options);
+  ASSERT_TRUE(server.RegisterHost(&host).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr size_t kClients = 8;
+  constexpr size_t kRequestsPerClient = 150;
+  std::atomic<uint64_t> transport_errors{0};
+  std::atomic<uint64_t> wrong_answers{0};
+  std::atomic<uint64_t> non_ok{0};
+  std::mutex gen_mu;
+  std::set<uint64_t> generations;
+
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      auto client = Client::Connect("127.0.0.1", server.port());
+      if (!client.ok()) {
+        transport_errors.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      for (size_t i = 0; i < kRequestsPerClient; ++i) {
+        Response response;
+        if (!client->Search("aaaa", 0, 0, &response).ok()) {
+          transport_errors.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        if (response.code != StatusCode::kOk) {
+          non_ok.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        // The response's generation id determines the only answer sizes a
+        // pinned search may produce.
+        const size_t expected =
+            response.generation == old_generation ? kOldSize : kNewSize;
+        if (response.matches.size() != expected) {
+          wrong_answers.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::lock_guard<std::mutex> lock(gen_mu);
+        generations.insert(response.generation);
+      }
+    });
+  }
+
+  // Swap the collection once the run is underway.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  WriteUniformDataset(kNewSize);
+  ASSERT_TRUE(server.Reload().ok());
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(transport_errors.load(), 0u);
+  EXPECT_EQ(non_ok.load(), 0u);
+  EXPECT_EQ(wrong_answers.load(), 0u);
+  EXPECT_EQ(generations.size(), 2u) << "expected both generations observed";
+  EXPECT_TRUE(generations.count(old_generation));
+  EXPECT_TRUE(generations.count(host.generation()));
+  server.Stop();
 }
 
 TEST_F(ServerRobustnessTest, RandomGarbageStreamsNeverKillTheServer) {

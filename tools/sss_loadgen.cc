@@ -19,9 +19,12 @@
 // protocol errors, 2 = usage.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -29,6 +32,7 @@
 #include "bench/bench_json.h"
 #include "io/reader.h"
 #include "server/client.h"
+#include "util/cancellation.h"
 #include "util/flags.h"
 #include "util/histogram.h"
 #include "util/search_stats.h"
@@ -50,6 +54,12 @@ struct Totals {
   std::atomic<uint64_t> matches{0};
   std::atomic<uint64_t> bytes_sent{0};
   std::atomic<uint64_t> bytes_received{0};
+  // Distinct non-zero engine generations seen in responses. Under a live
+  // reload the set should hold the old and the new id — the reload smoke
+  // asserts exactly that. Mutexed: inserts are rare (one per response, tiny
+  // set) and only the final report reads it.
+  std::mutex gen_mu;
+  std::set<uint64_t> generations;
 };
 
 int Usage() {
@@ -61,6 +71,8 @@ int Usage() {
       "  --concurrency N   worker connections, one request in flight each\n"
       "                    (default 8)\n"
       "  --requests N      total requests across all workers (default 1000)\n"
+      "  --duration-s S    run for S seconds of wall time instead of a fixed\n"
+      "                    request count (overrides --requests)\n"
       "  --deadline-ms MS  per-request deadline (default 0 = none)\n"
       "  --json[=PATH]     write BENCH_sss_loadgen.json (bench schema)\n"
       "exit codes: 0 all exchanges completed, 1 transport errors, 2 usage\n");
@@ -73,7 +85,7 @@ int Fail(const Status& status) {
 }
 
 void Worker(const std::string& host, uint16_t port, const QuerySet& queries,
-            uint32_t deadline_ms, size_t num_requests,
+            uint32_t deadline_ms, size_t num_requests, Deadline until,
             std::atomic<size_t>* next, Totals* totals,
             LatencyHistogram* latency) {
   // Accumulated across reconnects; folded into the totals once at exit.
@@ -97,6 +109,7 @@ void Worker(const std::string& host, uint16_t port, const QuerySet& queries,
   }
   Client client = std::move(*connected);
   for (;;) {
+    if (until.Expired()) break;  // duration mode: stop issuing, finish clean
     const size_t i = next->fetch_add(1, std::memory_order_relaxed);
     if (i >= num_requests) break;
     const Query& q = queries[i % queries.size()];
@@ -128,6 +141,10 @@ void Worker(const std::string& host, uint16_t port, const QuerySet& queries,
         1, std::memory_order_relaxed);
     totals->matches.fetch_add(response.matches.size(),
                               std::memory_order_relaxed);
+    if (response.generation != 0) {
+      std::lock_guard<std::mutex> lock(totals->gen_mu);
+      totals->generations.insert(response.generation);
+    }
   }
   retire(&client);
   totals->bytes_sent.fetch_add(bytes_sent, std::memory_order_relaxed);
@@ -163,6 +180,12 @@ int Run(const FlagSet& flags) {
   }
   Result<int64_t> deadline_ms = flags.GetInt("deadline-ms", 0);
   if (!deadline_ms.ok()) return Fail(deadline_ms.status());
+  Result<int64_t> duration_s = flags.GetInt("duration-s", 0);
+  if (!duration_s.ok()) return Fail(duration_s.status());
+  if (*duration_s < 0) {
+    std::fprintf(stderr, "sss_loadgen: --duration-s must be >= 0\n");
+    return kExitUsage;
+  }
 
   auto queries =
       ReadQueryFile(query_path, static_cast<int>(*default_k));
@@ -176,7 +199,15 @@ int Run(const FlagSet& flags) {
   Totals totals;
   LatencyHistogram latency;
   std::atomic<size_t> next{0};
-  const size_t num_requests = static_cast<size_t>(*requests);
+  // Duration mode uncaps the request counter and stops workers on the
+  // clock instead; each worker still finishes its in-flight exchange, so
+  // the run ends with complete responses, not severed connections.
+  const bool timed = *duration_s > 0;
+  const size_t num_requests =
+      timed ? SIZE_MAX : static_cast<size_t>(*requests);
+  const Deadline until =
+      timed ? Deadline::After(std::chrono::seconds(*duration_s))
+            : Deadline::Infinite();
 
   Stopwatch wall;
   std::vector<std::thread> workers;
@@ -185,7 +216,7 @@ int Run(const FlagSet& flags) {
     workers.emplace_back(Worker, host, static_cast<uint16_t>(*port),
                          std::cref(*queries),
                          static_cast<uint32_t>(*deadline_ms), num_requests,
-                         &next, &totals, &latency);
+                         until, &next, &totals, &latency);
   }
   for (std::thread& t : workers) t.join();
   const double wall_seconds = wall.ElapsedSeconds();
@@ -196,10 +227,13 @@ int Run(const FlagSet& flags) {
   }
   const uint64_t transport_errors =
       totals.transport_errors.load(std::memory_order_relaxed);
+  const uint64_t issued =
+      std::min(next.load(std::memory_order_relaxed),
+               static_cast<size_t>(num_requests));
   std::printf(
       "requests=%llu completed=%llu transport_errors=%llu matches=%llu "
       "wall=%.3fs (%.0f req/s)\n",
-      static_cast<unsigned long long>(num_requests),
+      static_cast<unsigned long long>(issued),
       static_cast<unsigned long long>(completed),
       static_cast<unsigned long long>(transport_errors),
       static_cast<unsigned long long>(
@@ -215,6 +249,17 @@ int Run(const FlagSet& flags) {
                 static_cast<unsigned long long>(n));
   }
   std::printf("latency: %s\n", latency.ScaledSummary(1e3, "us").c_str());
+  {
+    // No lock needed — workers are joined — but keep the accessor pattern.
+    std::lock_guard<std::mutex> lock(totals.gen_mu);
+    std::string gens;
+    for (const uint64_t g : totals.generations) {
+      gens += ' ';
+      gens += std::to_string(g);
+    }
+    std::printf("generations observed: %zu [%s]\n", totals.generations.size(),
+                gens.empty() ? "" : gens.c_str() + 1);
+  }
 
   auto& json = bench::BenchJson::Instance();
   if (json.enabled()) {

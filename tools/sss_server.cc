@@ -9,8 +9,14 @@
 // finish and get their responses before the process exits 0. --stats-json
 // dumps the server counters and accumulated engine SearchStats at shutdown.
 //
-// Engines are registered under uint8_t(EngineKind); the first name in
-// --engine is the default and answers requests that do not pin an engine.
+// Engines are served from an EngineHost generation built over one
+// collection snapshot; ids follow uint8_t(EngineKind) (kAutoEngineId for
+// "auto"), and the first name in --engine is the default for requests that
+// do not pin an engine. SIGHUP (or a kAdmin reload frame) republishes a
+// fresh generation from the --data file with zero downtime: in-flight
+// requests drain on the old snapshot while new ones see the new
+// generation. --reload-on-sighup=false leaves SIGHUP at its default
+// (fatal) disposition.
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -19,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/engine_host.h"
 #include "core/searcher.h"
 #include "io/reader.h"
 #include "server/server.h"
@@ -36,8 +43,10 @@ constexpr int kExitIOError = 3;
 constexpr int kExitUnavailable = 5;
 
 volatile std::sig_atomic_t g_stop_requested = 0;
+volatile std::sig_atomic_t g_reload_requested = 0;
 
 void HandleStopSignal(int) { g_stop_requested = 1; }
+void HandleReloadSignal(int) { g_reload_requested = 1; }
 
 int Usage() {
   std::fprintf(
@@ -47,7 +56,11 @@ int Usage() {
       "  --port N           port; 0 picks an ephemeral one (default 0)\n"
       "  --dna              dataset uses the DNA alphabet\n"
       "  --engine LIST      comma list of engines to register; first is the\n"
-      "                     default (default scan). Names as in sss_cli.\n"
+      "                     default (default scan). Names as in sss_cli,\n"
+      "                     plus 'auto' for the dataset-profiled router.\n"
+      "  --reload-on-sighup BOOL\n"
+      "                     SIGHUP republishes a fresh engine generation\n"
+      "                     from --data with zero downtime (default true)\n"
       "  --max-inflight N   searches in flight before shedding (default 64)\n"
       "  --deadline-ms MS   server-side cap on request deadlines; requests\n"
       "                     without one get the cap (default 0 = uncapped)\n"
@@ -65,17 +78,6 @@ int Fail(const Status& status) {
   if (status.IsIOError()) return kExitIOError;
   if (status.IsUnavailable()) return kExitUnavailable;
   return kExitError;
-}
-
-Result<EngineKind> ParseEngine(const std::string& name) {
-  if (name == "scan") return EngineKind::kSequentialScan;
-  if (name == "trie") return EngineKind::kTrieIndex;
-  if (name == "ctrie") return EngineKind::kCompressedTrieIndex;
-  if (name == "qgram") return EngineKind::kQGramIndex;
-  if (name == "partition") return EngineKind::kPartitionIndex;
-  if (name == "packed") return EngineKind::kPackedDnaScan;
-  if (name == "bktree") return EngineKind::kBKTree;
-  return Status::Invalid("unknown engine '" + name + "'");
 }
 
 std::vector<std::string> SplitCommas(const std::string& list) {
@@ -141,17 +143,20 @@ Status ArmFailpoints(const std::string& spec) {
 #endif
 }
 
-void PrintStatsJson(const Server& server, const StatsSink& sink) {
+void PrintStatsJson(const Server& server, const StatsSink& sink,
+                    uint64_t generation) {
   const ServerCounters& c = server.counters();
   std::string json;
-  char buf[512];
+  char buf[640];
   std::snprintf(
       buf, sizeof(buf),
       "{\"schema_version\":1,\"server\":{"
       "\"connections_accepted\":%llu,\"requests_ok\":%llu,"
       "\"requests_shed\":%llu,\"requests_cancelled\":%llu,"
       "\"requests_rejected\":%llu,\"protocol_errors\":%llu,"
-      "\"bytes_in\":%llu,\"bytes_out\":%llu},\"stats\":",
+      "\"bytes_in\":%llu,\"bytes_out\":%llu,"
+      "\"reloads_ok\":%llu,\"reloads_failed\":%llu,"
+      "\"generation\":%llu},\"stats\":",
       static_cast<unsigned long long>(c.connections_accepted.load()),
       static_cast<unsigned long long>(c.requests_ok.load()),
       static_cast<unsigned long long>(c.requests_shed.load()),
@@ -159,7 +164,10 @@ void PrintStatsJson(const Server& server, const StatsSink& sink) {
       static_cast<unsigned long long>(c.requests_rejected.load()),
       static_cast<unsigned long long>(c.protocol_errors.load()),
       static_cast<unsigned long long>(c.bytes_in.load()),
-      static_cast<unsigned long long>(c.bytes_out.load()));
+      static_cast<unsigned long long>(c.bytes_out.load()),
+      static_cast<unsigned long long>(c.reloads_ok.load()),
+      static_cast<unsigned long long>(c.reloads_failed.load()),
+      static_cast<unsigned long long>(generation));
   json += buf;
   sink.Collected().AppendJson(&json);
   json += "}";
@@ -206,52 +214,79 @@ int Run(const FlagSet& flags) {
 
   Result<bool> dna = flags.GetBool("dna", false);
   if (!dna.ok()) return Fail(dna.status());
-  auto dataset = ReadDatasetFile(
-      data_path, "server_data",
-      *dna ? AlphabetKind::kDna : AlphabetKind::kGeneric);
-  if (!dataset.ok()) return Fail(dataset.status());
+  Result<bool> reload_on_sighup = flags.GetBool("reload-on-sighup", true);
+  if (!reload_on_sighup.ok()) return Fail(reload_on_sighup.status());
 
-  StatsSink sink;
-  options.stats = &sink;
-  Server server(options);
-
-  // Engines must outlive the server; the vector below does that.
-  std::vector<std::unique_ptr<Searcher>> engines;
+  std::vector<EngineSpec> specs;
   for (const std::string& name :
        SplitCommas(flags.GetString("engine", "scan"))) {
-    auto kind = ParseEngine(name);
-    if (!kind.ok()) return Fail(kind.status());
-    auto searcher = MakeSearcher(*kind, *dataset);
-    if (!searcher.ok()) return Fail(searcher.status());
-    Status st =
-        server.RegisterEngine(static_cast<uint8_t>(*kind), searcher->get());
-    if (!st.ok()) return Fail(st);
-    engines.push_back(std::move(*searcher));
+    auto spec = ParseEngineSpec(name);
+    if (!spec.ok()) return Fail(spec.status());
+    specs.push_back(*spec);
   }
-  if (engines.empty()) {
+  if (specs.empty()) {
     std::fprintf(stderr, "sss_server: --engine list is empty\n");
     return kExitUsage;
   }
+
+  StatsSink sink;
+  options.stats = &sink;
+
+  // The host owns every engine generation; the server borrows the host and
+  // pins one generation per request, so a reload never races a search.
+  EngineHostOptions host_options;
+  host_options.alphabet = *dna ? AlphabetKind::kDna : AlphabetKind::kGeneric;
+  host_options.stats = &sink;
+  EngineHost host(std::move(specs), host_options);
+  Status loaded = host.LoadFile(data_path);
+  if (!loaded.ok()) return Fail(loaded);
+
+  Server server(options);
+  Status st = server.RegisterHost(&host);
+  if (!st.ok()) return Fail(st);
 
   struct sigaction action = {};
   action.sa_handler = HandleStopSignal;
   sigaction(SIGTERM, &action, nullptr);
   sigaction(SIGINT, &action, nullptr);
+  if (*reload_on_sighup) {
+    struct sigaction reload_action = {};
+    reload_action.sa_handler = HandleReloadSignal;
+    sigaction(SIGHUP, &reload_action, nullptr);
+  }
 
-  Status st = server.Start();
+  st = server.Start();
   if (!st.ok()) return Fail(st);
   std::printf("listening on %s:%u\n", options.host.c_str(),
               static_cast<unsigned>(server.port()));
   std::fflush(stdout);
 
   while (g_stop_requested == 0) {
+    if (g_reload_requested != 0) {
+      // Reload on the main thread, not in the signal handler: a handler may
+      // only touch the flag, and serializing reloads here means a SIGHUP
+      // burst coalesces into one republish per loop turn.
+      g_reload_requested = 0;
+      const Status reloaded = server.Reload();
+      if (reloaded.ok()) {
+        std::fprintf(stderr, "sss_server: reloaded, generation %llu\n",
+                     static_cast<unsigned long long>(host.generation()));
+      } else {
+        std::fprintf(stderr, "sss_server: reload failed (still serving "
+                             "generation %llu): %s\n",
+                     static_cast<unsigned long long>(host.generation()),
+                     reloaded.ToString().c_str());
+      }
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   std::fprintf(stderr, "sss_server: draining\n");
   server.Stop();
 
   Result<bool> stats_json = flags.GetBool("stats-json", false);
-  if (stats_json.ok() && *stats_json) PrintStatsJson(server, sink);
+  if (stats_json.ok() && *stats_json) {
+    PrintStatsJson(server, sink, host.generation());
+  }
   return kExitOk;
 }
 
