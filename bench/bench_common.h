@@ -30,6 +30,7 @@
 #include "io/dataset.h"
 #include "util/env.h"
 #include "util/histogram.h"
+#include "util/kernel_dispatch.h"
 #include "util/random.h"
 #include "util/search_stats.h"
 #include "util/stopwatch.h"
@@ -119,15 +120,16 @@ inline BenchWorkload BuildBenchWorkload(gen::WorkloadKind kind) {
 /// \brief Lazily built, process-wide workload (benchmarks registered at
 /// static-init time must not build datasets eagerly).
 inline const BenchWorkload& SharedWorkload(gen::WorkloadKind kind) {
-  static const BenchWorkload* city =
-      kind == gen::WorkloadKind::kCityNames
-          ? new BenchWorkload(BuildBenchWorkload(kind))
-          : nullptr;
-  static const BenchWorkload* dna =
-      kind == gen::WorkloadKind::kDnaReads
-          ? new BenchWorkload(BuildBenchWorkload(kind))
-          : nullptr;
-  return kind == gen::WorkloadKind::kCityNames ? *city : *dna;
+  // One lazily-built slot per workload. (The previous two-static version
+  // initialized BOTH statics on the first call, leaving the other workload's
+  // pointer permanently null — any binary touching both workloads crashed on
+  // the second kind.)
+  static const BenchWorkload* workloads[2] = {nullptr, nullptr};
+  const size_t idx = kind == gen::WorkloadKind::kCityNames ? 0 : 1;
+  if (workloads[idx] == nullptr) {
+    workloads[idx] = new BenchWorkload(BuildBenchWorkload(kind));
+  }
+  return *workloads[idx];
 }
 
 /// \brief Prints the reproducibility banner every bench binary starts with.
@@ -153,11 +155,14 @@ inline void PrintBanner(const char* table, const BenchWorkload& w) {
 inline void RunBatchBenchmark(benchmark::State& state,
                               const Searcher& searcher,
                               const QuerySet& queries,
-                              const ExecutionOptions& exec) {
+                              const ExecutionOptions& exec,
+                              KernelTierChoice kernel_tier,
+                              const std::string& engine_label) {
   BenchJson& json = BenchJson::Instance();
   StatsSink sink;
   LatencyHistogram wall_ns;
   SearchContext ctx;
+  ctx.kernel_tier = kernel_tier;
   if (json.enabled()) ctx.stats = &sink;
 
   size_t total_matches = 0;
@@ -181,10 +186,20 @@ inline void RunBatchBenchmark(benchmark::State& state,
     for (const Query& q : queries) {
       if (q.max_distance > k_max) k_max = q.max_distance;
     }
-    json.AddRun(searcher.name(), ToString(exec.strategy), exec.num_threads,
+    json.AddRun(engine_label, ToString(exec.strategy), exec.num_threads,
                 queries.size(), k_max, total_matches, iterations, wall_ns,
                 sink.Collected());
   }
+}
+
+/// \brief Scalar-tier batch timing under the engine's own name (the
+/// historical default; tier ablations use the overload above).
+inline void RunBatchBenchmark(benchmark::State& state,
+                              const Searcher& searcher,
+                              const QuerySet& queries,
+                              const ExecutionOptions& exec) {
+  RunBatchBenchmark(state, searcher, queries, exec,
+                    KernelTierChoice::kScalar, searcher.name());
 }
 
 /// \brief Records the bench name and workload header for --json output.

@@ -1,0 +1,105 @@
+// A/B: many-vs-many lane verification vs the per-pair scalar scan.
+//
+// The tentpole claim this bench gates (EXPERIMENTS.md): on the DNA
+// workload — where the length filter passes almost everything and the batch
+// is verify-bound — the lane tiers (core/simd_verify) beat the per-pair
+// scalar pipeline by >= 1.5x, because the query's peq table is built once
+// instead of per candidate and four candidates advance per pass. Rows:
+//
+//   verify_scalar  per-pair BoundedMyers (the PR 3 baseline)
+//   verify_swar    4-lane portable C++ tier
+//   verify_avx2    4 x 64-bit lanes in one __m256i (registered only when
+//                  CPUID reports AVX2)
+//
+// City names ride along as the unfavourable case: short strings and k <= 3
+// reject most candidates in the length filter, so lane wins there are
+// bounded — the honest control for the headline number.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/scan.h"
+#include "util/kernel_dispatch.h"
+
+namespace sss::bench {
+namespace {
+
+const SequentialScanSearcher& ScanEngine(gen::WorkloadKind kind) {
+  static const SequentialScanSearcher* city = nullptr;
+  static const SequentialScanSearcher* dna = nullptr;
+  const SequentialScanSearcher*& slot =
+      kind == gen::WorkloadKind::kCityNames ? city : dna;
+  if (slot == nullptr) {
+    slot = new SequentialScanSearcher(SharedWorkload(kind).dataset,
+                                      ScanOptions{});
+  }
+  return *slot;
+}
+
+gen::WorkloadKind KindOf(int64_t arg) {
+  return arg == 0 ? gen::WorkloadKind::kCityNames
+                  : gen::WorkloadKind::kDnaReads;
+}
+
+const char* KindLabel(gen::WorkloadKind kind) {
+  return kind == gen::WorkloadKind::kCityNames ? "city" : "dna";
+}
+
+void RunTier(benchmark::State& state, KernelTierChoice choice,
+             const char* tier_label) {
+  const gen::WorkloadKind kind = KindOf(state.range(0));
+  const BenchWorkload& w = SharedWorkload(kind);
+  const QuerySet& queries = w.Batch(static_cast<int>(state.range(1)));
+  ExecutionOptions exec;
+  exec.strategy = ExecutionStrategy::kSerial;  // isolate kernel cost
+  RunBatchBenchmark(state, ScanEngine(kind), queries, exec, choice,
+                    std::string("verify_") + tier_label + "_" +
+                        KindLabel(kind));
+}
+
+void BM_Verify_Scalar(benchmark::State& state) {
+  RunTier(state, KernelTierChoice::kScalar, "scalar");
+}
+void BM_Verify_Swar(benchmark::State& state) {
+  RunTier(state, KernelTierChoice::kSwar, "swar");
+}
+void BM_Verify_Avx2(benchmark::State& state) {
+  RunTier(state, KernelTierChoice::kAvx2, "avx2");
+}
+
+void RegisterAll() {
+  const auto args = [](benchmark::internal::Benchmark* b) {
+    b->ArgNames({"workload", "batch"})
+        ->Args({0, 100})
+        ->Args({0, 500})
+        ->Args({1, 100})
+        ->Args({1, 500})
+        ->Unit(benchmark::kMillisecond);
+  };
+  args(benchmark::RegisterBenchmark("BM_Verify_Scalar", BM_Verify_Scalar));
+  args(benchmark::RegisterBenchmark("BM_Verify_Swar", BM_Verify_Swar));
+  // The AVX2 rows exist only where they can actually run; on other hosts
+  // the JSON simply lacks them (the A/B table notes the tier set).
+  if (DetectCpuKernelTier() == KernelTier::kAvx2) {
+    args(benchmark::RegisterBenchmark("BM_Verify_Avx2", BM_Verify_Avx2));
+  }
+}
+
+}  // namespace
+}  // namespace sss::bench
+
+int main(int argc, char** argv) {
+  ::sss::bench::BenchJson::Instance().StripFlag(&argc, argv);
+  const ::sss::bench::BenchWorkload& w = ::sss::bench::SharedWorkload(
+      ::sss::gen::WorkloadKind::kDnaReads);
+  ::sss::bench::PrintBanner(
+      "A/B: many-vs-many verify tiers (workload 0=city, 1=dna)", w);
+  ::sss::bench::SetBenchJsonContext(
+      "A/B: many-vs-many verify tiers (workload 0=city, 1=dna)", w);
+  ::sss::bench::RegisterAll();
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  if (!::sss::bench::BenchJson::Instance().Write()) return 1;
+  return 0;
+}

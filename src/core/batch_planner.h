@@ -27,12 +27,18 @@
 
 namespace sss {
 
+/// \brief Default width of the half-open length buckets [i·w, (i+1)·w) used
+/// both for the planner's query grouping and for the lane pool's candidate
+/// bucketing (core/lane_pool) — keeping the two aligned means a planned
+/// group's candidate window typically touches O(1) candidate buckets.
+inline constexpr size_t kDefaultLengthBucketWidth = 8;
+
 /// \brief Planner tuning knobs.
 struct BatchPlannerOptions {
   /// Queries whose lengths land in the same bucket of this width (and share
   /// a threshold) are planned as one group. Wider buckets mean fewer, larger
   /// groups (better amortization, looser candidate windows).
-  size_t length_bucket_width = 8;
+  size_t length_bucket_width = kDefaultLengthBucketWidth;
 };
 
 /// \brief A planned group: queries sharing a threshold and a length bucket.

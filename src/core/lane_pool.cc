@@ -1,0 +1,133 @@
+#include "core/lane_pool.h"
+
+#include <algorithm>
+
+#include "util/bitpack.h"
+
+namespace sss {
+
+namespace {
+
+// Writes one group's text into bucket->data, choosing the packed2 layout
+// when every live lane is pure {A,C,G,T} (padding lanes are empty and never
+// disqualify). `views[l]` is the text of lane l (empty for padding).
+void AppendGroup(const std::string_view views[kLaneWidth], uint32_t cols,
+                 bool allow_packed2, LanePool::Bucket* bucket) {
+  bool packed2 = allow_packed2;
+  for (uint32_t l = 0; l < kLaneWidth && packed2; ++l) {
+    packed2 = Dna2Codec::IsValid(views[l]);
+  }
+  bucket->group_offsets.push_back(bucket->data.size());
+  bucket->group_cols.push_back(cols);
+  bucket->group_packed2.push_back(packed2 ? 1 : 0);
+  if (packed2) {
+    // One byte per column: lane l's 2-bit code in bits [2l, 2l+1]; columns
+    // beyond a lane's length carry code 0, which the verifier never reads
+    // (each lane's score is captured at its own length).
+    for (uint32_t j = 0; j < cols; ++j) {
+      uint8_t byte = 0;
+      for (uint32_t l = 0; l < kLaneWidth; ++l) {
+        if (j < views[l].size()) {
+          byte |= static_cast<uint8_t>(Dna2Codec::Encode(views[l][j])
+                                       << (2 * l));
+        }
+      }
+      bucket->data.push_back(byte);
+    }
+  } else {
+    // kLaneWidth raw bytes per column, zero-padded past each lane's end.
+    for (uint32_t j = 0; j < cols; ++j) {
+      for (uint32_t l = 0; l < kLaneWidth; ++l) {
+        bucket->data.push_back(
+            j < views[l].size() ? static_cast<uint8_t>(views[l][j]) : 0);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+LanePool LanePool::Build(const Dataset& dataset, LanePoolOptions options) {
+  LanePool pool;
+  pool.total_candidates_ = dataset.size();
+  if (dataset.empty()) return pool;
+  const size_t width =
+      options.length_bucket_width == 0 ? 1 : options.length_bucket_width;
+
+  // Pass 1: count members per bucket index (bucket i holds lengths in the
+  // half-open window [i·width, (i+1)·width) — exactly one bucket per
+  // candidate, including lengths exactly on a boundary).
+  size_t max_bucket = 0;
+  for (size_t id = 0; id < dataset.size(); ++id) {
+    max_bucket = std::max(max_bucket, dataset.Length(id) / width);
+  }
+  std::vector<uint32_t> counts(max_bucket + 1, 0);
+  for (size_t id = 0; id < dataset.size(); ++id) {
+    ++counts[dataset.Length(id) / width];
+  }
+
+  // Non-empty buckets only, ascending by length window.
+  std::vector<int32_t> bucket_of(max_bucket + 1, -1);
+  for (size_t b = 0; b <= max_bucket; ++b) {
+    if (counts[b] == 0) continue;
+    bucket_of[b] = static_cast<int32_t>(pool.buckets_.size());
+    Bucket bucket;
+    bucket.min_len = static_cast<uint32_t>(b * width);
+    bucket.max_len = static_cast<uint32_t>((b + 1) * width);
+    const uint32_t padded =
+        (counts[b] + kLaneWidth - 1) / kLaneWidth * kLaneWidth;
+    bucket.ids.reserve(padded);
+    bucket.lengths.reserve(padded);
+    pool.buckets_.push_back(std::move(bucket));
+  }
+
+  // Pass 2: distribute ids (ascending id order is preserved within each
+  // bucket because ids are visited in order).
+  for (size_t id = 0; id < dataset.size(); ++id) {
+    Bucket& bucket =
+        pool.buckets_[static_cast<size_t>(bucket_of[dataset.Length(id) / width])];
+    bucket.ids.push_back(static_cast<uint32_t>(id));
+    bucket.lengths.push_back(static_cast<uint32_t>(dataset.Length(id)));
+  }
+
+  // Pass 3: pad to whole groups and transpose each group's text.
+  for (Bucket& bucket : pool.buckets_) {
+    bucket.num_candidates = static_cast<uint32_t>(bucket.ids.size());
+    while (bucket.ids.size() % kLaneWidth != 0) {
+      bucket.ids.push_back(UINT32_MAX);
+      bucket.lengths.push_back(0);
+    }
+    const size_t groups = bucket.ids.size() / kLaneWidth;
+    bucket.group_offsets.reserve(groups);
+    bucket.group_cols.reserve(groups);
+    bucket.group_packed2.reserve(groups);
+    for (size_t g = 0; g < groups; ++g) {
+      std::string_view views[kLaneWidth];
+      uint32_t cols = 0;
+      for (uint32_t l = 0; l < kLaneWidth; ++l) {
+        const size_t slot = g * kLaneWidth + l;
+        if (slot < bucket.num_candidates) {
+          views[l] = dataset.View(bucket.ids[slot]);
+          cols = std::max(cols, static_cast<uint32_t>(views[l].size()));
+        }
+      }
+      AppendGroup(views, cols, options.allow_packed2, &bucket);
+    }
+  }
+  return pool;
+}
+
+size_t LanePool::memory_bytes() const noexcept {
+  size_t bytes = buckets_.capacity() * sizeof(Bucket);
+  for (const Bucket& bucket : buckets_) {
+    bytes += bucket.ids.capacity() * sizeof(uint32_t) +
+             bucket.lengths.capacity() * sizeof(uint32_t) +
+             bucket.group_offsets.capacity() * sizeof(uint64_t) +
+             bucket.group_cols.capacity() * sizeof(uint32_t) +
+             bucket.group_packed2.capacity() +
+             bucket.data.capacity();
+  }
+  return bytes;
+}
+
+}  // namespace sss

@@ -1,0 +1,119 @@
+// LanePool — the candidate collection restructured for many-vs-many
+// verification (core/simd_verify).
+//
+// The byte StringPool stores candidates one after another (AoS): verifying
+// candidate i touches memory unrelated to candidate i+1, and the Myers
+// kernel state for one pair occupies one 64-bit word of an entire register.
+// The lane pool transposes: candidates are grouped into *lanes* of
+// kLaneWidth = 4, and each group's text is stored column-major — column j
+// holds symbol j of all four lane members, so one verify pass walks all
+// four candidates with one sequential read stream and keeps four Myers
+// states live per register.
+//
+// Groups are formed inside half-open length buckets [i·w, (i+1)·w) (w =
+// kDefaultLengthBucketWidth, matching the BatchPlanner's query buckets).
+// The half-open predicate is deliberate: a candidate whose length lands
+// exactly on a bucket boundary belongs to exactly ONE bucket — the earlier
+// closed-interval bucketing scanned boundary candidates from both adjacent
+// buckets, duplicating their verify work and their match output (the
+// regression test BucketBoundaryCandidates covers this). Ids within a
+// bucket stay ascending, so a bucket intersected with an id shard is a
+// contiguous span of its groups.
+//
+// Two column layouts per group, chosen at build time:
+//   * byte columns — kLaneWidth raw bytes per column (any alphabet);
+//   * packed2 columns — ONE byte per column carrying four 2-bit
+//     Dna2Codec codes (lane l in bits [2l, 2l+1]), available when all
+//     four members are pure {A,C,G,T}. A DNA group's text stream shrinks
+//     4×, and the verifier indexes a 4-entry peq table instead of 256.
+// Reads containing 'N' (or any other byte) simply land in byte-mode groups;
+// the two layouts coexist bucket by bucket, group by group.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/batch_planner.h"
+#include "io/dataset.h"
+
+namespace sss {
+
+/// \brief Candidates verified per lane-kernel pass. Matches the four 64-bit
+/// lanes of one AVX2 register (and the SWAR tier's unroll factor).
+inline constexpr uint32_t kLaneWidth = 4;
+
+/// \brief One group of up to kLaneWidth candidates, viewed for the
+/// verifier. Lanes beyond `active` are zero-length padding; kernels run
+/// them anyway (branch-free) and callers ignore their verdicts.
+struct LaneGroupView {
+  const uint32_t* ids = nullptr;      ///< kLaneWidth ids (padding: UINT32_MAX)
+  const uint32_t* lengths = nullptr;  ///< kLaneWidth lengths (padding: 0)
+  const uint8_t* data = nullptr;      ///< column-major text (see layout above)
+  uint32_t num_cols = 0;              ///< max length over the group's lanes
+  uint32_t active = 0;                ///< live lanes: 1..kLaneWidth
+  bool packed2 = false;  ///< true: 1 byte/column of 2-bit codes; false:
+                         ///< kLaneWidth bytes/column of raw symbols
+};
+
+/// \brief Tuning knobs for LanePool::Build.
+struct LanePoolOptions {
+  /// Width of the half-open length buckets candidates are grouped in.
+  size_t length_bucket_width = kDefaultLengthBucketWidth;
+  /// Whether eligible groups may use the 2-bit packed column layout.
+  bool allow_packed2 = true;
+};
+
+/// \brief The transposed, length-bucketed candidate pool. Immutable once
+/// built; safe to share across threads.
+class LanePool {
+ public:
+  /// \brief One length bucket: all candidates with min_len <= len < max_len
+  /// (each candidate is a member of exactly one bucket), in ascending id
+  /// order, grouped kLaneWidth at a time.
+  struct Bucket {
+    uint32_t min_len = 0;  ///< inclusive
+    uint32_t max_len = 0;  ///< exclusive
+    uint32_t num_candidates = 0;
+    /// Per candidate, padded to a multiple of kLaneWidth (ids with
+    /// UINT32_MAX, lengths with 0) so every group reads kLaneWidth slots.
+    std::vector<uint32_t> ids;
+    std::vector<uint32_t> lengths;
+    /// Per group: byte offset into `data`, column count, layout flag.
+    std::vector<uint64_t> group_offsets;
+    std::vector<uint32_t> group_cols;
+    std::vector<uint8_t> group_packed2;
+    std::vector<uint8_t> data;
+
+    size_t num_groups() const noexcept { return group_offsets.size(); }
+  };
+
+  /// \brief Builds the pool over `dataset` (ids 0..size-1).
+  static LanePool Build(const Dataset& dataset, LanePoolOptions options = {});
+
+  size_t size() const noexcept { return total_candidates_; }
+  const std::vector<Bucket>& buckets() const noexcept { return buckets_; }
+
+  /// \brief The g-th group of `bucket` (g < bucket.num_groups()).
+  LaneGroupView Group(const Bucket& bucket, size_t g) const noexcept {
+    LaneGroupView view;
+    view.ids = bucket.ids.data() + g * kLaneWidth;
+    view.lengths = bucket.lengths.data() + g * kLaneWidth;
+    view.data = bucket.data.data() + bucket.group_offsets[g];
+    view.num_cols = bucket.group_cols[g];
+    const uint32_t remaining =
+        bucket.num_candidates - static_cast<uint32_t>(g * kLaneWidth);
+    view.active = remaining < kLaneWidth ? remaining : kLaneWidth;
+    view.packed2 = bucket.group_packed2[g] != 0;
+    return view;
+  }
+
+  /// \brief Heap bytes held (for memory reporting next to the engines').
+  size_t memory_bytes() const noexcept;
+
+ private:
+  std::vector<Bucket> buckets_;
+  size_t total_candidates_ = 0;
+};
+
+}  // namespace sss

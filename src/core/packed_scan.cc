@@ -2,6 +2,8 @@
 
 #include "core/edit_distance.h"
 #include "core/filters.h"
+#include "core/simd_verify.h"
+#include "util/kernel_dispatch.h"
 #include "util/search_stats.h"
 
 namespace sss {
@@ -25,6 +27,25 @@ Result<std::unique_ptr<PackedDnaScanSearcher>> PackedDnaScanSearcher::Make(
   return searcher;
 }
 
+const LanePool& PackedDnaScanSearcher::EnsureLanePool() const {
+  const LanePool* lanes = lane_pool_.load(std::memory_order_acquire);
+  if (lanes != nullptr) return *lanes;
+  std::call_once(lane_pool_once_, [this] {
+    lane_pool_storage_ =
+        std::make_unique<LanePool>(LanePool::Build(dataset_));
+    lane_pool_.store(lane_pool_storage_.get(), std::memory_order_release);
+  });
+  return *lane_pool_.load(std::memory_order_acquire);
+}
+
+size_t PackedDnaScanSearcher::memory_bytes() const {
+  size_t bytes = pool_.packed_bytes();
+  if (const LanePool* lanes = lane_pool_.load(std::memory_order_acquire)) {
+    bytes += lanes->memory_bytes();
+  }
+  return bytes;
+}
+
 Status PackedDnaScanSearcher::Search(const Query& query,
                                      const SearchContext& ctx,
                                      MatchList* out) const {
@@ -36,6 +57,15 @@ Status PackedDnaScanSearcher::SearchRange(const Query& query, uint32_t begin,
                                           const SearchContext& ctx,
                                           MatchList* out) const {
   const int k = query.max_distance;
+
+  // Lane verdicts on raw text equal the code-space verdicts below: the
+  // encoding is injective on the alphabet and the sentinel (like any
+  // non-alphabet query byte) matches no candidate symbol either way.
+  const KernelTier tier = ResolveKernelTier(ctx.kernel_tier);
+  if (tier != KernelTier::kScalar && !query.text.empty() && k >= 0) {
+    return LaneVerifyRange(EnsureLanePool(), query, ctx, tier, begin, end,
+                           out);
+  }
 
   // Encode the query once. Symbols outside the alphabet get a sentinel that
   // matches no data code, which preserves exact semantics (such positions
@@ -73,7 +103,9 @@ Status PackedDnaScanSearcher::SearchRange(const Query& query, uint32_t begin,
     }
   }
   stats->candidates_considered += end - begin;
-  stats->verify_calls += (end - begin) - stats->length_filter_rejects;
+  const uint64_t verified = (end - begin) - stats->length_filter_rejects;
+  stats->verify_calls += verified;
+  if (tier != KernelTier::kScalar) stats->simd_fallback_pairs += verified;
   stats->matches_found += out->size() - out_before;
   stats.AddKernelDelta(ws.kernel, kernel_before);
   return Status::OK();

@@ -6,10 +6,13 @@
 // edit-distance kernel applies unchanged to code strings.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/lane_pool.h"
 #include "core/searcher.h"
 #include "io/dataset.h"
 #include "util/bitpack.h"
@@ -45,8 +48,10 @@ class PackedDnaScanSearcher final : public Searcher {
   Status SearchRange(const Query& query, uint32_t begin, uint32_t end,
                      const SearchContext& ctx, MatchList* out) const override;
 
-  /// \brief Packed bytes held — compare with dataset.pool().total_bytes().
-  size_t memory_bytes() const override { return pool_.packed_bytes(); }
+  /// \brief Packed bytes held (plus the lazily-built lane pool, once a
+  /// non-scalar kernel tier has been used) — compare with
+  /// dataset.pool().total_bytes().
+  size_t memory_bytes() const override;
 
   /// \brief Compression ratio vs 1 byte/symbol.
   double compression_ratio() const {
@@ -58,9 +63,18 @@ class PackedDnaScanSearcher final : public Searcher {
   explicit PackedDnaScanSearcher(SnapshotHandle snapshot)
       : snapshot_(std::move(snapshot)), dataset_(snapshot_->dataset()) {}
 
+  /// Lazily-built transposed pool for the lane tiers: pure-ACGT groups take
+  /// the 2-bit packed2 column layout — denser still than the 3-bit scan
+  /// storage — and 'N'-bearing reads fall back to byte columns.
+  const LanePool& EnsureLanePool() const;
+
   SnapshotHandle snapshot_;
   const Dataset& dataset_;  // == snapshot_->dataset()
   PackedDnaPool pool_;
+
+  mutable std::once_flag lane_pool_once_;
+  mutable std::unique_ptr<LanePool> lane_pool_storage_;
+  mutable std::atomic<const LanePool*> lane_pool_{nullptr};
 };
 
 }  // namespace sss

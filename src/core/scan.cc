@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/simd_verify.h"
+#include "util/kernel_dispatch.h"
 #include "util/macros.h"
 #include "util/search_stats.h"
 
@@ -37,9 +39,35 @@ SequentialScanSearcher::SequentialScanSearcher(SnapshotHandle snapshot,
   }
 }
 
+const LanePool& SequentialScanSearcher::EnsureLanePool() const {
+  const LanePool* pool = lane_pool_.load(std::memory_order_acquire);
+  if (pool != nullptr) return *pool;
+  std::call_once(lane_pool_once_, [this] {
+    lane_pool_storage_ =
+        std::make_unique<LanePool>(LanePool::Build(dataset_));
+    lane_pool_.store(lane_pool_storage_.get(), std::memory_order_release);
+  });
+  return *lane_pool_.load(std::memory_order_acquire);
+}
+
+bool SequentialScanSearcher::LaneEligible(const Query& query,
+                                          KernelTier tier) const {
+  // The lane kernels reproduce BoundedMyers exactly, so they can stand in
+  // only for the default verify pipeline: the historical kernels
+  // (kPaperStep4/kBanded) and the optional pre-filters stay per-pair, and
+  // those verifications are counted as simd_fallback_pairs instead.
+  return tier != KernelTier::kScalar &&
+         options_.verify_kernel == VerifyKernel::kMyersAuto &&
+         !frequency_filter_ && !qgram_filter_ && !query.text.empty() &&
+         query.max_distance >= 0;
+}
+
 size_t SequentialScanSearcher::memory_bytes() const {
   size_t bytes = ids_by_length_.size() * sizeof(uint32_t) +
                  length_starts_.size() * sizeof(uint32_t);
+  if (const LanePool* pool = lane_pool_.load(std::memory_order_acquire)) {
+    bytes += pool->memory_bytes();
+  }
   if (frequency_filter_) bytes += dataset_.size() * 6 * sizeof(uint16_t);
   if (qgram_filter_) {
     // Approximation: one hashed gram per byte of data plus offsets.
@@ -68,6 +96,7 @@ Status SequentialScanSearcher::ScanIdRange(const Query& query,
                                            const SearchContext& ctx,
                                            EditDistanceWorkspace* ws,
                                            uint32_t begin, uint32_t end,
+                                           bool count_simd_fallback,
                                            MatchList* out) const {
   const std::string_view q = query.text;
   const int k = query.max_distance;
@@ -105,9 +134,11 @@ Status SequentialScanSearcher::ScanIdRange(const Query& query,
     if (Verify(q, id, k, ws)) out->push_back(id);
   }
   stats->candidates_considered += end - begin;
-  stats->verify_calls += (end - begin) - stats->length_filter_rejects -
-                         stats->frequency_filter_rejects -
-                         stats->qgram_filter_rejects;
+  const uint64_t verified = (end - begin) - stats->length_filter_rejects -
+                            stats->frequency_filter_rejects -
+                            stats->qgram_filter_rejects;
+  stats->verify_calls += verified;
+  if (count_simd_fallback) stats->simd_fallback_pairs += verified;
   stats->matches_found += out->size() - out_before;
   stats.AddKernelDelta(ws->kernel, kernel_before);
   return Status::OK();
@@ -116,6 +147,7 @@ Status SequentialScanSearcher::ScanIdRange(const Query& query,
 Status SequentialScanSearcher::ScanByLength(const Query& query,
                                             const SearchContext& ctx,
                                             EditDistanceWorkspace* ws,
+                                            bool count_simd_fallback,
                                             MatchList* out) const {
   const std::string_view q = query.text;
   const int k = query.max_distance;
@@ -164,8 +196,10 @@ Status SequentialScanSearcher::ScanByLength(const Query& query,
   }
   stats->candidates_considered += dataset_.size();
   stats->length_filter_rejects += dataset_.size() - window;
-  stats->verify_calls += window - stats->frequency_filter_rejects -
-                         stats->qgram_filter_rejects;
+  const uint64_t verified = window - stats->frequency_filter_rejects -
+                            stats->qgram_filter_rejects;
+  stats->verify_calls += verified;
+  if (count_simd_fallback) stats->simd_fallback_pairs += verified;
   stats->matches_found += out->size() - out_before;
   stats.AddKernelDelta(ws->kernel, kernel_before);
   // The by-length walk visits ids out of order; results must be ascending.
@@ -190,11 +224,20 @@ Status SequentialScanSearcher::Search(const Query& query,
     return Status::OK();
   }
 
+  const KernelTier tier = ResolveKernelTier(ctx.kernel_tier);
+  if (LaneEligible(query, tier)) {
+    // Many-vs-many path: the lane pool's buckets already realize the
+    // by-length restriction, so both scan layouts route here.
+    return LaneVerifyRange(EnsureLanePool(), query, ctx, tier, 0,
+                           static_cast<uint32_t>(dataset_.size()), out);
+  }
+  const bool simd_fallback = tier != KernelTier::kScalar;
   if (options_.sort_by_length) {
-    return ScanByLength(query, ctx, &ws, out);
+    return ScanByLength(query, ctx, &ws, simd_fallback, out);
   }
   return ScanIdRange(query, ctx, &ws, 0,
-                     static_cast<uint32_t>(dataset_.size()), out);
+                     static_cast<uint32_t>(dataset_.size()), simd_fallback,
+                     out);
 }
 
 Status SequentialScanSearcher::SearchRange(const Query& query, uint32_t begin,
@@ -205,10 +248,16 @@ Status SequentialScanSearcher::SearchRange(const Query& query, uint32_t begin,
     return Searcher::SearchRange(query, begin, end, ctx, out);
   }
   thread_local EditDistanceWorkspace ws;
+  const KernelTier tier = ResolveKernelTier(ctx.kernel_tier);
+  if (LaneEligible(query, tier)) {
+    return LaneVerifyRange(EnsureLanePool(), query, ctx, tier, begin, end,
+                           out);
+  }
   // Sub-scans always walk the pool in id order: the by-length permutation
   // does not decompose into contiguous id shards, and ascending appends are
   // what lets the sharded driver concatenate shards allocation-free.
-  return ScanIdRange(query, ctx, &ws, begin, end, out);
+  return ScanIdRange(query, ctx, &ws, begin, end,
+                     tier != KernelTier::kScalar, out);
 }
 
 }  // namespace sss

@@ -11,8 +11,10 @@
 //   * qgram_filter     — a q-gram count filter from the related literature.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -20,6 +22,7 @@
 #include "core/edit_distance.h"
 #include "core/filters.h"
 #include "core/kernels.h"
+#include "core/lane_pool.h"
 #include "core/searcher.h"
 #include "io/dataset.h"
 
@@ -94,14 +97,28 @@ class SequentialScanSearcher final : public Searcher {
               EditDistanceWorkspace* ws) const;
 
   /// Scan over ids in [begin, end) (default layout). Returns kCancelled
-  /// (with `out` cleared) if `ctx` stops the scan.
+  /// (with `out` cleared) if `ctx` stops the scan. `count_simd_fallback` is
+  /// set when a non-scalar kernel tier routed this query per-pair anyway
+  /// (empty query, filters on, non-default verify kernel): the verified
+  /// candidates are then also counted as simd_fallback_pairs, keeping
+  /// simd_lanes_verified + simd_fallback_pairs == verify_calls.
   Status ScanIdRange(const Query& query, const SearchContext& ctx,
                      EditDistanceWorkspace* ws, uint32_t begin, uint32_t end,
-                     MatchList* out) const;
+                     bool count_simd_fallback, MatchList* out) const;
 
   /// Scan restricted to matching lengths via the sorted-by-length order.
   Status ScanByLength(const Query& query, const SearchContext& ctx,
-                      EditDistanceWorkspace* ws, MatchList* out) const;
+                      EditDistanceWorkspace* ws, bool count_simd_fallback,
+                      MatchList* out) const;
+
+  /// True when `query` can run through the many-vs-many lane path under
+  /// `tier` (resolved from ctx.kernel_tier): default verify kernel, no
+  /// extra filters, non-empty text, k >= 0.
+  bool LaneEligible(const Query& query, KernelTier tier) const;
+
+  /// The transposed candidate pool for the lane tiers, built lazily on
+  /// first use so the default scalar configuration pays nothing.
+  const LanePool& EnsureLanePool() const;
 
   SnapshotHandle snapshot_;
   const Dataset& dataset_;  // == snapshot_->dataset(), for terse hot loops
@@ -113,6 +130,12 @@ class SequentialScanSearcher final : public Searcher {
 
   std::optional<FrequencyVectorFilter> frequency_filter_;
   std::optional<QGramFilter> qgram_filter_;
+
+  // Lane-tier state (see EnsureLanePool). The atomic publishes the built
+  // pool so readers (and memory_bytes) never race the call_once body.
+  mutable std::once_flag lane_pool_once_;
+  mutable std::unique_ptr<LanePool> lane_pool_storage_;
+  mutable std::atomic<const LanePool*> lane_pool_{nullptr};
 };
 
 }  // namespace sss

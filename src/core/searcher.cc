@@ -17,6 +17,7 @@
 #include "parallel/thread_per_query.h"
 #include "parallel/thread_pool.h"
 #include "util/failpoint.h"
+#include "util/kernel_dispatch.h"
 #include "util/search_stats.h"
 
 namespace sss {
@@ -65,7 +66,12 @@ BatchResult Searcher::RunBatch(const QuerySet& queries,
 
   // Executor-level counters: thread open/close and task-scheduling totals
   // land in the sink once per batch, next to whatever the engines recorded.
+  // dispatch_tier is a once-per-batch label (0=scalar 1=swar 2=avx2), not a
+  // count: recording it here, not per engine call, keeps it identical
+  // across execution strategies.
   SearchStats exec_stats;
+  exec_stats.dispatch_tier =
+      static_cast<uint64_t>(ResolveKernelTier(ctx.kernel_tier));
 
   switch (exec.strategy) {
     case ExecutionStrategy::kSerial: {
@@ -200,6 +206,8 @@ BatchResult Searcher::RunShardedBatch(const QuerySet& queries,
   // Queries the planner answered without running any engine code (their
   // group's length bucket cannot intersect the dataset's length range).
   SearchStats exec_stats;
+  exec_stats.dispatch_tier =
+      static_cast<uint64_t>(ResolveKernelTier(ctx.kernel_tier));
   for (const QueryGroup& g : plan.groups) {
     if (g.skip) exec_stats.planner_skipped_queries += g.num_queries;
   }

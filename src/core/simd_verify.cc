@@ -1,0 +1,448 @@
+#include "core/simd_verify.h"
+
+#include <algorithm>
+
+#include "core/filters.h"
+#include "util/bitpack.h"
+#include "util/macros.h"
+#include "util/search_stats.h"
+
+// The AVX2 lane kernel is compiled whenever the compiler supports
+// function-level target attributes on x86 — including baseline -msse2
+// builds — and is entered only when CPUID reported AVX2 at runtime
+// (util/kernel_dispatch decides once per process).
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define SSS_HAVE_AVX2_LANE_KERNEL 1
+#include <immintrin.h>
+#else
+#define SSS_HAVE_AVX2_LANE_KERNEL 0
+#endif
+
+namespace sss {
+
+namespace {
+
+/// Everything a lane kernel needs for one group, marshalled once. scores[]
+/// come back as raw final Myers distances (the <=k clamp happens in
+/// VerifyGroup so every tier clamps identically).
+struct LaneKernelJob {
+  const uint64_t* peq = nullptr;  // [symbol][blocks]
+  size_t blocks = 0;
+  uint64_t last_mask = 0;
+  int64_t m = 0;  // query length == initial score
+  const LaneGroupView* group = nullptr;
+  uint64_t* pv = nullptr;  // blocks × kLaneWidth scratch (blocks > 1 only)
+  uint64_t* mv = nullptr;
+  int64_t scores[kLaneWidth] = {0, 0, 0, 0};
+};
+
+// The per-lane symbol indices of column j under either column layout.
+inline void ColumnSymbols(const LaneGroupView& g, uint32_t j,
+                          size_t sym[kLaneWidth]) {
+  if (g.packed2) {
+    const uint8_t byte = g.data[j];
+    sym[0] = byte & 3u;
+    sym[1] = (byte >> 2) & 3u;
+    sym[2] = (byte >> 4) & 3u;
+    sym[3] = (byte >> 6) & 3u;
+  } else {
+    const uint8_t* col = g.data + static_cast<size_t>(j) * kLaneWidth;
+    sym[0] = col[0];
+    sym[1] = col[1];
+    sym[2] = col[2];
+    sym[3] = col[3];
+  }
+}
+
+// One block step of the blocked Myers recurrence for a single lane — the
+// by-reference twin of edit_distance.cc's AdvanceBlock, kept line-for-line
+// equivalent so the differential suite pins all tiers to the same scalar
+// semantics.
+inline int SwarStep(uint64_t& pv, uint64_t& mv, uint64_t eq,
+                    uint64_t out_mask, int hin) {
+  const uint64_t xv = eq | mv;
+  if (hin < 0) eq |= 1;
+  const uint64_t xh = (((eq & pv) + pv) ^ pv) | eq;
+  uint64_t ph = mv | ~(xh | pv);
+  uint64_t mh = pv & xh;
+  int hout = 0;
+  if (ph & out_mask) hout = 1;
+  if (mh & out_mask) hout = -1;
+  ph <<= 1;
+  mh <<= 1;
+  if (hin < 0) {
+    mh |= 1;
+  } else if (hin > 0) {
+    ph |= 1;
+  }
+  pv = mh | ~(xv | ph);
+  mv = ph & xv;
+  return hout;
+}
+
+// Portable 4-lane tier: four independent recurrences advanced per column in
+// plain C++ — the compiler keeps the four states in registers (B <= 1) and
+// the shared peq row amortizes the table walk the per-pair kernel repays
+// for every candidate.
+void RunSwar(LaneKernelJob& job) {
+  const LaneGroupView& g = *job.group;
+  const size_t kb = job.blocks;
+  int64_t score[kLaneWidth] = {job.m, job.m, job.m, job.m};
+  int64_t final_d[kLaneWidth] = {job.m, job.m, job.m, job.m};
+  size_t sym[kLaneWidth];
+  if (kb == 1) {
+    uint64_t pv[kLaneWidth] = {~uint64_t{0}, ~uint64_t{0}, ~uint64_t{0},
+                               ~uint64_t{0}};
+    uint64_t mv[kLaneWidth] = {0, 0, 0, 0};
+    for (uint32_t j = 0; j < g.num_cols; ++j) {
+      ColumnSymbols(g, j, sym);
+      for (uint32_t l = 0; l < kLaneWidth; ++l) {
+        score[l] +=
+            SwarStep(pv[l], mv[l], job.peq[sym[l]], job.last_mask, 1);
+        if (g.lengths[l] == j + 1) final_d[l] = score[l];
+      }
+    }
+  } else {
+    uint64_t* pv = job.pv;
+    uint64_t* mv = job.mv;
+    std::fill(pv, pv + kb * kLaneWidth, ~uint64_t{0});
+    std::fill(mv, mv + kb * kLaneWidth, uint64_t{0});
+    for (uint32_t j = 0; j < g.num_cols; ++j) {
+      ColumnSymbols(g, j, sym);
+      int hin[kLaneWidth] = {1, 1, 1, 1};  // top boundary row: +1 per column
+      for (size_t b = 0; b < kb; ++b) {
+        const uint64_t out_mask =
+            b == kb - 1 ? job.last_mask : (uint64_t{1} << 63);
+        for (uint32_t l = 0; l < kLaneWidth; ++l) {
+          hin[l] = SwarStep(pv[b * kLaneWidth + l], mv[b * kLaneWidth + l],
+                            job.peq[sym[l] * kb + b], out_mask, hin[l]);
+        }
+      }
+      for (uint32_t l = 0; l < kLaneWidth; ++l) {
+        score[l] += hin[l];
+        if (g.lengths[l] == j + 1) final_d[l] = score[l];
+      }
+    }
+  }
+  for (uint32_t l = 0; l < kLaneWidth; ++l) job.scores[l] = final_d[l];
+}
+
+#if SSS_HAVE_AVX2_LANE_KERNEL
+
+// Loads the four lanes' peq words for block b into one vector (four scalar
+// loads — cheaper and more portable across microarchitectures than a
+// gather for this access pattern).
+__attribute__((always_inline, target("avx2"))) inline __m256i LoadEq(
+    const uint64_t* peq, const size_t sym[kLaneWidth], size_t blocks,
+    size_t b) {
+  return _mm256_set_epi64x(static_cast<int64_t>(peq[sym[3] * blocks + b]),
+                           static_cast<int64_t>(peq[sym[2] * blocks + b]),
+                           static_cast<int64_t>(peq[sym[1] * blocks + b]),
+                           static_cast<int64_t>(peq[sym[0] * blocks + b]));
+}
+
+// One block step for all four lanes at once: SwarStep with the horizontal
+// carries hin/hout held as a (+1 mask, −1 mask) pair of per-lane all-ones
+// masks (at most one set per lane, mirroring hout ∈ {-1, 0, +1}).
+__attribute__((always_inline, target("avx2"))) inline void Avx2Step(
+    __m256i& pv, __m256i& mv, __m256i eq, __m256i out_mask, __m256i& hin_p,
+    __m256i& hin_n) {
+  const __m256i all1 = _mm256_set1_epi64x(-1);
+  const __m256i one = _mm256_set1_epi64x(1);
+  const __m256i xv = _mm256_or_si256(eq, mv);
+  eq = _mm256_or_si256(eq, _mm256_and_si256(hin_n, one));
+  const __m256i sum = _mm256_add_epi64(_mm256_and_si256(eq, pv), pv);
+  const __m256i xh = _mm256_or_si256(_mm256_xor_si256(sum, pv), eq);
+  __m256i ph =
+      _mm256_or_si256(mv, _mm256_xor_si256(_mm256_or_si256(xh, pv), all1));
+  __m256i mh = _mm256_and_si256(pv, xh);
+  // out_mask is a single bit, so (x & mask) == mask iff the bit is set.
+  const __m256i ph_hit =
+      _mm256_cmpeq_epi64(_mm256_and_si256(ph, out_mask), out_mask);
+  const __m256i mh_hit =
+      _mm256_cmpeq_epi64(_mm256_and_si256(mh, out_mask), out_mask);
+  ph = _mm256_slli_epi64(ph, 1);
+  mh = _mm256_slli_epi64(mh, 1);
+  mh = _mm256_or_si256(mh, _mm256_and_si256(hin_n, one));
+  ph = _mm256_or_si256(ph, _mm256_and_si256(hin_p, one));
+  pv = _mm256_or_si256(mh,
+                       _mm256_xor_si256(_mm256_or_si256(xv, ph), all1));
+  mv = _mm256_and_si256(ph, xv);
+  hin_p = _mm256_andnot_si256(mh_hit, ph_hit);  // mh wins, as in SwarStep
+  hin_n = mh_hit;
+}
+
+// The AVX2 tier: one __m256i carries all four lanes' 64-bit Myers state.
+// Specialized loops keep the state in registers for the common pattern
+// sizes (B=1 covers city names, B=2 covers ~100-char DNA reads); longer
+// queries spill block state through the job scratch.
+__attribute__((target("avx2"))) void RunAvx2(LaneKernelJob& job) {
+  const LaneGroupView& g = *job.group;
+  const size_t kb = job.blocks;
+  const __m256i all1 = _mm256_set1_epi64x(-1);
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i last_mask =
+      _mm256_set1_epi64x(static_cast<int64_t>(job.last_mask));
+  const __m256i len_vec =
+      _mm256_set_epi64x(static_cast<int64_t>(g.lengths[3]),
+                        static_cast<int64_t>(g.lengths[2]),
+                        static_cast<int64_t>(g.lengths[1]),
+                        static_cast<int64_t>(g.lengths[0]));
+  __m256i score = _mm256_set1_epi64x(job.m);
+  __m256i final_d = score;  // ed(query, ε) = m; overwritten at each lane end
+  size_t sym[kLaneWidth];
+
+  if (kb == 1) {
+    __m256i pv = all1, mv = zero;
+    for (uint32_t j = 0; j < g.num_cols; ++j) {
+      ColumnSymbols(g, j, sym);
+      __m256i hp = all1, hn = zero;  // top boundary row: +1 into block 0
+      Avx2Step(pv, mv, LoadEq(job.peq, sym, 1, 0), last_mask, hp, hn);
+      score = _mm256_sub_epi64(score, hp);  // hp lanes are -1 masks: -= -1
+      score = _mm256_add_epi64(score, hn);
+      const __m256i at_end = _mm256_cmpeq_epi64(
+          len_vec, _mm256_set1_epi64x(static_cast<int64_t>(j) + 1));
+      final_d = _mm256_blendv_epi8(final_d, score, at_end);
+    }
+  } else if (kb == 2) {
+    const __m256i top = _mm256_set1_epi64x(
+        static_cast<int64_t>(uint64_t{1} << 63));
+    __m256i pv0 = all1, mv0 = zero, pv1 = all1, mv1 = zero;
+    for (uint32_t j = 0; j < g.num_cols; ++j) {
+      ColumnSymbols(g, j, sym);
+      __m256i hp = all1, hn = zero;
+      Avx2Step(pv0, mv0, LoadEq(job.peq, sym, 2, 0), top, hp, hn);
+      Avx2Step(pv1, mv1, LoadEq(job.peq, sym, 2, 1), last_mask, hp, hn);
+      score = _mm256_sub_epi64(score, hp);
+      score = _mm256_add_epi64(score, hn);
+      const __m256i at_end = _mm256_cmpeq_epi64(
+          len_vec, _mm256_set1_epi64x(static_cast<int64_t>(j) + 1));
+      final_d = _mm256_blendv_epi8(final_d, score, at_end);
+    }
+  } else {
+    const __m256i top = _mm256_set1_epi64x(
+        static_cast<int64_t>(uint64_t{1} << 63));
+    uint64_t* pv = job.pv;
+    uint64_t* mv = job.mv;
+    for (size_t b = 0; b < kb; ++b) {
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(pv + b * kLaneWidth), all1);
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(mv + b * kLaneWidth), zero);
+    }
+    for (uint32_t j = 0; j < g.num_cols; ++j) {
+      ColumnSymbols(g, j, sym);
+      __m256i hp = all1, hn = zero;
+      for (size_t b = 0; b < kb; ++b) {
+        __m256i pvb = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(pv + b * kLaneWidth));
+        __m256i mvb = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(mv + b * kLaneWidth));
+        Avx2Step(pvb, mvb, LoadEq(job.peq, sym, kb, b),
+                 b == kb - 1 ? last_mask : top, hp, hn);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(pv + b * kLaneWidth),
+                            pvb);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(mv + b * kLaneWidth),
+                            mvb);
+      }
+      score = _mm256_sub_epi64(score, hp);
+      score = _mm256_add_epi64(score, hn);
+      const __m256i at_end = _mm256_cmpeq_epi64(
+          len_vec, _mm256_set1_epi64x(static_cast<int64_t>(j) + 1));
+      final_d = _mm256_blendv_epi8(final_d, score, at_end);
+    }
+  }
+
+  alignas(32) int64_t fin[kLaneWidth];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(fin), final_d);
+  for (uint32_t l = 0; l < kLaneWidth; ++l) job.scores[l] = fin[l];
+}
+
+#endif  // SSS_HAVE_AVX2_LANE_KERNEL
+
+}  // namespace
+
+void LaneVerifier::SetQuery(std::string_view query) {
+  if (query_ == query) return;  // tables already describe this pattern
+  query_.assign(query);
+  blocks_ = query.empty() ? 0 : (query.size() + 63) / 64;
+  last_mask_ = query.empty() ? 0 : uint64_t{1} << ((query.size() - 1) % 64);
+  byte_peq_ready_ = false;
+  packed2_peq_ready_ = false;
+}
+
+const uint64_t* LaneVerifier::PeqFor(const LaneGroupView& group) {
+  if (group.packed2) {
+    if (!packed2_peq_ready_) {
+      packed2_peq_.assign(Dna2Codec::kAlphabetSize * blocks_, 0);
+      for (size_t i = 0; i < query_.size(); ++i) {
+        const uint8_t code = Dna2Codec::Encode(query_[i]);
+        // Query symbols outside {A,C,G,T} match no candidate code — the
+        // same verdict raw-byte comparison gives, since packed2 groups
+        // contain only pure-ACGT candidates.
+        if (code == Dna2Codec::kInvalidCode) continue;
+        packed2_peq_[code * blocks_ + i / 64] |= uint64_t{1} << (i % 64);
+      }
+      packed2_peq_ready_ = true;
+    }
+    return packed2_peq_.data();
+  }
+  if (!byte_peq_ready_) {
+    byte_peq_.assign(256 * blocks_, 0);
+    for (size_t i = 0; i < query_.size(); ++i) {
+      byte_peq_[static_cast<unsigned char>(query_[i]) * blocks_ + i / 64] |=
+          uint64_t{1} << (i % 64);
+    }
+    byte_peq_ready_ = true;
+  }
+  return byte_peq_.data();
+}
+
+void LaneVerifier::RunScalar(const LaneGroupView& g, int k,
+                             int out[kLaneWidth]) {
+  // The scalar tier is the per-pair reference run through the lane layout:
+  // materialize each lane's text and ask BoundedMyers. The differential
+  // suite uses it to pin the wide tiers to the scalar kernel's verdicts.
+  for (uint32_t l = 0; l < kLaneWidth; ++l) {
+    const uint32_t len = g.lengths[l];
+    lane_text_.resize(len);
+    if (g.packed2) {
+      for (uint32_t j = 0; j < len; ++j) {
+        lane_text_[j] =
+            Dna2Codec::Decode((g.data[j] >> (2 * l)) & 3u);
+      }
+    } else {
+      for (uint32_t j = 0; j < len; ++j) {
+        lane_text_[j] =
+            static_cast<char>(g.data[static_cast<size_t>(j) * kLaneWidth + l]);
+      }
+    }
+    out[l] = BoundedMyers(query_, lane_text_, k, &scalar_ws_);
+  }
+}
+
+void LaneVerifier::VerifyGroup(const LaneGroupView& group, int k,
+                               KernelTier tier, int out[kLaneWidth]) {
+  SSS_DCHECK(k >= 0);
+  if (query_.empty()) {
+    // ed(ε, y) = |y|, reported exactly when <= k, else k+1 — what
+    // BoundedMyers returns through its length filter.
+    for (uint32_t l = 0; l < kLaneWidth; ++l) {
+      out[l] = group.lengths[l] <= static_cast<uint32_t>(k)
+                   ? static_cast<int>(group.lengths[l])
+                   : k + 1;
+    }
+    return;
+  }
+  if (tier == KernelTier::kScalar) {
+    RunScalar(group, k, out);
+    return;
+  }
+  LaneKernelJob job;
+  job.peq = PeqFor(group);
+  job.blocks = blocks_;
+  job.last_mask = last_mask_;
+  job.m = static_cast<int64_t>(query_.size());
+  job.group = &group;
+  if (blocks_ > 1) {
+    pv_.resize(blocks_ * kLaneWidth);
+    mv_.resize(blocks_ * kLaneWidth);
+    job.pv = pv_.data();
+    job.mv = mv_.data();
+  }
+#if SSS_HAVE_AVX2_LANE_KERNEL
+  // The CPUID re-check makes a stray kAvx2 request on non-AVX2 hardware
+  // degrade to SWAR instead of faulting (ResolveKernelTier already clamps;
+  // this guards direct callers).
+  if (tier == KernelTier::kAvx2 &&
+      DetectCpuKernelTier() == KernelTier::kAvx2) {
+    RunAvx2(job);
+  } else {
+    RunSwar(job);
+  }
+#else
+  (void)tier;
+  RunSwar(job);
+#endif
+  // Uniform clamp: the full recurrence computed the exact distance; values
+  // beyond k collapse to k+1 exactly like the per-pair kernel's reject
+  // paths (length filter included, since distance >= |length difference|).
+  for (uint32_t l = 0; l < kLaneWidth; ++l) {
+    out[l] = job.scores[l] <= k ? static_cast<int>(job.scores[l]) : k + 1;
+  }
+}
+
+Status LaneVerifyRange(const LanePool& pool, const Query& query,
+                       const SearchContext& ctx, KernelTier tier,
+                       uint32_t begin, uint32_t end, MatchList* out) {
+  SSS_DCHECK(!query.text.empty());
+  thread_local LaneVerifier verifier;
+  verifier.SetQuery(query.text);
+  const int k = query.max_distance;
+  const int64_t qlen = static_cast<int64_t>(query.text.size());
+  const int64_t wlo = qlen - k;
+  const int64_t whi = qlen + k;
+
+  StatsScope stats(ctx.stats);
+  StopChecker stopper(ctx);
+  const size_t out_before = out->size();
+  int dist[kLaneWidth];
+
+  for (const LanePool::Bucket& bucket : pool.buckets()) {
+    // Ids are ascending within a bucket, so an id shard is a contiguous
+    // slot span. A group straddling a shard boundary is re-verified by the
+    // neighbouring shard, but each candidate's verdict is consumed exactly
+    // once — that keeps the funnel counters strategy-independent.
+    const uint32_t* ids = bucket.ids.data();
+    const uint32_t i0 = static_cast<uint32_t>(
+        std::lower_bound(ids, ids + bucket.num_candidates, begin) - ids);
+    const uint32_t i1 = static_cast<uint32_t>(
+        std::lower_bound(ids, ids + bucket.num_candidates, end) - ids);
+    if (i0 >= i1) continue;
+    // Bucket-level length filter: the half-open window [min_len, max_len)
+    // either misses [wlo, whi] for every member (wholesale reject — the
+    // very verdict LengthFilterPasses would return per pair) or the
+    // members are checked individually below.
+    if (static_cast<int64_t>(bucket.min_len) > whi ||
+        static_cast<int64_t>(bucket.max_len) <= wlo) {
+      stats->length_filter_rejects += i1 - i0;
+      continue;
+    }
+    for (uint32_t g = i0 / kLaneWidth; g * kLaneWidth < i1; ++g) {
+      if (SSS_PREDICT_FALSE(stopper.ShouldStop())) {
+        out->clear();
+        return ctx.StopStatus();
+      }
+      const uint32_t lane_lo = std::max(i0, g * kLaneWidth);
+      const uint32_t lane_hi = std::min(i1, (g + 1) * kLaneWidth);
+      bool pass[kLaneWidth] = {false, false, false, false};
+      uint32_t live = 0;
+      for (uint32_t slot = lane_lo; slot < lane_hi; ++slot) {
+        if (LengthFilterPasses(query.text.size(), bucket.lengths[slot], k)) {
+          pass[slot - g * kLaneWidth] = true;
+          ++live;
+        } else {
+          ++stats->length_filter_rejects;
+        }
+      }
+      if (live == 0) continue;
+      verifier.VerifyGroup(pool.Group(bucket, g), k, tier, dist);
+      for (uint32_t slot = lane_lo; slot < lane_hi; ++slot) {
+        const uint32_t l = slot - g * kLaneWidth;
+        if (pass[l] && dist[l] <= k) out->push_back(ids[slot]);
+      }
+    }
+  }
+
+  stats->candidates_considered += end - begin;
+  const uint64_t verified = (end - begin) - stats->length_filter_rejects;
+  stats->verify_calls += verified;
+  stats->simd_lanes_verified += verified;
+  stats->matches_found += out->size() - out_before;
+  // Matches were collected bucket-major; the contract is ascending ids.
+  std::sort(out->begin() + static_cast<ptrdiff_t>(out_before), out->end());
+  return Status::OK();
+}
+
+}  // namespace sss

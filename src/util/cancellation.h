@@ -15,6 +15,7 @@
 #include <chrono>
 #include <cstdint>
 
+#include "util/kernel_dispatch.h"
 #include "util/macros.h"
 #include "util/status.h"
 
@@ -110,6 +111,12 @@ struct SearchContext {
   /// default). Engines fold per-call SearchStats deltas into it; executors
   /// add pool/task counters once per batch. See util/search_stats.h.
   StatsSink* stats = nullptr;
+  /// Which many-vs-many verify-kernel tier the lane-capable engines should
+  /// use (see util/kernel_dispatch.h). kScalar — the default — keeps the
+  /// per-pair kernels exactly as before; kAuto opts in to the widest tier
+  /// this CPU supports; explicit tiers clamp to hardware capability. The
+  /// SSS_FORCE_KERNEL_TIER environment variable overrides this field.
+  KernelTierChoice kernel_tier = KernelTierChoice::kScalar;
 
   /// \brief True iff this context can ever request a stop. Loops with an
   /// inactive context skip stop polling entirely.

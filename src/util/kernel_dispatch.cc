@@ -1,0 +1,113 @@
+#include "util/kernel_dispatch.h"
+
+#include "util/env.h"
+#include "util/logging.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define SSS_KERNEL_DISPATCH_X86 1
+#else
+#define SSS_KERNEL_DISPATCH_X86 0
+#endif
+
+namespace sss {
+
+namespace {
+
+struct DispatchDecision {
+  KernelTier detected = KernelTier::kSwar;
+  KernelTier active = KernelTier::kSwar;
+  bool forced = false;
+};
+
+KernelTier ProbeCpu() noexcept {
+  // The SWAR tier is plain C++ and always executable; AVX2 needs a runtime
+  // CPUID probe because the lane kernel is compiled per-function
+  // (__attribute__((target))) even in baseline -msse2 builds.
+#if SSS_KERNEL_DISPATCH_X86 && (defined(__GNUC__) || defined(__clang__))
+  if (__builtin_cpu_supports("avx2")) return KernelTier::kAvx2;
+#endif
+  return KernelTier::kSwar;
+}
+
+const DispatchDecision& Decision() noexcept {
+  // Decided once per process, on first use, and never re-read: engines and
+  // stats may cache the answer, so it must not change under them.
+  static const DispatchDecision decision = [] {
+    DispatchDecision d;
+    d.detected = ProbeCpu();
+    d.active = d.detected;
+    if (const std::optional<std::string> force =
+            GetEnv("SSS_FORCE_KERNEL_TIER")) {
+      const std::optional<KernelTierChoice> choice =
+          ParseKernelTierChoice(*force);
+      if (!choice.has_value()) {
+        SSS_LOG(Warning) << "SSS_FORCE_KERNEL_TIER=" << *force
+                         << " is not scalar|swar|avx2|auto; ignored";
+      } else if (*choice != KernelTierChoice::kAuto) {
+        d.forced = true;
+        const auto requested = static_cast<KernelTier>(*choice);
+        if (static_cast<int>(requested) > static_cast<int>(d.detected)) {
+          SSS_LOG(Warning)
+              << "SSS_FORCE_KERNEL_TIER=" << *force
+              << " exceeds this CPU's capability; clamping to "
+              << ToString(d.detected);
+          d.active = d.detected;
+        } else {
+          d.active = requested;
+        }
+      }
+      // "auto" force keeps the detected tier but is still an override in
+      // spirit; leave forced=false so per-context choices keep working.
+    }
+    return d;
+  }();
+  return decision;
+}
+
+}  // namespace
+
+std::string_view ToString(KernelTier tier) noexcept {
+  switch (tier) {
+    case KernelTier::kScalar: return "scalar";
+    case KernelTier::kSwar: return "swar";
+    case KernelTier::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+std::string_view ToString(KernelTierChoice choice) noexcept {
+  switch (choice) {
+    case KernelTierChoice::kScalar: return "scalar";
+    case KernelTierChoice::kSwar: return "swar";
+    case KernelTierChoice::kAvx2: return "avx2";
+    case KernelTierChoice::kAuto: return "auto";
+  }
+  return "?";
+}
+
+std::optional<KernelTierChoice> ParseKernelTierChoice(
+    std::string_view name) noexcept {
+  if (name == "scalar") return KernelTierChoice::kScalar;
+  if (name == "swar") return KernelTierChoice::kSwar;
+  if (name == "avx2") return KernelTierChoice::kAvx2;
+  if (name == "auto") return KernelTierChoice::kAuto;
+  return std::nullopt;
+}
+
+KernelTier DetectCpuKernelTier() noexcept { return Decision().detected; }
+
+KernelTier ActiveKernelTier() noexcept { return Decision().active; }
+
+bool KernelTierForced() noexcept { return Decision().forced; }
+
+KernelTier ResolveKernelTier(KernelTierChoice choice) noexcept {
+  const DispatchDecision& d = Decision();
+  if (d.forced) return d.active;
+  if (choice == KernelTierChoice::kAuto) return d.active;
+  const auto requested = static_cast<KernelTier>(choice);
+  return static_cast<int>(requested) <= static_cast<int>(d.detected)
+             ? requested
+             : d.detected;
+}
+
+}  // namespace sss

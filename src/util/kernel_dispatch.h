@@ -1,0 +1,72 @@
+// Runtime kernel-tier dispatch for the many-vs-many verify kernels.
+//
+// The scan-shaped engines can verify a whole lane of candidates per pass
+// (core/simd_verify) instead of one pair at a time. Which instruction set
+// backs that lane kernel is decided ONCE per process, from CPUID, the first
+// time anyone asks — never per call:
+//
+//   kScalar  per-pair Myers (the PR 3 kernels, unchanged; the default)
+//   kSwar    4 × 64-bit lanes in portable C++ (ILP, no intrinsics)
+//   kAvx2    4 × 64-bit lanes in one __m256i (requires AVX2 at runtime)
+//
+// Callers pick a KernelTierChoice on SearchContext; ResolveKernelTier clamps
+// it to what the hardware can actually run. The SSS_FORCE_KERNEL_TIER
+// environment variable (scalar|swar|avx2|auto) overrides every per-context
+// choice — it exists so CI can run the differential kernel-equivalence suite
+// under each tier without recompiling — and is itself clamped to the
+// detected capability (forcing avx2 on a non-AVX2 machine degrades to swar
+// rather than executing illegal instructions).
+//
+// This lives in util (not core) so SearchContext (util/cancellation.h) can
+// carry the knob without depending on the engine layer.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace sss {
+
+/// \brief An executable many-vs-many kernel implementation, ordered by
+/// preference (higher = wider).
+enum class KernelTier : int {
+  kScalar = 0,
+  kSwar = 1,
+  kAvx2 = 2,
+};
+
+/// \brief What a caller asks for. kAuto means "best the machine supports";
+/// explicit tiers are clamped down to the detected capability.
+enum class KernelTierChoice : int {
+  kScalar = 0,
+  kSwar = 1,
+  kAvx2 = 2,
+  kAuto = 3,
+};
+
+std::string_view ToString(KernelTier tier) noexcept;
+std::string_view ToString(KernelTierChoice choice) noexcept;
+
+/// \brief Parses "scalar" | "swar" | "avx2" | "auto" (exact, lowercase).
+std::optional<KernelTierChoice> ParseKernelTierChoice(
+    std::string_view name) noexcept;
+
+/// \brief The widest tier this CPU can execute, probed via CPUID on first
+/// use and cached. Ignores SSS_FORCE_KERNEL_TIER.
+KernelTier DetectCpuKernelTier() noexcept;
+
+/// \brief The process-wide dispatch decision: DetectCpuKernelTier() clamped
+/// by SSS_FORCE_KERNEL_TIER when that is set to a parseable value. Read once
+/// and cached; changing the environment mid-process has no effect.
+KernelTier ActiveKernelTier() noexcept;
+
+/// \brief True iff SSS_FORCE_KERNEL_TIER was set to a parseable value when
+/// the dispatch decision was made (i.e. ActiveKernelTier overrides every
+/// per-context choice).
+bool KernelTierForced() noexcept;
+
+/// \brief The tier a context asking for `choice` actually runs:
+/// the forced tier when SSS_FORCE_KERNEL_TIER is in effect, else the
+/// detected tier for kAuto, else `choice` clamped to the detected tier.
+KernelTier ResolveKernelTier(KernelTierChoice choice) noexcept;
+
+}  // namespace sss

@@ -38,6 +38,9 @@ namespace sss {
   X(kernel_banded_calls)            \
   X(kernel_myers_calls)             \
   X(dp_early_aborts)                \
+  X(simd_lanes_verified)            \
+  X(simd_fallback_pairs)            \
+  X(dispatch_tier)                  \
   X(trie_nodes_visited)             \
   X(trie_nodes_pruned)              \
   X(bktree_distance_calls)          \
@@ -80,6 +83,14 @@ struct KernelCounters {
 ///     post-candidate verify loops);
 ///   * kernels — kernel_*_calls, dp_early_aborts: which DP kernel verified
 ///     and how often the paper's abort conditions fired;
+///   * lane kernels — simd_lanes_verified (candidates verified by a
+///     many-vs-many lane kernel), simd_fallback_pairs (candidates a
+///     non-scalar tier had to verify per-pair: empty queries, filters on,
+///     or a non-default verify kernel); their sum equals verify_calls on
+///     the lane-capable engines. dispatch_tier is a label, not a count:
+///     the resolved KernelTier (0=scalar 1=swar 2=avx2) the batch drivers
+///     record once per batch — comparable across strategies, meaningless
+///     to sum across batches run under different tiers;
 ///   * index traversal — trie_nodes_*, bktree_distance_calls,
 ///     qgram_candidates, partition_probes: work the index structures did;
 ///   * decorators — cache_hits/misses (CachedSearcher), degraded_probes

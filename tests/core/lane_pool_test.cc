@@ -1,0 +1,178 @@
+// LanePool structural tests: the half-open length-bucket predicate (the
+// bucket-boundary double-scan regression), group geometry and padding, and
+// the packed2 / byte column-layout selection.
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/lane_pool.h"
+#include "core/scan.h"
+#include "io/dataset.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace sss {
+namespace {
+
+/// Collects every non-padding id in the pool, failing on duplicates.
+std::vector<uint32_t> AllIds(const LanePool& pool) {
+  std::vector<uint32_t> ids;
+  std::set<uint32_t> seen;
+  for (const LanePool::Bucket& bucket : pool.buckets()) {
+    for (uint32_t i = 0; i < bucket.num_candidates; ++i) {
+      const uint32_t id = bucket.ids[i];
+      EXPECT_TRUE(seen.insert(id).second) << "id " << id << " in two buckets";
+      ids.push_back(id);
+    }
+  }
+  return ids;
+}
+
+// The regression this PR fixes: a candidate whose length sits exactly on a
+// bucket boundary (a multiple of the bucket width) must belong to exactly
+// ONE bucket. The earlier closed-interval bucketing placed boundary lengths
+// in both adjacent buckets, so boundary candidates were verified — and
+// reported — twice.
+TEST(LanePoolTest, BucketBoundaryCandidatesAppearExactlyOnce) {
+  Dataset dataset("boundary", AlphabetKind::kGeneric);
+  // Lengths 8, 16, 24: each a multiple of the default width 8, plus
+  // neighbours one off the boundary on both sides.
+  for (size_t len : {7, 8, 9, 15, 16, 17, 23, 24, 25, 8, 16, 8}) {
+    dataset.Add(std::string(len, 'x'));
+  }
+  const LanePool pool = LanePool::Build(dataset);
+  const std::vector<uint32_t> ids = AllIds(pool);
+  EXPECT_EQ(ids.size(), dataset.size());
+  for (const LanePool::Bucket& bucket : pool.buckets()) {
+    EXPECT_EQ(bucket.max_len, bucket.min_len + kDefaultLengthBucketWidth);
+    for (uint32_t i = 0; i < bucket.num_candidates; ++i) {
+      const uint32_t len = bucket.lengths[i];
+      EXPECT_GE(len, bucket.min_len);
+      EXPECT_LT(len, bucket.max_len) << "len " << len
+                                     << " leaked past the half-open bound";
+    }
+  }
+}
+
+// End-to-end shape of the same regression: a query whose window spans a
+// bucket boundary must report each boundary-length match once.
+TEST(LanePoolTest, EngineReportsBoundaryMatchesOnce) {
+  Dataset dataset("dup", AlphabetKind::kGeneric);
+  dataset.Add(std::string(8, 'a'));   // length exactly on the 8-boundary
+  dataset.Add(std::string(16, 'a'));  // and on the 16-boundary
+  dataset.Add(std::string(9, 'a'));
+  SequentialScanSearcher scan(dataset, ScanOptions{});
+  SearchContext ctx;
+  ctx.kernel_tier = KernelTierChoice::kSwar;  // force the lane path
+  const Query query{std::string(12, 'a'), 8};
+  MatchList out;
+  ASSERT_TRUE(scan.Search(query, ctx, &out).ok());
+  EXPECT_EQ(out, (MatchList{0, 1, 2}));  // each id once, ascending
+}
+
+TEST(LanePoolTest, GroupGeometryAndPadding) {
+  Xoshiro256 rng(42);
+  // 10 candidates of lengths 3..7 share the [0, 8) bucket: three groups,
+  // the last with 2 live lanes + 2 padding lanes.
+  Dataset dataset("geom", AlphabetKind::kGeneric);
+  for (int i = 0; i < 10; ++i) {
+    dataset.Add(testing::RandomString(&rng, "xyz", 3, 7));
+  }
+  const LanePool pool = LanePool::Build(dataset);
+  EXPECT_EQ(pool.size(), 10u);
+  ASSERT_EQ(pool.buckets().size(), 1u);
+  const LanePool::Bucket& bucket = pool.buckets()[0];
+  EXPECT_EQ(bucket.num_candidates, 10u);
+  ASSERT_EQ(bucket.num_groups(), 3u);
+  // Ids ascend across the bucket (shard intersection relies on this).
+  for (uint32_t i = 1; i < bucket.num_candidates; ++i) {
+    EXPECT_LT(bucket.ids[i - 1], bucket.ids[i]);
+  }
+  const LaneGroupView g0 = pool.Group(bucket, 0);
+  const LaneGroupView g2 = pool.Group(bucket, 2);
+  EXPECT_EQ(g0.active, kLaneWidth);
+  EXPECT_EQ(g2.active, 2u);
+  // Padding lanes: sentinel id, zero length, verdicts ignored by callers.
+  EXPECT_EQ(g2.ids[2], UINT32_MAX);
+  EXPECT_EQ(g2.ids[3], UINT32_MAX);
+  EXPECT_EQ(g2.lengths[2], 0u);
+  EXPECT_EQ(g2.lengths[3], 0u);
+  // num_cols covers the longest live lane of the group.
+  for (size_t g = 0; g < bucket.num_groups(); ++g) {
+    const LaneGroupView view = pool.Group(bucket, g);
+    uint32_t max_len = 0;
+    for (uint32_t l = 0; l < kLaneWidth; ++l) {
+      max_len = std::max(max_len, view.lengths[l]);
+    }
+    EXPECT_EQ(view.num_cols, max_len);
+  }
+}
+
+TEST(LanePoolTest, Packed2OnlyForPureAcgtGroups) {
+  Dataset dataset("mix", AlphabetKind::kDna);
+  // Group 0: four pure-ACGT reads -> packed2. Group 1: one read carries an
+  // 'N' -> the whole group falls back to byte columns.
+  for (int i = 0; i < 4; ++i) dataset.Add("ACGTACGT");
+  dataset.Add("ACGNACGT");
+  for (int i = 0; i < 3; ++i) dataset.Add("TTTTACGT");
+  const LanePool pool = LanePool::Build(dataset);
+  ASSERT_EQ(pool.buckets().size(), 1u);
+  const LanePool::Bucket& bucket = pool.buckets()[0];
+  ASSERT_EQ(bucket.num_groups(), 2u);
+  EXPECT_TRUE(pool.Group(bucket, 0).packed2);
+  EXPECT_FALSE(pool.Group(bucket, 1).packed2);
+  // packed2 column bytes hold one column of four 2-bit codes.
+  const LaneGroupView g0 = pool.Group(bucket, 0);
+  EXPECT_EQ(g0.num_cols, 8u);
+  // All four lanes store "ACGTACGT": column 0 is 'A' (code 0) in every
+  // lane, column 1 'C' (code 1) in every lane -> 0b01010101.
+  EXPECT_EQ(g0.data[0], 0x00);
+  EXPECT_EQ(g0.data[1], 0x55);
+
+  const LanePoolOptions no_pack{.length_bucket_width = 8,
+                                .allow_packed2 = false};
+  const LanePool byte_pool = LanePool::Build(dataset, no_pack);
+  for (const LanePool::Bucket& b : byte_pool.buckets()) {
+    for (size_t g = 0; g < b.num_groups(); ++g) {
+      EXPECT_FALSE(byte_pool.Group(b, g).packed2);
+    }
+  }
+}
+
+TEST(LanePoolTest, EmptyAndSingletonDatasets) {
+  Dataset empty("empty", AlphabetKind::kGeneric);
+  const LanePool none = LanePool::Build(empty);
+  EXPECT_EQ(none.size(), 0u);
+  EXPECT_TRUE(AllIds(none).empty());
+
+  Dataset one("one", AlphabetKind::kGeneric);
+  one.Add("hello");
+  const LanePool single = LanePool::Build(one);
+  EXPECT_EQ(single.size(), 1u);
+  EXPECT_EQ(AllIds(single), (std::vector<uint32_t>{0}));
+  EXPECT_GT(single.memory_bytes(), 0u);
+}
+
+TEST(LanePoolTest, RandomDatasetCoversEveryIdOnce) {
+  Xoshiro256 rng(7);
+  const Dataset dataset =
+      testing::RandomDataset(&rng, "ACGTN", 333, 0, 64, AlphabetKind::kDna);
+  const LanePool pool = LanePool::Build(dataset);
+  std::vector<uint32_t> ids = AllIds(pool);
+  EXPECT_EQ(ids.size(), dataset.size());
+  std::sort(ids.begin(), ids.end());
+  for (uint32_t i = 0; i < ids.size(); ++i) EXPECT_EQ(ids[i], i);
+  // Lengths recorded in the pool match the dataset's.
+  for (const LanePool::Bucket& bucket : pool.buckets()) {
+    for (uint32_t i = 0; i < bucket.num_candidates; ++i) {
+      EXPECT_EQ(bucket.lengths[i], dataset.Length(bucket.ids[i]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sss

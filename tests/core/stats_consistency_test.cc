@@ -6,6 +6,7 @@
 
 #include "core/searcher.h"
 #include "test_util.h"
+#include "util/kernel_dispatch.h"
 #include "util/random.h"
 #include "util/search_stats.h"
 
@@ -34,10 +35,12 @@ SearchStats EngineSide(SearchStats s) {
 
 SearchStats CollectBatchStats(const Searcher& searcher,
                               const QuerySet& queries,
-                              ExecutionStrategy strategy) {
+                              ExecutionStrategy strategy,
+                              KernelTierChoice tier = KernelTierChoice::kScalar) {
   StatsSink sink;
   SearchContext ctx;
   ctx.stats = &sink;
+  ctx.kernel_tier = tier;
   const BatchResult batch = searcher.SearchBatch(queries, {strategy, 4}, ctx);
   EXPECT_FALSE(batch.truncated) << static_cast<int>(strategy);
   EXPECT_EQ(batch.completed, queries.size()) << static_cast<int>(strategy);
@@ -72,7 +75,13 @@ TEST(StatsConsistencyTest, ScanCountersIdenticalAcrossStrategies) {
   EXPECT_EQ(serial.candidates_considered, queries.size() * d.size());
   EXPECT_GT(serial.length_filter_rejects, 0u);
   EXPECT_GT(serial.verify_calls, 0u);
-  EXPECT_GT(serial.dp_early_aborts, 0u);
+  if (ResolveKernelTier(KernelTierChoice::kScalar) == KernelTier::kScalar) {
+    EXPECT_GT(serial.dp_early_aborts, 0u);
+  } else {
+    // A forced lane tier (SSS_FORCE_KERNEL_TIER) bypasses the per-pair DP;
+    // its verifications surface as lane counters instead.
+    EXPECT_GT(serial.simd_lanes_verified, 0u);
+  }
   EXPECT_EQ(serial.candidates_considered,
             serial.length_filter_rejects + serial.frequency_filter_rejects +
                 serial.verify_calls);
@@ -109,6 +118,102 @@ TEST(StatsConsistencyTest, IndexEngineCountersIdenticalAcrossStrategies) {
           << got.ToString();
     }
   }
+}
+
+// The lane tiers must keep the counters strategy-independent too: a lane
+// group straddling a shard boundary is re-verified by the neighbouring
+// shard, but each candidate's verdict is consumed exactly once, so the
+// funnel totals cannot depend on the shard geometry.
+TEST(StatsConsistencyTest, LaneTierCountersIdenticalAcrossStrategies) {
+  if (KernelTierForced()) {
+    GTEST_SKIP() << "SSS_FORCE_KERNEL_TIER overrides the context choice";
+  }
+  Xoshiro256 rng(0x57AE);
+  Dataset d = RandomDataset(&rng, "ACGT", 240, 1, 30, AlphabetKind::kDna);
+  auto searcher =
+      std::move(MakeSearcher(EngineKind::kSequentialScan, d)).ValueOrDie();
+  const QuerySet queries = MakeQueries(&rng, "ACGT", 32, 30, 2);
+
+  const SearchStats serial = EngineSide(CollectBatchStats(
+      *searcher, queries, ExecutionStrategy::kSerial, KernelTierChoice::kSwar));
+  EXPECT_EQ(serial.candidates_considered, queries.size() * d.size());
+  EXPECT_GT(serial.simd_lanes_verified, 0u);
+  // Every eligible query runs through the lane path; nothing falls back.
+  EXPECT_EQ(serial.simd_fallback_pairs, 0u);
+  EXPECT_EQ(serial.simd_lanes_verified + serial.simd_fallback_pairs,
+            serial.verify_calls);
+  // The lane kernels never call the per-pair DP, so its counters stay zero.
+  EXPECT_EQ(serial.dp_early_aborts, 0u);
+  EXPECT_EQ(serial.candidates_considered,
+            serial.length_filter_rejects + serial.verify_calls);
+
+  for (ExecutionStrategy strategy : kAllStrategies) {
+    if (strategy == ExecutionStrategy::kSerial) continue;
+    const SearchStats got = EngineSide(CollectBatchStats(
+        *searcher, queries, strategy, KernelTierChoice::kSwar));
+    EXPECT_EQ(got, serial) << "strategy " << ToString(strategy) << "\nserial:\n"
+                           << serial.ToString() << "\ngot:\n"
+                           << got.ToString();
+  }
+}
+
+// simd_lanes_verified and simd_fallback_pairs partition verify_calls: a
+// batch mixing lane-eligible queries with an empty query (per-pair
+// fallback) must account for every verification in exactly one of the two.
+TEST(StatsConsistencyTest, LaneAndFallbackPairsPartitionVerifyCalls) {
+  if (KernelTierForced()) {
+    GTEST_SKIP() << "SSS_FORCE_KERNEL_TIER overrides the context choice";
+  }
+  Xoshiro256 rng(0x57AF);
+  Dataset d = RandomDataset(&rng, "ACGT", 150, 1, 20, AlphabetKind::kDna);
+  auto searcher =
+      std::move(MakeSearcher(EngineKind::kSequentialScan, d)).ValueOrDie();
+  QuerySet queries = MakeQueries(&rng, "ACGT", 10, 20, 2);
+  queries.push_back({"", 2});  // empty query: per-pair fallback, counted
+
+  const SearchStats stats = CollectBatchStats(
+      *searcher, queries, ExecutionStrategy::kSerial, KernelTierChoice::kSwar);
+  EXPECT_GT(stats.simd_lanes_verified, 0u);
+  EXPECT_GT(stats.simd_fallback_pairs, 0u);  // len <= 2 strings verified
+  EXPECT_EQ(stats.simd_lanes_verified + stats.simd_fallback_pairs,
+            stats.verify_calls);
+
+  // On the scalar tier both lane counters stay zero.
+  const SearchStats scalar = CollectBatchStats(
+      *searcher, queries, ExecutionStrategy::kSerial,
+      KernelTierChoice::kScalar);
+  EXPECT_EQ(scalar.simd_lanes_verified, 0u);
+  EXPECT_EQ(scalar.simd_fallback_pairs, 0u);
+}
+
+// dispatch_tier is a once-per-batch label (0 = scalar, 1 = swar, 2 = avx2),
+// recorded by both the flat and the sharded batch drivers.
+TEST(StatsConsistencyTest, DispatchTierRecordsResolvedTier) {
+  if (KernelTierForced()) {
+    GTEST_SKIP() << "SSS_FORCE_KERNEL_TIER overrides the context choice";
+  }
+  Xoshiro256 rng(0x57B0);
+  Dataset d = RandomDataset(&rng, "ACGT", 60, 1, 16, AlphabetKind::kDna);
+  auto searcher =
+      std::move(MakeSearcher(EngineKind::kSequentialScan, d)).ValueOrDie();
+  const QuerySet queries = MakeQueries(&rng, "ACGT", 6, 16, 1);
+
+  EXPECT_EQ(CollectBatchStats(*searcher, queries, ExecutionStrategy::kSerial,
+                              KernelTierChoice::kScalar)
+                .dispatch_tier,
+            0u);
+  EXPECT_EQ(CollectBatchStats(*searcher, queries, ExecutionStrategy::kSerial,
+                              KernelTierChoice::kSwar)
+                .dispatch_tier,
+            1u);
+  EXPECT_EQ(CollectBatchStats(*searcher, queries, ExecutionStrategy::kSharded,
+                              KernelTierChoice::kSwar)
+                .dispatch_tier,
+            1u);
+  EXPECT_EQ(CollectBatchStats(*searcher, queries, ExecutionStrategy::kSerial,
+                              KernelTierChoice::kAuto)
+                .dispatch_tier,
+            static_cast<uint64_t>(DetectCpuKernelTier()));
 }
 
 TEST(StatsConsistencyTest, PlannerSkipsCountQueries) {

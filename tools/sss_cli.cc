@@ -25,6 +25,7 @@
 #include "io/writer.h"
 #include "util/flags.h"
 #include "util/histogram.h"
+#include "util/kernel_dispatch.h"
 #include "util/random.h"
 #include "util/search_stats.h"
 #include "util/stopwatch.h"
@@ -66,6 +67,7 @@ int Usage() {
                "           [--threads N] [--shard-size N] [--bucket-width N]\n"
                "           [--deadline-ms MS] [--max-line-bytes N]\n"
                "           [--out FILE] [--dna] [--latency]\n"
+               "           [--kernel-tier scalar|swar|avx2|auto]\n"
                "           [--stats] [--stats-json]\n"
                "  join     --data FILE --k K [--out FILE] [--threads N] [--dna]\n"
                "  stats    --data FILE [--dna] [--max-line-bytes N]\n"
@@ -229,6 +231,14 @@ int RunSearch(const FlagSet& flags) {
 
   SearchContext ctx;
   if (deadline_ms > 0) ctx.deadline = Deadline::AfterMillis(deadline_ms);
+  const std::string tier_flag = flags.GetString("kernel-tier", "scalar");
+  const std::optional<KernelTierChoice> tier = ParseKernelTierChoice(tier_flag);
+  if (!tier.has_value()) {
+    std::fprintf(stderr,
+                 "search: --kernel-tier must be scalar|swar|avx2|auto\n");
+    return kExitUsage;
+  }
+  ctx.kernel_tier = *tier;
   StatsSink sink;
   if (want_stats || want_stats_json) ctx.stats = &sink;
 
